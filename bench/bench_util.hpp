@@ -1,0 +1,96 @@
+#pragma once
+
+// Shared plumbing for the figure harnesses: render a sweep as the paper's
+// table (x column + one column per strategy, mean over runs with the 95% CI
+// half-width), and optionally dump raw CSV for offline plotting.
+//
+// Every harness honours:
+//   --runs=N       Monte-Carlo runs per point (default 100, as in the paper)
+//   --seed=S       master seed (default 2001)
+//   --threads=T    worker threads (default: hardware)
+//   --csv-dir=DIR  write <name>.csv series files into DIR
+//   --fast         shorthand for --runs=10 (CI smoke)
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sweeps.hpp"
+#include "util/csv.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace minim::bench {
+
+inline sim::SweepOptions sweep_options_from(const util::Options& options,
+                                            std::vector<std::string> strategies) {
+  sim::SweepOptions sweep;
+  sweep.strategies = std::move(strategies);
+  sweep.runs = static_cast<std::size_t>(options.get_int("runs", 100));
+  if (options.get_bool("fast", false)) sweep.runs = 10;
+  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
+  return sweep;
+}
+
+/// Which of the two metrics a sub-figure plots.
+enum class Metric { kColor, kRecodings };
+
+/// Prints one sub-figure as a table: rows = x values, columns = strategies,
+/// cells = "mean +- ci95".
+inline void print_series(const std::string& title, const std::string& x_name,
+                         const std::vector<sim::SweepPoint>& points, Metric metric,
+                         const util::Options& options, const std::string& csv_name) {
+  // Collect strategy order as first encountered.
+  std::vector<std::string> strategies;
+  for (const auto& point : points)
+    if (std::find(strategies.begin(), strategies.end(), point.strategy) ==
+        strategies.end())
+      strategies.push_back(point.strategy);
+
+  util::TextTable table(title);
+  std::vector<std::string> header{x_name};
+  for (const auto& s : strategies) header.push_back(s);
+  table.set_header(header);
+
+  std::vector<double> xs;
+  for (const auto& point : points)
+    if (xs.empty() || xs.back() != point.x) xs.push_back(point.x);
+
+  auto stat_of = [&](const sim::SweepPoint& p) {
+    return metric == Metric::kColor ? p.color_metric : p.recoding_metric;
+  };
+
+  for (double x : xs) {
+    std::vector<std::string> row{util::fmt_fixed(x, 1)};
+    for (const auto& s : strategies) {
+      for (const auto& point : points)
+        if (point.x == x && point.strategy == s) {
+          const auto& stat = stat_of(point);
+          row.push_back(util::fmt_fixed(stat.mean(), 2) + " +- " +
+                        util::fmt_fixed(stat.ci95_halfwidth(), 2));
+          break;
+        }
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render() << "\n";
+
+  const std::string csv_dir = options.get("csv-dir", "");
+  if (!csv_dir.empty()) {
+    auto stream = util::open_csv(csv_dir + "/" + csv_name + ".csv");
+    util::CsvWriter csv(stream);
+    csv.header({x_name, "strategy", "mean", "ci95", "stddev", "min", "max", "runs"});
+    for (const auto& point : points) {
+      const auto& stat = stat_of(point);
+      csv.row({util::fmt_fixed(point.x, 3), point.strategy,
+               util::fmt_fixed(stat.mean(), 6), util::fmt_fixed(stat.ci95_halfwidth(), 6),
+               util::fmt_fixed(stat.stddev(), 6), util::fmt_fixed(stat.min(), 3),
+               util::fmt_fixed(stat.max(), 3), std::to_string(stat.count())});
+    }
+    std::cout << "[csv] wrote " << csv_dir << "/" << csv_name << ".csv\n\n";
+  }
+}
+
+}  // namespace minim::bench

@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks for the algorithmic kernels:
+// max-weight matching, conflict-graph coloring, spatial-grid queries,
+// the end-to-end join operation, and the CDMA PHY hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "core/minim.hpp"
+#include "matching/hungarian.hpp"
+#include "net/constraints.hpp"
+#include "net/network.hpp"
+#include "radio/phy.hpp"
+#include "strategies/coloring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace minim;
+
+matching::BipartiteGraph random_bipartite(std::uint32_t left, std::uint32_t right,
+                                          double density, util::Rng& rng) {
+  matching::BipartiteGraph g(left, right);
+  for (std::uint32_t i = 0; i < left; ++i)
+    for (std::uint32_t j = 0; j < right; ++j)
+      if (rng.chance(density)) g.add_edge(i, j, rng.chance(0.3) ? 3 : 1);
+  return g;
+}
+
+net::AdhocNetwork random_network(std::size_t n, double min_r, double max_r,
+                                 util::Rng& rng) {
+  net::AdhocNetwork network;
+  for (std::size_t i = 0; i < n; ++i)
+    network.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                      rng.uniform(min_r, max_r)});
+  return network;
+}
+
+void BM_MaxWeightMatching(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  const auto g = random_bipartite(size, size * 2, 0.5, rng);
+  for (auto _ : state) {
+    auto result = matching::max_weight_matching(g);
+    benchmark::DoNotOptimize(result.total_weight);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxWeightMatching)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_ConflictColoring(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto network = random_network(n, 20.5, 30.5, rng);
+  for (auto _ : state) {
+    net::CodeAssignment assignment;
+    const auto colors = strategies::color_network(
+        network, strategies::ColoringOrder::kSmallestLast, assignment);
+    benchmark::DoNotOptimize(colors);
+  }
+}
+BENCHMARK(BM_ConflictColoring)->Arg(40)->Arg(80)->Arg(120);
+
+void BM_DSaturColoring(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto network = random_network(80, 20.5, 30.5, rng);
+  for (auto _ : state) {
+    net::CodeAssignment assignment;
+    const auto colors = strategies::color_network(
+        network, strategies::ColoringOrder::kDSatur, assignment);
+    benchmark::DoNotOptimize(colors);
+  }
+}
+BENCHMARK(BM_DSaturColoring);
+
+void BM_MinimJoin(benchmark::State& state) {
+  util::Rng rng(10);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::AdhocNetwork network;
+    net::CodeAssignment assignment;
+    core::MinimStrategy minim;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto id = network.add_node(
+          {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(20.5, 30.5)});
+      minim.on_join(network, assignment, id);
+    }
+    const auto last = network.add_node({{50, 50}, 25.0});
+    state.ResumeTiming();
+    minim.on_join(network, assignment, last);
+  }
+}
+BENCHMARK(BM_MinimJoin)->Arg(40)->Arg(80)->Arg(120)->Unit(benchmark::kMicrosecond);
+
+void BM_ConflictPartners(benchmark::State& state) {
+  util::Rng rng(11);
+  const auto network = random_network(100, 20.5, 30.5, rng);
+  const auto nodes = network.nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto partners = net::conflict_partners(network, nodes[i % nodes.size()]);
+    benchmark::DoNotOptimize(partners.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_ConflictPartners);
+
+void BM_GridRebuildVsBruteForce(benchmark::State& state) {
+  // Cost of one incremental move update (grid-backed) — compare against
+  // BM_BruteForceRebuild below for the ablation.
+  util::Rng rng(12);
+  auto network = random_network(100, 20.5, 30.5, rng);
+  const auto nodes = network.nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    network.set_position(nodes[i % nodes.size()],
+                         {rng.uniform(0, 100), rng.uniform(0, 100)});
+    ++i;
+  }
+}
+BENCHMARK(BM_GridRebuildVsBruteForce);
+
+void BM_BruteForceRebuild(benchmark::State& state) {
+  util::Rng rng(13);
+  const auto network = random_network(100, 20.5, 30.5, rng);
+  for (auto _ : state) {
+    auto g = network.rebuild_graph_brute_force();
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_BruteForceRebuild);
+
+void BM_PhyAllTransmit(benchmark::State& state) {
+  util::Rng rng(14);
+  net::AdhocNetwork network;
+  net::CodeAssignment assignment;
+  core::MinimStrategy minim;
+  for (int i = 0; i < 30; ++i) {
+    const auto id = network.add_node(
+        {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(15, 25)});
+    minim.on_join(network, assignment, id);
+  }
+  radio::PhyParams params;
+  params.packet_bits = 32;
+  for (auto _ : state) {
+    const auto report = radio::simulate_all_transmit(network, assignment, params, rng);
+    benchmark::DoNotOptimize(report.total_bits);
+  }
+  state.SetLabel("30 nodes, 32-bit packets");
+}
+BENCHMARK(BM_PhyAllTransmit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Physical-layer demonstration of WHY the paper's constraints exist.
+//
+// Builds a small network, assigns codes with Minim, and runs the chip-level
+// CDMA simulation (Walsh spreading, superposing channel, correlation
+// receiver) in three acts:
+//   1. valid assignment          -> every link decodes with zero bit errors,
+//                                   even with all nodes transmitting at once;
+//   2. forced CA2 violation      -> the hidden-terminal links garble;
+//   3. RecodeOnPowIncrease fixes -> clean channel again.
+//
+// Run:  ./build/examples/cdma_phy_demo [--packet-bits=64] [--seed=5]
+
+#include <iostream>
+
+#include "core/minim.hpp"
+#include "net/constraints.hpp"
+#include "radio/phy.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace minim;
+
+namespace {
+
+void print_links(const std::string& title, const radio::BroadcastReport& report) {
+  util::TextTable table(title);
+  table.set_header({"link", "bit errors", "BER"});
+  for (const auto& link : report.links)
+    table.add_row({std::to_string(link.transmitter) + " -> " +
+                       std::to_string(link.receiver),
+                   std::to_string(link.bit_errors),
+                   util::fmt_fixed(link.bit_error_rate(), 3)});
+  std::cout << table.render();
+  std::cout << "garbled links: " << report.garbled_links << "/"
+            << report.links.size() << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  radio::PhyParams phy;
+  phy.packet_bits = static_cast<std::size_t>(options.get_int("packet-bits", 64));
+  util::Rng rng(static_cast<std::uint64_t>(options.get_int("seed", 5)));
+
+  std::cout << "=== CDMA PHY demo: orthogonal codes vs collisions ===\n\n";
+
+  // A hidden-terminal-prone topology: two strong transmitters flanking a
+  // weak relay, plus a pair further out.
+  net::AdhocNetwork net;
+  net::CodeAssignment asg;
+  core::MinimStrategy minim;
+  const auto left = net.add_node({{30, 50}, 25});
+  minim.on_join(net, asg, left);
+  const auto relay = net.add_node({{50, 50}, 8});
+  minim.on_join(net, asg, relay);
+  const auto right = net.add_node({{70, 50}, 25});
+  minim.on_join(net, asg, right);
+  const auto far_a = net.add_node({{15, 80}, 20});
+  minim.on_join(net, asg, far_a);
+  const auto far_b = net.add_node({{85, 80}, 20});
+  minim.on_join(net, asg, far_b);
+
+  std::cout << "codes: ";
+  for (net::NodeId v : net.nodes()) std::cout << v << ":" << asg.color(v) << "  ";
+  std::cout << "\n\n--- Act 1: valid assignment, everyone transmits ---\n";
+  print_links("all links", radio::simulate_all_transmit(net, asg, phy, rng));
+
+  std::cout << "--- Act 2: force a hidden collision (CA2) ---\n"
+            << "Painting node " << right << " with node " << left
+            << "'s code; both reach the relay " << relay << ".\n";
+  const net::Color saved = asg.color(right);
+  asg.set_color(right, asg.color(left));
+  const auto violations = net::find_violations(net, asg);
+  for (const auto& violation : violations)
+    std::cout << "violation: " << violation.to_string() << "\n";
+  print_links("links into the relay garble",
+              radio::simulate_transmitters(net, asg, {left, right}, phy, rng));
+  asg.set_color(right, saved);
+
+  std::cout << "--- Act 3: a power increase creates the same collision; "
+               "RecodeOnPowIncrease repairs it ---\n";
+  // far_a raises power until it reaches the relay, which left also reaches.
+  asg.set_color(far_a, asg.color(left));  // same code, legal while far apart
+  std::cout << "pre-raise validity: " << (net::is_valid(net, asg) ? "yes" : "NO")
+            << "\n";
+  const double old_range = net.config(far_a).range;
+  net.set_range(far_a, 50);
+  std::cout << "post-raise violations: " << net::find_violations(net, asg).size()
+            << "\n";
+  print_links("garbled before recoding",
+              radio::simulate_transmitters(net, asg, {left, far_a}, phy, rng));
+
+  const auto report = minim.on_power_change(net, asg, far_a, old_range);
+  std::cout << "recoding: " << report.to_string() << "\n";
+  print_links("clean after recoding", radio::simulate_all_transmit(net, asg, phy, rng));
+
+  std::cout << "Take-away: distinct Walsh codes cancel exactly at the "
+               "correlator;\nthe recoding strategies exist to keep codes "
+               "distinct wherever signals meet.\n";
+  return 0;
+}

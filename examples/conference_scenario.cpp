@@ -1,0 +1,143 @@
+// Conference scenario — the paper's introduction motivates ad-hoc networks
+// "where members communicate with each other" at a conference.
+//
+// Simulates a day at a 100x100 m venue: attendees arrive over the morning,
+// wander between sessions, save battery by lowering transmit power during
+// talks and raise it during breaks, and leave in the evening.  Runs the
+// identical event trace under Minim, CP and BBB, and reports the two paper
+// metrics plus the per-event-type breakdown.
+//
+// Run:  ./build/examples/conference_scenario [--attendees=60] [--seed=7]
+
+#include <iostream>
+#include <vector>
+
+#include "net/constraints.hpp"
+#include "sim/simulation.hpp"
+#include "strategies/factory.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace minim;
+
+namespace {
+
+/// One attendee's scripted day, generated once and replayed per strategy.
+struct DayScript {
+  std::vector<net::NodeConfig> arrivals;
+  struct Action {
+    enum Kind { kWander, kPowerSave, kPowerUp, kDepart } kind;
+    std::size_t who;
+    util::Vec2 where{};
+    double range = 0.0;
+  };
+  std::vector<Action> actions;
+};
+
+DayScript script_day(std::size_t attendees, util::Rng& rng) {
+  DayScript day;
+  for (std::size_t i = 0; i < attendees; ++i)
+    day.arrivals.push_back({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                            rng.uniform(18, 28)});
+
+  // Three session blocks: wander in, power down for the talk, power up and
+  // mingle in the break.
+  std::vector<double> saved_range(attendees);
+  for (int block = 0; block < 3; ++block) {
+    for (std::size_t i = 0; i < attendees; ++i)
+      day.actions.push_back({DayScript::Action::kWander, i,
+                             {rng.uniform(0, 100), rng.uniform(0, 100)}, 0});
+    for (std::size_t i = 0; i < attendees; ++i) {
+      saved_range[i] = rng.uniform(8, 14);
+      day.actions.push_back({DayScript::Action::kPowerSave, i, {}, saved_range[i]});
+    }
+    for (std::size_t i = 0; i < attendees; ++i)
+      day.actions.push_back(
+          {DayScript::Action::kPowerUp, i, {}, rng.uniform(18, 28)});
+  }
+  // A third of the attendees leave early, in random order.
+  std::vector<std::size_t> order(attendees);
+  for (std::size_t i = 0; i < attendees; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < attendees / 3; ++i)
+    day.actions.push_back({DayScript::Action::kDepart, order[i], {}, 0});
+  return day;
+}
+
+struct DayResult {
+  sim::Totals totals;
+  net::Color max_color = 0;
+  bool valid = false;
+};
+
+DayResult run_day(const DayScript& day, core::RecodingStrategy& strategy) {
+  sim::Simulation simulation(strategy);
+  std::vector<net::NodeId> badge(day.arrivals.size(), graph::kInvalidNode);
+  std::vector<bool> present(day.arrivals.size(), false);
+  for (std::size_t i = 0; i < day.arrivals.size(); ++i) {
+    badge[i] = simulation.join(day.arrivals[i]);
+    present[i] = true;
+  }
+  for (const auto& action : day.actions) {
+    if (!present[action.who]) continue;
+    switch (action.kind) {
+      case DayScript::Action::kWander:
+        simulation.move(badge[action.who], action.where);
+        break;
+      case DayScript::Action::kPowerSave:
+      case DayScript::Action::kPowerUp:
+        simulation.change_power(badge[action.who], action.range);
+        break;
+      case DayScript::Action::kDepart:
+        simulation.leave(badge[action.who]);
+        present[action.who] = false;
+        break;
+    }
+  }
+  DayResult result;
+  result.totals = simulation.totals();
+  result.max_color = simulation.max_color();
+  result.valid = net::is_valid(simulation.network(), simulation.assignment());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  const auto attendees =
+      static_cast<std::size_t>(options.get_int("attendees", 60));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 7));
+
+  util::Rng rng(seed);
+  const DayScript day = script_day(attendees, rng);
+
+  std::cout << "=== Conference day: " << attendees << " attendees, "
+            << day.actions.size() << " reconfigurations after arrival ===\n\n"
+            << "Every code change interrupts an attendee's data stream; the\n"
+            << "fewer recodings, the smoother the conference network.\n\n";
+
+  util::TextTable table("Strategy comparison (identical event trace)");
+  table.set_header({"strategy", "codes used", "total recodings", "join", "move",
+                    "power+", "valid"});
+  for (const char* name : {"minim", "cp", "bbb"}) {
+    const auto strategy = strategies::make_strategy(name);
+    const DayResult result = run_day(day, *strategy);
+    using core::EventType;
+    table.add_row(
+        {strategy->name(), std::to_string(result.max_color),
+         std::to_string(result.totals.recodings),
+         std::to_string(
+             result.totals.recodings_by_type[static_cast<std::size_t>(EventType::kJoin)]),
+         std::to_string(
+             result.totals.recodings_by_type[static_cast<std::size_t>(EventType::kMove)]),
+         std::to_string(result.totals.recodings_by_type[static_cast<std::size_t>(
+             EventType::kPowerIncrease)]),
+         result.valid ? "yes" : "NO"});
+  }
+  std::cout << table.render() << "\n"
+            << "Expected: Minim needs a few more codes than BBB but recodes an\n"
+            << "order of magnitude less; CP sits in between on recodings.\n";
+  return 0;
+}

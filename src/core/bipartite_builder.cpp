@@ -1,0 +1,55 @@
+#include "core/bipartite_builder.hpp"
+
+#include <algorithm>
+
+#include "net/constraints.hpp"
+#include "util/require.hpp"
+
+namespace minim::core {
+
+RecodeProblem build_recode_problem(const net::AdhocNetwork& net,
+                                   const net::CodeAssignment& assignment,
+                                   std::vector<net::NodeId> v1,
+                                   const BipartiteWeights& weights) {
+  MINIM_REQUIRE(weights.old_color_weight > 0 && weights.other_weight > 0,
+                "matching weights must be positive");
+  std::sort(v1.begin(), v1.end());
+  v1.erase(std::unique(v1.begin(), v1.end()), v1.end());
+
+  RecodeProblem problem;
+  problem.v1 = std::move(v1);
+  const auto& set = problem.v1;
+
+  auto in_v1 = [&set](net::NodeId v) {
+    return std::binary_search(set.begin(), set.end(), v);
+  };
+
+  // Per-member forbidden color sets (colors of conflict partners outside V1)
+  // and the pool bound `max`.
+  std::vector<std::vector<net::Color>> forbidden(set.size());
+  net::Color max_color = net::kNoColor;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    forbidden[i] = net::forbidden_colors(net, assignment, set[i], in_v1);
+    if (!forbidden[i].empty()) max_color = std::max(max_color, forbidden[i].back());
+    max_color = std::max(max_color, assignment.color(set[i]));
+  }
+  problem.max_color = max_color;
+
+  problem.graph = matching::BipartiteGraph(static_cast<std::uint32_t>(set.size()),
+                                           max_color);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const net::Color old = assignment.color(set[i]);
+    const auto& forb = forbidden[i];
+    std::size_t f = 0;  // cursor into the sorted forbidden list
+    for (net::Color c = 1; c <= max_color; ++c) {
+      while (f < forb.size() && forb[f] < c) ++f;
+      if (f < forb.size() && forb[f] == c) continue;  // constrained away
+      const matching::Weight w =
+          (c == old) ? weights.old_color_weight : weights.other_weight;
+      problem.graph.add_edge(static_cast<std::uint32_t>(i), c - 1, w);
+    }
+  }
+  return problem;
+}
+
+}  // namespace minim::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite_graph.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file bipartite_builder.hpp
+/// \brief Construction of the recoding graph G' of Sections 4.1 / 4.4.
+///
+/// Given the recoding set V1 (the event node plus its in-neighbors), build
+/// the weighted bipartite graph between V1 and the color pool
+/// V2 = {1..max}:
+///   * `max` is the largest color among (a) old colors of V1 members and
+///     (b) colors of V1 members' conflict partners *outside* V1 (the
+///     "constraints"); including the event node's own old color — relevant
+///     only for moves — is a faithful generalization that can only enlarge
+///     the pool;
+///   * edge (u, c) exists iff no conflict partner of u outside V1 holds
+///     color c (members of V1 all receive mutually distinct colors from the
+///     matching, which subsumes every intra-V1 constraint);
+///   * the edge to a node's own old color has weight `old_color_weight`
+///     (paper: 3), every other edge `other_weight` (paper: 1).
+///
+/// The weight 3 > 1 + 1 inequality is what makes Theorem 4.1.8 work: no
+/// matching can profit from displacing an old color with two weight-1 edges.
+/// The ablation bench varies these weights to demonstrate exactly that.
+
+namespace minim::core {
+
+/// The built matching instance plus the bookkeeping needed to apply it.
+struct RecodeProblem {
+  std::vector<net::NodeId> v1;       ///< recoding set, ascending
+  net::Color max_color = 0;          ///< |V2|; colors are 1..max_color
+  matching::BipartiteGraph graph;    ///< left = index into v1, right = color-1
+
+  RecodeProblem() : graph(0, 0) {}
+};
+
+struct BipartiteWeights {
+  matching::Weight old_color_weight = 3;
+  matching::Weight other_weight = 1;
+};
+
+/// Builds G' for the given recoding set on the post-event network.
+RecodeProblem build_recode_problem(const net::AdhocNetwork& net,
+                                   const net::CodeAssignment& assignment,
+                                   std::vector<net::NodeId> v1,
+                                   const BipartiteWeights& weights = {});
+
+}  // namespace minim::core

@@ -1,0 +1,145 @@
+#include "core/minim.hpp"
+
+#include <algorithm>
+
+#include "matching/heuristics.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hungarian.hpp"
+#include "net/constraints.hpp"
+
+namespace minim::core {
+
+namespace {
+
+matching::MatchingResult run_matcher(MinimStrategy::Matcher matcher,
+                                     const matching::BipartiteGraph& g) {
+  switch (matcher) {
+    case MinimStrategy::Matcher::kHungarian: return matching::max_weight_matching(g);
+    case MinimStrategy::Matcher::kGreedy: return matching::greedy_matching(g);
+    case MinimStrategy::Matcher::kCardinality:
+      return matching::max_cardinality_matching(g);
+  }
+  return matching::max_weight_matching(g);
+}
+
+}  // namespace
+
+std::string MinimStrategy::name() const {
+  switch (params_.matcher) {
+    case Matcher::kHungarian: return "Minim";
+    case Matcher::kGreedy: return "Minim/greedy";
+    case Matcher::kCardinality: return "Minim/cardinality";
+  }
+  return "Minim";
+}
+
+RecodeReport MinimStrategy::recode_via_matching(const net::AdhocNetwork& net,
+                                                net::CodeAssignment& assignment,
+                                                net::NodeId n, EventType event) const {
+  RecodeReport report;
+  report.event = event;
+  report.subject = n;
+
+  // Steps 0-2: the recoding set and its constraints.  V1 = 1n ∪ 2n ∪ {n} =
+  // in-neighbors(n) ∪ {n} on the post-event graph.
+  std::vector<net::NodeId> v1 = net.heard_by(n);
+  v1.push_back(n);
+
+  // Steps 3-4: color pool and weighted bipartite graph.
+  const RecodeProblem problem =
+      build_recode_problem(net, assignment, std::move(v1), params_.weights);
+
+  // Step 5: matching, then application.  Matched nodes take their matched
+  // color; unmatched nodes take consecutive fresh colors above the pool.
+  const matching::MatchingResult match = run_matcher(params_.matcher, problem.graph);
+
+  net::Color next_fresh = problem.max_color;
+  for (std::size_t i = 0; i < problem.v1.size(); ++i) {
+    const net::NodeId u = problem.v1[i];
+    const net::Color old = assignment.color(u);
+    net::Color fresh;
+    const std::uint32_t matched = match.left_to_right[i];
+    if (matched != matching::MatchingResult::kUnmatched) {
+      fresh = matched + 1;  // right vertex r represents color r+1
+    } else {
+      fresh = ++next_fresh;
+    }
+    if (fresh != old) {
+      assignment.set_color(u, fresh);
+      report.changes.push_back(Recode{u, old, fresh});
+    }
+  }
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+RecodeReport MinimStrategy::on_join(const net::AdhocNetwork& net,
+                                    net::CodeAssignment& assignment, net::NodeId n) {
+  return recode_via_matching(net, assignment, n, EventType::kJoin);
+}
+
+RecodeReport MinimStrategy::on_move(const net::AdhocNetwork& net,
+                                    net::CodeAssignment& assignment, net::NodeId n) {
+  if (!params_.move_clears_mover)
+    return recode_via_matching(net, assignment, n, EventType::kMove);
+
+  // Literal Thm 4.4.1 semantics: the mover rejoins as an uncolored node.
+  // Recoding is still counted against its pre-move color.
+  const net::Color pre_move = assignment.color(n);
+  assignment.clear(n);
+  RecodeReport report = recode_via_matching(net, assignment, n, EventType::kMove);
+  for (auto it = report.changes.begin(); it != report.changes.end(); ++it) {
+    if (it->node != n) continue;
+    if (it->new_color == pre_move) {
+      report.changes.erase(it);  // landed back on its old color: not a recode
+    } else {
+      it->old_color = pre_move;
+    }
+    break;
+  }
+  return report;
+}
+
+RecodeReport MinimStrategy::on_leave(const net::AdhocNetwork& net,
+                                     net::CodeAssignment& assignment,
+                                     net::NodeId departed) {
+  // RecodeDecreasePowOrLeave: edge removals add no constraints; do nothing.
+  RecodeReport report;
+  report.event = EventType::kLeave;
+  report.subject = departed;
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+RecodeReport MinimStrategy::on_power_change(const net::AdhocNetwork& net,
+                                            net::CodeAssignment& assignment,
+                                            net::NodeId n, double old_range) {
+  RecodeReport report;
+  report.subject = n;
+  const double new_range = net.config(n).range;
+  if (new_range <= old_range) {
+    // RecodeDecreasePowOrLeave applies: shrinking the disc only removes
+    // edges, hence constraints; the assignment stays valid untouched.
+    report.event = EventType::kPowerDecrease;
+    finalize_report(net, assignment, report);
+    return report;
+  }
+
+  // RecodeOnPowIncrease: every constraint added by the new edges involves n
+  // (Fig 2 discussion), so only n can be in conflict.  The old assignment
+  // was valid, so checking all of n's current conflict partners is
+  // equivalent to checking just the new constraints.
+  report.event = EventType::kPowerIncrease;
+  const net::Color own = assignment.color(n);
+  const std::vector<net::Color> forbidden = net::forbidden_colors(net, assignment, n);
+  const bool clash = std::binary_search(forbidden.begin(), forbidden.end(), own);
+  if (clash) {
+    const net::Color fresh = net::lowest_free_color(forbidden);
+    assignment.set_color(n, fresh);
+    report.changes.push_back(Recode{n, own, fresh});
+  }
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+}  // namespace minim::core

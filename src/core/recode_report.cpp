@@ -1,0 +1,38 @@
+#include "core/recode_report.hpp"
+
+#include <sstream>
+
+namespace minim::core {
+
+std::string to_string(EventType type) {
+  switch (type) {
+    case EventType::kJoin: return "join";
+    case EventType::kLeave: return "leave";
+    case EventType::kMove: return "move";
+    case EventType::kPowerIncrease: return "power-increase";
+    case EventType::kPowerDecrease: return "power-decrease";
+  }
+  return "?";
+}
+
+std::string RecodeReport::to_string() const {
+  std::ostringstream os;
+  os << minim::core::to_string(event) << " at node " << subject << ": "
+     << changes.size() << " recodings, max color " << max_color_after;
+  if (!changes.empty()) {
+    os << " [";
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      if (i) os << ", ";
+      os << changes[i].node << ":" << changes[i].old_color << "->" << changes[i].new_color;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+void finalize_report(const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
+                     RecodeReport& report) {
+  report.max_color_after = assignment.max_color(net.nodes());
+}
+
+}  // namespace minim::core

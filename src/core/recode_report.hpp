@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file recode_report.hpp
+/// \brief What a recoding strategy did in response to one network event.
+///
+/// The paper's two performance metrics are (1) the maximum color index
+/// assigned in the network and (2) the number of nodes recoded — "recoded
+/// with a new color different from its old one".  A node that re-selects its
+/// old color therefore does NOT count (this is visible in the paper's Fig 4,
+/// where CP lets node 5 re-pick its old color and reports 4, not 5,
+/// recodings).  A joining node always counts: it goes from no code to a code.
+
+namespace minim::core {
+
+/// The paper's reconfiguration events.
+enum class EventType : std::uint8_t {
+  kJoin,
+  kLeave,
+  kMove,
+  kPowerIncrease,
+  kPowerDecrease,
+};
+
+std::string to_string(EventType type);
+
+/// One node's color change.
+struct Recode {
+  net::NodeId node = net::kInvalidNode;
+  net::Color old_color = net::kNoColor;  ///< kNoColor for a joining node
+  net::Color new_color = net::kNoColor;
+};
+
+/// Result of handling one event.
+struct RecodeReport {
+  EventType event = EventType::kJoin;
+  net::NodeId subject = net::kInvalidNode;  ///< the node the event happened to
+  std::vector<Recode> changes;              ///< actual color changes only
+  net::Color max_color_after = net::kNoColor;  ///< network-wide max color
+  std::size_t messages = 0;  ///< protocol messages (0 for the centralized harness)
+
+  /// The paper's "#recodings" metric for this event.
+  std::size_t recodings() const { return changes.size(); }
+
+  std::string to_string() const;
+};
+
+/// Fills `max_color_after` from the current assignment (network-wide max).
+void finalize_report(const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
+                     RecodeReport& report);
+
+}  // namespace minim::core

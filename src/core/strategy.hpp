@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/recode_report.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file strategy.hpp
+/// \brief Interface every recoding strategy implements.
+///
+/// Protocol contract: the *simulation engine* applies the physical event to
+/// the network first (node inserted / removed / moved / range changed); the
+/// strategy is then asked to repair the code assignment.  Handlers receive
+/// the post-event network plus whatever pre-event facts the algorithms need
+/// (CP's power-increase rule needs the old range to identify *new*
+/// constraints).  Strategies mutate only the assignment, never the network.
+
+namespace minim::core {
+
+class RecodingStrategy {
+ public:
+  virtual ~RecodingStrategy() = default;
+
+  /// Human-readable strategy name ("Minim", "CP", "BBB", ...).
+  virtual std::string name() const = 0;
+
+  /// Node `n` just joined (present in `net`, uncolored in `assignment`).
+  virtual RecodeReport on_join(const net::AdhocNetwork& net,
+                               net::CodeAssignment& assignment, net::NodeId n) = 0;
+
+  /// Node `departed` just left (already removed from `net`; its color has
+  /// been cleared by the engine).
+  virtual RecodeReport on_leave(const net::AdhocNetwork& net,
+                                net::CodeAssignment& assignment,
+                                net::NodeId departed) = 0;
+
+  /// Node `n` just moved (its new position is in `net`; it keeps its old
+  /// color until the strategy decides otherwise).
+  virtual RecodeReport on_move(const net::AdhocNetwork& net,
+                               net::CodeAssignment& assignment, net::NodeId n) = 0;
+
+  /// Node `n` changed its transmission range from `old_range` to the value
+  /// now in `net` (larger or smaller).
+  virtual RecodeReport on_power_change(const net::AdhocNetwork& net,
+                                       net::CodeAssignment& assignment, net::NodeId n,
+                                       double old_range) = 0;
+};
+
+using StrategyPtr = std::unique_ptr<RecodingStrategy>;
+
+}  // namespace minim::core

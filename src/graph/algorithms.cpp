@@ -1,0 +1,168 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace minim::graph {
+
+namespace {
+
+/// Visits undirected neighbors (out ∪ in) of `v`.
+template <typename Fn>
+void for_each_undirected_neighbor(const Digraph& g, NodeId v, Fn&& fn) {
+  const auto& outs = g.out_neighbors(v);
+  const auto& ins = g.in_neighbors(v);
+  // Merge two sorted lists, deduplicating.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < outs.size() || j < ins.size()) {
+    NodeId next;
+    if (j >= ins.size() || (i < outs.size() && outs[i] <= ins[j])) {
+      next = outs[i];
+      if (j < ins.size() && ins[j] == next) ++j;
+      ++i;
+    } else {
+      next = ins[j];
+      ++j;
+    }
+    fn(next);
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> k_hop_ball(const Digraph& g, NodeId start, std::size_t k) {
+  MINIM_REQUIRE(g.contains(start), "k_hop_ball: unknown start");
+  std::vector<std::size_t> dist(g.id_bound(), std::numeric_limits<std::size_t>::max());
+  dist[start] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  std::vector<NodeId> ball;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (dist[v] == k) continue;
+    for_each_undirected_neighbor(g, v, [&](NodeId w) {
+      if (dist[w] != std::numeric_limits<std::size_t>::max()) return;
+      dist[w] = dist[v] + 1;
+      ball.push_back(w);
+      frontier.push(w);
+    });
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+std::size_t hop_distance(const Digraph& g, NodeId a, NodeId b) {
+  MINIM_REQUIRE(g.contains(a) && g.contains(b), "hop_distance: unknown node");
+  if (a == b) return 0;
+  std::vector<std::size_t> dist(g.id_bound(), std::numeric_limits<std::size_t>::max());
+  dist[a] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    std::size_t found = std::numeric_limits<std::size_t>::max();
+    for_each_undirected_neighbor(g, v, [&](NodeId w) {
+      if (dist[w] != std::numeric_limits<std::size_t>::max()) return;
+      dist[w] = dist[v] + 1;
+      if (w == b) found = dist[w];
+      frontier.push(w);
+    });
+    if (found != std::numeric_limits<std::size_t>::max()) return found;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+std::size_t connected_components(const Digraph& g, std::vector<std::size_t>& component) {
+  component.assign(g.id_bound(), std::numeric_limits<std::size_t>::max());
+  std::size_t count = 0;
+  for (NodeId root : g.nodes()) {
+    if (component[root] != std::numeric_limits<std::size_t>::max()) continue;
+    const std::size_t id = count++;
+    std::queue<NodeId> frontier;
+    component[root] = id;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for_each_undirected_neighbor(g, v, [&](NodeId w) {
+        if (component[w] != std::numeric_limits<std::size_t>::max()) return;
+        component[w] = id;
+        frontier.push(w);
+      });
+    }
+  }
+  return count;
+}
+
+std::size_t max_degree(const Digraph& g) {
+  std::size_t k = 0;
+  for (NodeId v : g.nodes())
+    k = std::max({k, g.out_degree(v), g.in_degree(v)});
+  return k;
+}
+
+std::vector<std::vector<NodeId>> undirected_adjacency(const Digraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.id_bound());
+  for (NodeId v : g.nodes()) {
+    auto& row = adj[v];
+    for_each_undirected_neighbor(g, v, [&row](NodeId w) { row.push_back(w); });
+  }
+  return adj;
+}
+
+std::vector<NodeId> smallest_last_order(const std::vector<std::vector<NodeId>>& adj,
+                                        const std::vector<NodeId>& vertices) {
+  // Bucketed smallest-last elimination: repeatedly remove a vertex of
+  // minimum remaining degree; coloring order is the reverse removal order.
+  std::size_t bound = 0;
+  for (NodeId v : vertices) bound = std::max<std::size_t>(bound, v + 1);
+
+  std::vector<char> in_set(bound, 0);
+  for (NodeId v : vertices) in_set[v] = 1;
+
+  std::vector<std::size_t> degree(bound, 0);
+  std::size_t max_deg = 0;
+  for (NodeId v : vertices) {
+    std::size_t d = 0;
+    for (NodeId w : adj[v])
+      if (w < bound && in_set[w]) ++d;
+    degree[v] = d;
+    max_deg = std::max(max_deg, d);
+  }
+
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v : vertices) buckets[degree[v]].push_back(v);
+
+  std::vector<char> removed(bound, 0);
+  std::vector<NodeId> elimination;
+  elimination.reserve(vertices.size());
+  std::size_t cursor = 0;
+  while (elimination.size() < vertices.size()) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    // Entries may be stale (degree since decreased); skip them.
+    NodeId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || degree[v] != cursor) {
+      if (!removed[v] && degree[v] < cursor) buckets[degree[v]].push_back(v);
+      if (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+      continue;
+    }
+    removed[v] = 1;
+    elimination.push_back(v);
+    for (NodeId w : adj[v]) {
+      if (w >= bound || !in_set[w] || removed[w]) continue;
+      buckets[--degree[w]].push_back(w);
+    }
+    if (cursor > 0) --cursor;
+  }
+  std::reverse(elimination.begin(), elimination.end());
+  return elimination;
+}
+
+}  // namespace minim::graph

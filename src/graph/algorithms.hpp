@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+/// \file algorithms.hpp
+/// \brief Graph traversals and orderings used by the recoding strategies.
+///
+/// The protocols reason about *hop* neighborhoods on the communication graph,
+/// i.e. the undirected view of the digraph (u and v are 1 hop apart if either
+/// u->v or v->u).  CP's vicinity is the 2-hop ball; Theorem 4.1.10 talks
+/// about joins >= 5 hops apart; BBB-style coloring heuristics need
+/// degeneracy (smallest-last) orderings.
+
+namespace minim::graph {
+
+/// Nodes at undirected hop distance in [1, k] from `start` (excludes start).
+/// Returned ascending by id.
+std::vector<NodeId> k_hop_ball(const Digraph& g, NodeId start, std::size_t k);
+
+/// Undirected hop distance from `a` to `b`; SIZE_MAX when unreachable.
+std::size_t hop_distance(const Digraph& g, NodeId a, NodeId b);
+
+/// Connected components of the undirected view; `component[v]` is a dense
+/// component index, kInvalidNode-slots of dead ids hold `SIZE_MAX`.
+/// Returns the number of components.
+std::size_t connected_components(const Digraph& g, std::vector<std::size_t>& component);
+
+/// Maximum of in-degree and out-degree over all nodes (the paper's `k`).
+std::size_t max_degree(const Digraph& g);
+
+/// Undirected adjacency built once for coloring; `adj[v]` ascending, only
+/// live nodes populated.
+std::vector<std::vector<NodeId>> undirected_adjacency(const Digraph& g);
+
+/// Smallest-last (degeneracy) ordering of an undirected adjacency structure
+/// over the given `vertices`.  Returns vertices in the order they should be
+/// *colored* (reverse of elimination), which is the classic degeneracy-greedy
+/// coloring order.  `adj` is indexed by node id; ids absent from `vertices`
+/// are ignored.
+std::vector<NodeId> smallest_last_order(const std::vector<std::vector<NodeId>>& adj,
+                                        const std::vector<NodeId>& vertices);
+
+}  // namespace minim::graph

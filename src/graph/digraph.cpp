@@ -1,0 +1,111 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/require.hpp"
+
+namespace minim::graph {
+
+bool Digraph::sorted_contains(const std::vector<NodeId>& xs, NodeId v) {
+  return std::binary_search(xs.begin(), xs.end(), v);
+}
+
+bool Digraph::sorted_insert(std::vector<NodeId>& xs, NodeId v) {
+  const auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  if (it != xs.end() && *it == v) return false;
+  xs.insert(it, v);
+  return true;
+}
+
+bool Digraph::sorted_erase(std::vector<NodeId>& xs, NodeId v) {
+  const auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  if (it == xs.end() || *it != v) return false;
+  xs.erase(it);
+  return true;
+}
+
+NodeId Digraph::add_node() {
+  NodeId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    alive_[id] = true;
+    out_[id].clear();
+    in_[id].clear();
+  } else {
+    id = static_cast<NodeId>(alive_.size());
+    alive_.push_back(true);
+    out_.emplace_back();
+    in_.emplace_back();
+  }
+  ++live_count_;
+  return id;
+}
+
+void Digraph::remove_node(NodeId v) {
+  MINIM_REQUIRE(contains(v), "remove_node: unknown node");
+  clear_edges_of(v);
+  alive_[v] = false;
+  --live_count_;
+  // Keep free list sorted descending so the lowest id is reused first.
+  const auto it = std::lower_bound(free_slots_.begin(), free_slots_.end(), v,
+                                   std::greater<NodeId>());
+  free_slots_.insert(it, v);
+}
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+  MINIM_REQUIRE(contains(u) && contains(v), "add_edge: unknown endpoint");
+  MINIM_REQUIRE(u != v, "add_edge: self-loops are not allowed");
+  if (sorted_insert(out_[u], v)) {
+    sorted_insert(in_[v], u);
+    ++edge_count_;
+  }
+}
+
+void Digraph::remove_edge(NodeId u, NodeId v) {
+  if (!contains(u) || !contains(v)) return;
+  if (sorted_erase(out_[u], v)) {
+    sorted_erase(in_[v], u);
+    --edge_count_;
+  }
+}
+
+void Digraph::clear_edges_of(NodeId v) {
+  MINIM_REQUIRE(contains(v), "clear_edges_of: unknown node");
+  for (NodeId w : out_[v]) {
+    sorted_erase(in_[w], v);
+    --edge_count_;
+  }
+  out_[v].clear();
+  for (NodeId w : in_[v]) {
+    sorted_erase(out_[w], v);
+    --edge_count_;
+  }
+  in_[v].clear();
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  if (!contains(u) || !contains(v)) return false;
+  return sorted_contains(out_[u], v);
+}
+
+const std::vector<NodeId>& Digraph::out_neighbors(NodeId u) const {
+  MINIM_REQUIRE(contains(u), "out_neighbors: unknown node");
+  return out_[u];
+}
+
+const std::vector<NodeId>& Digraph::in_neighbors(NodeId u) const {
+  MINIM_REQUIRE(contains(u), "in_neighbors: unknown node");
+  return in_[u];
+}
+
+std::vector<NodeId> Digraph::nodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(live_count_);
+  for (NodeId v = 0; v < alive_.size(); ++v)
+    if (alive_[v]) ids.push_back(v);
+  return ids;
+}
+
+}  // namespace minim::graph

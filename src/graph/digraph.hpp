@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file digraph.hpp
+/// \brief Dynamic directed graph with stable node identifiers.
+///
+/// The ad-hoc network model of the paper is a dynamic digraph G = (V, E):
+/// nodes join and leave, and edges appear/disappear as nodes move or change
+/// transmission range.  This container supports those mutations in O(degree)
+/// while keeping node ids stable (slot reuse via a free list), because node
+/// identity matters to the protocols (CP orders recoloring by identity).
+///
+/// Adjacency is kept as sorted vectors: neighbor sets are small (the paper
+/// argues expected-constant degree in planar deployments), so sorted vectors
+/// beat hash sets on both memory and iteration, and give deterministic
+/// iteration order — important for reproducible simulations.
+
+namespace minim::graph {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a node and returns its id.  Ids of removed nodes are reused
+  /// (lowest free slot first) so long simulations do not grow unboundedly.
+  NodeId add_node();
+
+  /// Removes `v` and all incident edges.  Requires `contains(v)`.
+  void remove_node(NodeId v);
+
+  /// True when `v` is a live node.
+  bool contains(NodeId v) const {
+    return v < alive_.size() && alive_[v];
+  }
+
+  /// Adds edge u -> v.  No-op if already present.  Requires both live, u != v.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Removes edge u -> v if present.
+  void remove_edge(NodeId u, NodeId v);
+
+  /// Drops every edge incident to `v` (both directions) without removing it.
+  void clear_edges_of(NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Successors of `u` (nodes that hear `u`), ascending by id.
+  const std::vector<NodeId>& out_neighbors(NodeId u) const;
+
+  /// Predecessors of `u` (nodes that `u` hears), ascending by id.
+  const std::vector<NodeId>& in_neighbors(NodeId u) const;
+
+  std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
+  std::size_t in_degree(NodeId u) const { return in_neighbors(u).size(); }
+
+  /// Number of live nodes.
+  std::size_t node_count() const { return live_count_; }
+
+  /// Number of directed edges.
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// All live node ids, ascending.  O(slots).
+  std::vector<NodeId> nodes() const;
+
+  /// Upper bound (exclusive) on node ids ever issued; useful for dense
+  /// id-indexed side arrays.
+  NodeId id_bound() const { return static_cast<NodeId>(alive_.size()); }
+
+ private:
+  static bool sorted_contains(const std::vector<NodeId>& xs, NodeId v);
+  static bool sorted_insert(std::vector<NodeId>& xs, NodeId v);
+  static bool sorted_erase(std::vector<NodeId>& xs, NodeId v);
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<bool> alive_;
+  std::vector<NodeId> free_slots_;  // kept sorted descending; pop lowest last
+  std::size_t live_count_ = 0;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace minim::graph

@@ -1,0 +1,72 @@
+#include "graph/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace minim::graph {
+
+SpatialGrid::SpatialGrid(double width, double height, double cell_size)
+    : width_(width), height_(height), cell_(cell_size) {
+  MINIM_REQUIRE(width > 0 && height > 0, "grid dimensions must be positive");
+  MINIM_REQUIRE(cell_size > 0, "grid cell size must be positive");
+  cols_ = static_cast<std::size_t>(std::ceil(width / cell_size));
+  rows_ = static_cast<std::size_t>(std::ceil(height / cell_size));
+  cols_ = std::max<std::size_t>(cols_, 1);
+  rows_ = std::max<std::size_t>(rows_, 1);
+  cells_.resize(cols_ * rows_);
+}
+
+std::size_t SpatialGrid::cell_index(util::Vec2 pos) const {
+  const util::Vec2 p = util::clamp_to_box(pos, width_, height_);
+  auto cx = static_cast<std::size_t>(p.x / cell_);
+  auto cy = static_cast<std::size_t>(p.y / cell_);
+  cx = std::min(cx, cols_ - 1);
+  cy = std::min(cy, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+void SpatialGrid::insert(NodeId id, util::Vec2 pos) {
+  auto& cell = cells_[cell_index(pos)];
+  cell.push_back(id);
+  ++size_;
+}
+
+void SpatialGrid::remove(NodeId id, util::Vec2 pos) {
+  auto& cell = cells_[cell_index(pos)];
+  const auto it = std::find(cell.begin(), cell.end(), id);
+  MINIM_REQUIRE(it != cell.end(), "grid remove: id not in expected cell");
+  cell.erase(it);
+  --size_;
+}
+
+void SpatialGrid::move(NodeId id, util::Vec2 old_pos, util::Vec2 new_pos) {
+  const std::size_t from = cell_index(old_pos);
+  const std::size_t to = cell_index(new_pos);
+  if (from == to) return;
+  auto& src = cells_[from];
+  const auto it = std::find(src.begin(), src.end(), id);
+  MINIM_REQUIRE(it != src.end(), "grid move: id not in expected cell");
+  src.erase(it);
+  cells_[to].push_back(id);
+}
+
+void SpatialGrid::query_disc(util::Vec2 center, double radius,
+                             std::vector<NodeId>& out) const {
+  const util::Vec2 lo = util::clamp_to_box({center.x - radius, center.y - radius},
+                                           width_, height_);
+  const util::Vec2 hi = util::clamp_to_box({center.x + radius, center.y + radius},
+                                           width_, height_);
+  auto cx0 = static_cast<std::size_t>(lo.x / cell_);
+  auto cy0 = static_cast<std::size_t>(lo.y / cell_);
+  auto cx1 = std::min(static_cast<std::size_t>(hi.x / cell_), cols_ - 1);
+  auto cy1 = std::min(static_cast<std::size_t>(hi.y / cell_), rows_ - 1);
+  for (std::size_t cy = cy0; cy <= cy1; ++cy)
+    for (std::size_t cx = cx0; cx <= cx1; ++cx) {
+      const auto& cell = cells_[cy * cols_ + cx];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+}
+
+}  // namespace minim::graph

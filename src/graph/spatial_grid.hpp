@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/geometry.hpp"
+
+/// \file spatial_grid.hpp
+/// \brief Uniform hash grid for radius queries over node positions.
+///
+/// The network model must answer "which nodes lie within distance r of p?"
+/// on every join/move/power event.  A uniform grid over the deployment field
+/// answers that in O(candidates) instead of O(n).  For the paper's field
+/// (100x100 units, ranges ~20-30) a cell size near the typical range keeps
+/// the candidate sets tight.  The grid stores ids only; exact squared
+/// distance filtering happens in the caller against authoritative positions.
+
+namespace minim::graph {
+
+class SpatialGrid {
+ public:
+  /// Grid over [0,width] x [0,height] with square cells of `cell_size`.
+  /// Points outside the box are clamped into the boundary cells, so the grid
+  /// stays correct even if a caller moves a node slightly out of the field.
+  SpatialGrid(double width, double height, double cell_size);
+
+  /// Inserts `id` at `pos`.  Requires: not currently present.
+  void insert(NodeId id, util::Vec2 pos);
+
+  /// Removes `id` (requires present at `pos` as last told to the grid).
+  void remove(NodeId id, util::Vec2 pos);
+
+  /// Moves `id` from `old_pos` to `new_pos`.
+  void move(NodeId id, util::Vec2 old_pos, util::Vec2 new_pos);
+
+  /// Appends to `out` all ids whose cell intersects the disc (center,
+  /// radius).  Callers must distance-filter; the result is a superset.
+  void query_disc(util::Vec2 center, double radius, std::vector<NodeId>& out) const;
+
+  std::size_t size() const { return size_; }
+  double cell_size() const { return cell_; }
+
+ private:
+  std::size_t cell_index(util::Vec2 pos) const;
+
+  double width_;
+  double height_;
+  double cell_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<std::vector<NodeId>> cells_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace minim::graph

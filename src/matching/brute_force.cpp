@@ -1,0 +1,60 @@
+#include "matching/brute_force.hpp"
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace minim::matching {
+
+namespace {
+
+struct Search {
+  const BipartiteGraph& g;
+  std::vector<std::uint32_t> current;
+  std::vector<char> right_used;
+  Weight current_weight = 0;
+  MatchingResult best;
+
+  explicit Search(const BipartiteGraph& graph)
+      : g(graph),
+        current(graph.left_size(), MatchingResult::kUnmatched),
+        right_used(graph.right_size(), 0) {
+    best.left_to_right = current;
+    best.total_weight = 0;
+  }
+
+  void run(std::uint32_t l) {
+    if (l == g.left_size()) {
+      if (current_weight > best.total_weight) {
+        best.total_weight = current_weight;
+        best.left_to_right = current;
+      }
+      return;
+    }
+    // Option 1: leave l unmatched.
+    run(l + 1);
+    // Option 2: match l along each free incident edge.
+    for (std::uint32_t e : g.edges_of_left(l)) {
+      const auto& edge = g.edges()[e];
+      if (right_used[edge.right]) continue;
+      right_used[edge.right] = 1;
+      current[l] = edge.right;
+      current_weight += edge.weight;
+      run(l + 1);
+      current_weight -= edge.weight;
+      current[l] = MatchingResult::kUnmatched;
+      right_used[edge.right] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+MatchingResult brute_force_max_weight_matching(const BipartiteGraph& g) {
+  MINIM_REQUIRE(g.left_size() <= 12, "brute force matcher limited to 12 left vertices");
+  Search search(g);
+  search.run(0);
+  return search.best;
+}
+
+}  // namespace minim::matching

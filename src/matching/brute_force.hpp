@@ -1,0 +1,19 @@
+#pragma once
+
+#include "matching/bipartite_graph.hpp"
+
+/// \file brute_force.hpp
+/// \brief Exhaustive maximum-weight matching — the test oracle.
+///
+/// Enumerates every matching by branching per left vertex (leave unmatched,
+/// or take any free incident edge).  Exponential; callers keep |V1| small.
+/// Property tests compare `max_weight_matching` against this on thousands of
+/// random small graphs.
+
+namespace minim::matching {
+
+/// Exact max-weight matching by exhaustive search.  Requires
+/// `g.left_size() <= 12` to bound the search.
+MatchingResult brute_force_max_weight_matching(const BipartiteGraph& g);
+
+}  // namespace minim::matching

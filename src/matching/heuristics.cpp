@@ -1,0 +1,27 @@
+#include "matching/heuristics.hpp"
+
+#include <algorithm>
+
+namespace minim::matching {
+
+MatchingResult greedy_matching(const BipartiteGraph& g) {
+  std::vector<BipartiteEdge> edges(g.edges());
+  std::sort(edges.begin(), edges.end(), [](const BipartiteEdge& a, const BipartiteEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  MatchingResult result;
+  result.left_to_right.assign(g.left_size(), MatchingResult::kUnmatched);
+  std::vector<char> right_used(g.right_size(), 0);
+  for (const auto& e : edges) {
+    if (result.left_to_right[e.left] != MatchingResult::kUnmatched) continue;
+    if (right_used[e.right]) continue;
+    result.left_to_right[e.left] = e.right;
+    right_used[e.right] = 1;
+    result.total_weight += e.weight;
+  }
+  return result;
+}
+
+}  // namespace minim::matching

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "matching/bipartite_graph.hpp"
+
+/// \file heuristics.hpp
+/// \brief Inexact matchers used as ablation baselines.
+///
+/// The ablation bench compares exact max-weight matching against a greedy
+/// heuristic to quantify how much of Minim's quality actually depends on the
+/// exact matching step the paper treats as a black box.
+
+namespace minim::matching {
+
+/// Greedy matcher: scans edges by descending weight (ties by left id, then
+/// right id — deterministic) and takes every edge whose endpoints are free.
+/// 1/2-approximation of max weight; not minimal in general.
+MatchingResult greedy_matching(const BipartiteGraph& g);
+
+}  // namespace minim::matching

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "matching/bipartite_graph.hpp"
+
+/// \file hopcroft_karp.hpp
+/// \brief Maximum-cardinality bipartite matching in O(E sqrt(V)).
+///
+/// Used by the weight-ablation bench ("does maximizing cardinality instead of
+/// weight still give minimal recoding?" — it does not) and as an independent
+/// cross-check that the Hungarian solver reaches maximum cardinality whenever
+/// weights are uniform.
+
+namespace minim::matching {
+
+/// Returns a maximum-cardinality matching (weights ignored for selection;
+/// `total_weight` reports the sum of weights of the chosen edges).
+MatchingResult max_cardinality_matching(const BipartiteGraph& g);
+
+}  // namespace minim::matching

@@ -1,0 +1,94 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace minim::matching {
+
+MatchingResult max_weight_matching(const BipartiteGraph& g) {
+  const std::size_t n = g.left_size();   // rows
+  MatchingResult result;
+  result.left_to_right.assign(n, MatchingResult::kUnmatched);
+  if (n == 0) return result;
+
+  // Pad columns so a row-perfect assignment always exists: columns
+  // [0, R) are real right vertices, [R, R+n) are per-row dummy slots.
+  const std::size_t r_real = g.right_size();
+  const std::size_t m = r_real + n;
+
+  // Costs: minimize (w_max - w). Non-edges and dummy slots cost w_max
+  // (equivalent to weight 0), so they are used only when unavoidable.
+  Weight w_max = 0;
+  for (const auto& e : g.edges()) w_max = std::max(w_max, e.weight);
+  if (w_max == 0) return result;  // no edges at all
+
+  // Dense cost lookup, row-major. Sizes here are small (|V1| ~ degree bound,
+  // |V2| ~ max color), so dense is both faster and simpler than sparse.
+  std::vector<Weight> cost(n * m, w_max);
+  for (const auto& e : g.edges())
+    cost[static_cast<std::size_t>(e.left) * m + e.right] = w_max - e.weight;
+
+  constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+
+  // e-maxx formulation with 1-based potentials; p[j] = row matched to col j.
+  std::vector<Weight> u(n + 1, 0);
+  std::vector<Weight> v(m + 1, 0);
+  std::vector<std::size_t> p(m + 1, 0);    // 0 = free column
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<Weight> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      Weight delta = kInf;
+      std::size_t j1 = 0;
+      const Weight* row = cost.data() + (i0 - 1) * m;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const Weight cur = row[j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] == 0) continue;
+    const std::size_t i = p[j] - 1;
+    if (j > r_real) continue;                          // dummy slot: unmatched
+    const Weight w = g.weight(static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j - 1));
+    if (w <= 0) continue;                              // zero-cost non-edge
+    result.left_to_right[i] = static_cast<std::uint32_t>(j - 1);
+    result.total_weight += w;
+  }
+  return result;
+}
+
+}  // namespace minim::matching

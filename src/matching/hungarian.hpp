@@ -1,0 +1,27 @@
+#pragma once
+
+#include "matching/bipartite_graph.hpp"
+
+/// \file hungarian.hpp
+/// \brief Exact maximum-weight bipartite matching (Kuhn–Munkres).
+///
+/// This is the paper's black box [14]: RecodeOnJoin/RecodeOnMove require a
+/// *maximum-weight* matching on G' — not merely maximum-cardinality — because
+/// the weight-3 old-color edges are what make the recoding minimal
+/// (Theorem 4.1.8) and the weight-1 edges what make it optimal among minimal
+/// strategies (Theorem 4.1.9).
+///
+/// Implementation: shortest-augmenting-path Hungarian algorithm with dual
+/// potentials on the rectangular cost matrix, O(L² · R) for L left and R
+/// right vertices.  Maximum-weight (possibly non-perfect) matching is reduced
+/// to minimum-cost row-perfect assignment by padding with zero-weight slots:
+/// a row assigned at weight 0 is reported unmatched.  All arithmetic is
+/// integral, so results are exact.
+
+namespace minim::matching {
+
+/// Returns a maximum-weight matching of `g`.  Left vertices may stay
+/// unmatched (exactly when every feasible color is taken by a heavier use).
+MatchingResult max_weight_matching(const BipartiteGraph& g);
+
+}  // namespace minim::matching

@@ -1,0 +1,35 @@
+#include "net/assignment.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace minim::net {
+
+void CodeAssignment::set_color(graph::NodeId v, Color c) {
+  MINIM_REQUIRE(c != kNoColor, "set_color: colors are positive integers");
+  if (v >= colors_.size()) colors_.resize(v + 1, kNoColor);
+  colors_[v] = c;
+}
+
+void CodeAssignment::clear(graph::NodeId v) {
+  if (v < colors_.size()) colors_[v] = kNoColor;
+}
+
+Color CodeAssignment::max_color(const std::vector<graph::NodeId>& nodes) const {
+  Color best = kNoColor;
+  for (graph::NodeId v : nodes) best = std::max(best, color(v));
+  return best;
+}
+
+std::size_t CodeAssignment::distinct_colors(const std::vector<graph::NodeId>& nodes) const {
+  std::vector<Color> used;
+  used.reserve(nodes.size());
+  for (graph::NodeId v : nodes)
+    if (has_color(v)) used.push_back(color(v));
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used.size();
+}
+
+}  // namespace minim::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+/// \file assignment.hpp
+/// \brief The TOCA code assignment: one positive-integer code per node.
+///
+/// Codes and colors are the same thing throughout the paper; we follow its
+/// convention that codes are positive integers, reserving 0 for "uncolored"
+/// (a node that just joined and has not completed RecodeOnJoin yet).
+
+namespace minim::net {
+
+using Color = std::uint32_t;
+
+/// "No code assigned" sentinel.
+inline constexpr Color kNoColor = 0;
+
+/// Dense node-id-indexed color map.
+class CodeAssignment {
+ public:
+  /// Color of `v`; kNoColor when never assigned.
+  Color color(graph::NodeId v) const {
+    return v < colors_.size() ? colors_[v] : kNoColor;
+  }
+
+  bool has_color(graph::NodeId v) const { return color(v) != kNoColor; }
+
+  /// Assigns `c` (must be a real color) to `v`.
+  void set_color(graph::NodeId v, Color c);
+
+  /// Clears v's color (used when a node leaves).
+  void clear(graph::NodeId v);
+
+  /// Maximum color over `nodes`; kNoColor when none are colored.
+  Color max_color(const std::vector<graph::NodeId>& nodes) const;
+
+  /// Number of distinct colors used over `nodes`.
+  std::size_t distinct_colors(const std::vector<graph::NodeId>& nodes) const;
+
+ private:
+  std::vector<Color> colors_;
+};
+
+}  // namespace minim::net

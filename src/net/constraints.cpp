@@ -1,0 +1,119 @@
+#include "net/constraints.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace minim::net {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "nodes " << a << " and " << b << " share color " << color << " ("
+     << (kind == ConflictKind::kPrimary ? "CA1 primary" : "CA2 hidden") << ")";
+  return os.str();
+}
+
+bool in_conflict(const AdhocNetwork& net, NodeId u, NodeId v) {
+  const auto& g = net.graph();
+  if (g.has_edge(u, v) || g.has_edge(v, u)) return true;
+  // Common out-neighbor: intersect the two sorted out-lists.
+  const auto& a = g.out_neighbors(u);
+  const auto& b = g.out_neighbors(v);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) ++i;
+    else ++j;
+  }
+  return false;
+}
+
+std::vector<NodeId> conflict_partners(const AdhocNetwork& net, NodeId u) {
+  const auto& g = net.graph();
+  std::vector<NodeId> partners;
+  const auto& outs = g.out_neighbors(u);
+  const auto& ins = g.in_neighbors(u);
+  partners.insert(partners.end(), outs.begin(), outs.end());
+  partners.insert(partners.end(), ins.begin(), ins.end());
+  for (NodeId k : outs) {
+    const auto& co_senders = g.in_neighbors(k);
+    partners.insert(partners.end(), co_senders.begin(), co_senders.end());
+  }
+  std::sort(partners.begin(), partners.end());
+  partners.erase(std::unique(partners.begin(), partners.end()), partners.end());
+  const auto self = std::lower_bound(partners.begin(), partners.end(), u);
+  if (self != partners.end() && *self == u) partners.erase(self);
+  return partners;
+}
+
+std::vector<Violation> find_violations(const AdhocNetwork& net,
+                                       const CodeAssignment& assignment) {
+  const auto& g = net.graph();
+  std::vector<Violation> out;
+  // Collect violating unordered pairs; CA1 scanned first so that a pair that
+  // violates both constraints is reported as primary.
+  std::vector<std::pair<NodeId, NodeId>> seen;
+  auto already = [&seen](NodeId a, NodeId b) {
+    return std::find(seen.begin(), seen.end(), std::make_pair(a, b)) != seen.end();
+  };
+  auto report = [&](NodeId x, NodeId y, ConflictKind kind) {
+    const NodeId a = std::min(x, y);
+    const NodeId b = std::max(x, y);
+    if (already(a, b)) return;
+    seen.emplace_back(a, b);
+    out.push_back(Violation{a, b, kind, assignment.color(a)});
+  };
+
+  for (NodeId u : g.nodes()) {
+    const Color cu = assignment.color(u);
+    if (cu == kNoColor) continue;
+    for (NodeId v : g.out_neighbors(u))
+      if (assignment.color(v) == cu) report(u, v, ConflictKind::kPrimary);
+  }
+  for (NodeId k : g.nodes()) {
+    const auto& senders = g.in_neighbors(k);
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const Color ci = assignment.color(senders[i]);
+      if (ci == kNoColor) continue;
+      for (std::size_t j = i + 1; j < senders.size(); ++j)
+        if (assignment.color(senders[j]) == ci)
+          report(senders[i], senders[j], ConflictKind::kHidden);
+    }
+  }
+  return out;
+}
+
+bool all_colored(const AdhocNetwork& net, const CodeAssignment& assignment) {
+  for (NodeId v : net.nodes())
+    if (!assignment.has_color(v)) return false;
+  return true;
+}
+
+bool is_valid(const AdhocNetwork& net, const CodeAssignment& assignment) {
+  return all_colored(net, assignment) && find_violations(net, assignment).empty();
+}
+
+std::vector<Color> forbidden_colors(const AdhocNetwork& net,
+                                    const CodeAssignment& assignment, NodeId u,
+                                    const std::function<bool(NodeId)>& ignore) {
+  std::vector<Color> forbidden;
+  for (NodeId v : conflict_partners(net, u)) {
+    if (ignore && ignore(v)) continue;
+    const Color c = assignment.color(v);
+    if (c != kNoColor) forbidden.push_back(c);
+  }
+  std::sort(forbidden.begin(), forbidden.end());
+  forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+  return forbidden;
+}
+
+Color lowest_free_color(const std::vector<Color>& forbidden) {
+  Color candidate = 1;
+  for (Color c : forbidden) {
+    if (c > candidate) break;      // gap found below c
+    if (c == candidate) ++candidate;
+  }
+  return candidate;
+}
+
+}  // namespace minim::net

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file constraints.hpp
+/// \brief The TOCA coloring constraints CA1/CA2 and their validator.
+///
+/// CA1 (primary collision avoidance): for every edge (u, v): c_u != c_v.
+/// CA2 (hidden collision avoidance): for every pair of edges (u, k), (v, k)
+/// with u != v: c_u != c_v.
+///
+/// Two nodes are *in conflict* when some constraint forbids them the same
+/// color: u->v, v->u, or a common out-neighbor.  Every strategy, the
+/// validator and the bipartite builder all share these definitions, so a bug
+/// here would be caught by the O(n^3) brute-force cross-check in tests.
+
+namespace minim::net {
+
+/// Why a pair of nodes must differ in color.
+enum class ConflictKind : std::uint8_t {
+  kPrimary,  ///< CA1: a direct edge between the two nodes
+  kHidden,   ///< CA2: a common out-neighbor (hidden terminal)
+};
+
+/// One violated constraint in an assignment.
+struct Violation {
+  NodeId a = kInvalidNode;   ///< lower id of the pair
+  NodeId b = kInvalidNode;   ///< higher id of the pair
+  ConflictKind kind = ConflictKind::kPrimary;
+  Color color = kNoColor;    ///< the shared color
+
+  std::string to_string() const;
+};
+
+/// True iff u and v may not share a color (u != v assumed).
+bool in_conflict(const AdhocNetwork& net, NodeId u, NodeId v);
+
+/// All nodes that conflict with `u`, ascending, excluding `u`.
+std::vector<NodeId> conflict_partners(const AdhocNetwork& net, NodeId u);
+
+/// All violated constraints (same color on a conflicting pair).  Each
+/// unordered pair is reported once; CA1 takes precedence over CA2 as the
+/// reported kind.  Uncolored nodes never conflict.
+std::vector<Violation> find_violations(const AdhocNetwork& net,
+                                       const CodeAssignment& assignment);
+
+/// True iff every live node is colored.
+bool all_colored(const AdhocNetwork& net, const CodeAssignment& assignment);
+
+/// True iff all nodes are colored and no constraint is violated — the
+/// paper's "correct code assignment".
+bool is_valid(const AdhocNetwork& net, const CodeAssignment& assignment);
+
+/// The colors `u` may not take, i.e. colors of its conflict partners —
+/// except partners for which `ignore` returns true (the recoding set, whose
+/// members will be recolored anyway).  Returned sorted and deduplicated.
+std::vector<Color> forbidden_colors(
+    const AdhocNetwork& net, const CodeAssignment& assignment, NodeId u,
+    const std::function<bool(NodeId)>& ignore = nullptr);
+
+/// Smallest positive color not present in `forbidden` (which must be sorted
+/// ascending and deduplicated).
+Color lowest_free_color(const std::vector<Color>& forbidden);
+
+}  // namespace minim::net

@@ -1,0 +1,132 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace minim::net {
+
+AdhocNetwork::AdhocNetwork(double width, double height, double grid_cell,
+                           std::shared_ptr<const PropagationModel> propagation)
+    : width_(width),
+      height_(height),
+      propagation_(propagation ? std::move(propagation) : free_space_propagation()),
+      grid_(width, height, grid_cell) {}
+
+const NodeConfig& AdhocNetwork::config(NodeId v) const {
+  MINIM_REQUIRE(contains(v), "config: unknown node");
+  return configs_[v];
+}
+
+double AdhocNetwork::max_range() const {
+  return ranges_sorted_.empty() ? 0.0 : ranges_sorted_.back();
+}
+
+NodeId AdhocNetwork::add_node(const NodeConfig& config) {
+  MINIM_REQUIRE(config.range >= 0.0, "node range must be non-negative");
+  const NodeId id = graph_.add_node();
+  if (id >= configs_.size()) configs_.resize(id + 1);
+  configs_[id] = config;
+  configs_[id].position = util::clamp_to_box(config.position, width_, height_);
+  grid_.insert(id, configs_[id].position);
+  ranges_sorted_.insert(
+      std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(), config.range),
+      config.range);
+  refresh_out_edges(id);
+  refresh_in_edges(id);
+  return id;
+}
+
+void AdhocNetwork::remove_node(NodeId v) {
+  MINIM_REQUIRE(contains(v), "remove_node: unknown node");
+  grid_.remove(v, configs_[v].position);
+  const auto it = std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(),
+                                   configs_[v].range);
+  ranges_sorted_.erase(it);
+  graph_.remove_node(v);
+}
+
+void AdhocNetwork::set_position(NodeId v, util::Vec2 position) {
+  MINIM_REQUIRE(contains(v), "set_position: unknown node");
+  const util::Vec2 clamped = util::clamp_to_box(position, width_, height_);
+  grid_.move(v, configs_[v].position, clamped);
+  configs_[v].position = clamped;
+  refresh_out_edges(v);
+  refresh_in_edges(v);
+}
+
+void AdhocNetwork::set_range(NodeId v, double range) {
+  MINIM_REQUIRE(contains(v), "set_range: unknown node");
+  MINIM_REQUIRE(range >= 0.0, "node range must be non-negative");
+  const auto it = std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(),
+                                   configs_[v].range);
+  ranges_sorted_.erase(it);
+  ranges_sorted_.insert(
+      std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(), range), range);
+  configs_[v].range = range;
+  refresh_out_edges(v);  // only v's own reach changes
+}
+
+void AdhocNetwork::refresh_out_edges(NodeId v) {
+  // Drop stale out-edges, then re-add everything inside the disc.
+  const std::vector<NodeId> old_out = graph_.out_neighbors(v);  // copy
+  for (NodeId w : old_out) graph_.remove_edge(v, w);
+
+  const NodeConfig& cv = configs_[v];
+  scratch_.clear();
+  grid_.query_disc(cv.position, cv.range, scratch_);
+  for (NodeId w : scratch_) {
+    if (w == v) continue;
+    if (propagation_->reaches(cv.position, cv.range, configs_[w].position))
+      graph_.add_edge(v, w);
+  }
+}
+
+void AdhocNetwork::refresh_in_edges(NodeId v) {
+  const std::vector<NodeId> old_in = graph_.in_neighbors(v);  // copy
+  for (NodeId w : old_in) graph_.remove_edge(w, v);
+
+  const util::Vec2 p = configs_[v].position;
+  scratch_.clear();
+  grid_.query_disc(p, max_range(), scratch_);
+  for (NodeId w : scratch_) {
+    if (w == v) continue;
+    const NodeConfig& cw = configs_[w];
+    if (propagation_->reaches(cw.position, cw.range, p)) graph_.add_edge(w, v);
+  }
+}
+
+bool AdhocNetwork::minimally_connected(NodeId v) const {
+  MINIM_REQUIRE(contains(v), "minimally_connected: unknown node");
+  return graph_.out_degree(v) > 0 && graph_.in_degree(v) > 0;
+}
+
+graph::Digraph AdhocNetwork::rebuild_graph_brute_force() const {
+  graph::Digraph fresh;
+  const auto ids = graph_.nodes();
+  // Recreate the same id space: add_node() reuses lowest free slots, so
+  // insert in ascending id order and fill gaps with throwaway nodes.
+  std::vector<NodeId> created;
+  NodeId next = 0;
+  for (NodeId v : ids) {
+    while (next < v) {
+      created.push_back(fresh.add_node());
+      ++next;
+    }
+    fresh.add_node();
+    ++next;
+  }
+  for (NodeId gap : created) fresh.remove_node(gap);
+
+  for (NodeId u : ids) {
+    const NodeConfig& cu = configs_[u];
+    for (NodeId w : ids) {
+      if (w == u) continue;
+      if (propagation_->reaches(cu.position, cu.range, configs_[w].position))
+        fresh.add_edge(u, w);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace minim::net

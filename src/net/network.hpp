@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/spatial_grid.hpp"
+#include "net/propagation.hpp"
+#include "util/geometry.hpp"
+
+/// \file network.hpp
+/// \brief The paper's network model: a power-controlled ad-hoc network.
+///
+/// Each node has a position (x, y) in a rectangular field and a maximum
+/// transmission range r.  The induced communication digraph has the edge
+/// u -> v iff d(u, v) <= r_u (v can hear u / is affected by u's
+/// transmissions).  The digraph is maintained incrementally under the
+/// paper's reconfiguration events: join, leave, move, power change.
+///
+/// A spatial hash grid accelerates "who is in range of p" queries; edge
+/// updates after an event touch only the event's locality, mirroring the
+/// paper's claim that recoding is a local affair.
+
+namespace minim::net {
+
+using graph::NodeId;
+using graph::kInvalidNode;
+
+/// A node's physical configuration.
+struct NodeConfig {
+  util::Vec2 position;
+  double range = 0.0;
+};
+
+class AdhocNetwork {
+ public:
+  /// Field of `width` x `height` units (the paper uses 100 x 100).
+  /// `grid_cell` tunes the spatial index only; any positive value is correct.
+  /// `propagation` decides link existence (default: the paper's free-space
+  /// disc; pass an ObstructedPropagation for the non-free-space
+  /// generalization of Section 2).
+  explicit AdhocNetwork(double width = 100.0, double height = 100.0,
+                        double grid_cell = 12.5,
+                        std::shared_ptr<const PropagationModel> propagation = nullptr);
+
+  /// Adds a node with `config`; returns its id.  Edges in both directions
+  /// are established per the range rule.
+  NodeId add_node(const NodeConfig& config);
+
+  /// Removes `v` and all its edges.
+  void remove_node(NodeId v);
+
+  /// Moves `v` to `position` (clamped to the field) and updates edges.
+  void set_position(NodeId v, util::Vec2 position);
+
+  /// Changes v's transmission range and updates v's out-edges.
+  void set_range(NodeId v, double range);
+
+  bool contains(NodeId v) const { return graph_.contains(v); }
+  const NodeConfig& config(NodeId v) const;
+  double width() const { return width_; }
+  double height() const { return height_; }
+  const PropagationModel& propagation() const { return *propagation_; }
+
+  /// The induced communication digraph (authoritative edge set).
+  const graph::Digraph& graph() const { return graph_; }
+
+  std::size_t node_count() const { return graph_.node_count(); }
+  std::vector<NodeId> nodes() const { return graph_.nodes(); }
+  NodeId id_bound() const { return graph_.id_bound(); }
+
+  /// Nodes that hear `v` (v's out-neighbors; v's transmissions reach them).
+  const std::vector<NodeId>& hearers_of(NodeId v) const { return graph_.out_neighbors(v); }
+
+  /// Nodes that `v` hears (v's in-neighbors; the paper's "from-neighbors").
+  const std::vector<NodeId>& heard_by(NodeId v) const { return graph_.in_neighbors(v); }
+
+  /// The paper's Minimal Connectivity assumption: some node hears v and v
+  /// hears some node.  The simulator can enforce this on reconfigurations.
+  bool minimally_connected(NodeId v) const;
+
+  /// Recomputes the full edge set by brute force into a fresh digraph —
+  /// O(n^2) test oracle for the incremental maintenance.
+  graph::Digraph rebuild_graph_brute_force() const;
+
+ private:
+  /// Replaces v's out-edge set based on current config.
+  void refresh_out_edges(NodeId v);
+  /// Replaces v's in-edge set by probing nodes whose range could reach v.
+  void refresh_in_edges(NodeId v);
+  double max_range() const;
+
+  double width_;
+  double height_;
+  std::shared_ptr<const PropagationModel> propagation_;
+  graph::Digraph graph_;
+  graph::SpatialGrid grid_;
+  std::vector<NodeConfig> configs_;   // indexed by NodeId
+  std::vector<double> ranges_sorted_; // multiset of live ranges (ascending)
+  mutable std::vector<NodeId> scratch_;
+};
+
+}  // namespace minim::net

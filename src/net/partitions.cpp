@@ -1,0 +1,60 @@
+#include "net/partitions.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace minim::net {
+
+JoinPartitions JoinPartitions::compute(const AdhocNetwork& net, NodeId n) {
+  const auto& g = net.graph();
+  const auto& ins = g.in_neighbors(n);
+  const auto& outs = g.out_neighbors(n);
+
+  JoinPartitions p;
+  // ins and outs are sorted; classic three-way merge into the partitions.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ins.size() || j < outs.size()) {
+    if (j >= outs.size() || (i < ins.size() && ins[i] < outs[j])) {
+      p.set1.push_back(ins[i]);
+      ++i;
+    } else if (i >= ins.size() || outs[j] < ins[i]) {
+      p.set3.push_back(outs[j]);
+      ++j;
+    } else {
+      p.set2.push_back(ins[i]);
+      ++i;
+      ++j;
+    }
+  }
+  for (NodeId v : net.nodes()) {
+    if (v == n) continue;
+    const bool in_1 = std::binary_search(p.set1.begin(), p.set1.end(), v);
+    const bool in_2 = std::binary_search(p.set2.begin(), p.set2.end(), v);
+    const bool in_3 = std::binary_search(p.set3.begin(), p.set3.end(), v);
+    if (!in_1 && !in_2 && !in_3) p.set4.push_back(v);
+  }
+  return p;
+}
+
+std::vector<NodeId> JoinPartitions::recode_candidates() const {
+  std::vector<NodeId> merged;
+  merged.reserve(set1.size() + set2.size());
+  std::merge(set1.begin(), set1.end(), set2.begin(), set2.end(),
+             std::back_inserter(merged));
+  return merged;
+}
+
+std::size_t minimal_recoding_bound(const AdhocNetwork& net,
+                                   const CodeAssignment& assignment, NodeId n) {
+  std::map<Color, std::size_t> histogram;
+  for (NodeId u : net.heard_by(n)) {
+    const Color c = assignment.color(u);
+    if (c != kNoColor) ++histogram[c];
+  }
+  std::size_t bound = 0;
+  for (const auto& [color, count] : histogram) bound += count - 1;
+  return bound;
+}
+
+}  // namespace minim::net

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file partitions.hpp
+/// \brief The join partitions 1n/2n/3n/4n of Section 4.1 (Fig 2).
+///
+/// When node n joins (or lands after a move), the existing vertex set splits
+/// into:
+///   * set1 — nodes with an edge *to* n only (n hears them),
+///   * set2 — nodes with edges both ways,
+///   * set3 — nodes with an edge *from* n only (they hear n),
+///   * set4 — nodes with no edge to or from n.
+/// The recoding set of RecodeOnJoin is set1 ∪ set2 ∪ {n}; set1 ∪ set2 is
+/// exactly n's in-neighborhood ("from-neighbors").
+
+namespace minim::net {
+
+struct JoinPartitions {
+  std::vector<NodeId> set1;  ///< u -> n only
+  std::vector<NodeId> set2;  ///< u -> n and n -> u
+  std::vector<NodeId> set3;  ///< n -> u only
+  std::vector<NodeId> set4;  ///< no edges with n
+
+  /// Computes the partitions of all live nodes (excluding n) around n.
+  static JoinPartitions compute(const AdhocNetwork& net, NodeId n);
+
+  /// set1 ∪ set2, ascending — the nodes that may need recoding besides n.
+  std::vector<NodeId> recode_candidates() const;
+};
+
+/// Lemma 4.1.1's minimal recoding bound for a join at n: with old colors
+/// {C_1..C_m} on n's in-neighbors held by {K_1..K_m} nodes, at least
+/// Σ(K_i − 1) in-neighbors must change color (n itself is recoded on top of
+/// this).  Uncolored in-neighbors (impossible in a valid assignment) are
+/// ignored defensively.
+std::size_t minimal_recoding_bound(const AdhocNetwork& net,
+                                   const CodeAssignment& assignment, NodeId n);
+
+}  // namespace minim::net

@@ -1,0 +1,52 @@
+#include "net/propagation.hpp"
+
+#include <algorithm>
+
+namespace minim::net {
+
+namespace {
+
+/// Sign of the cross product (b - a) x (c - a): orientation of the triple.
+int orientation(util::Vec2 a, util::Vec2 b, util::Vec2 c) {
+  const double cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  constexpr double kEps = 1e-12;
+  if (cross > kEps) return 1;
+  if (cross < -kEps) return -1;
+  return 0;
+}
+
+/// For collinear a, b, c: is c within the bounding box of segment (a, b)?
+bool on_segment(util::Vec2 a, util::Vec2 b, util::Vec2 c) {
+  return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(util::Vec2 p1, util::Vec2 p2, util::Vec2 q1, util::Vec2 q2) {
+  const int o1 = orientation(p1, p2, q1);
+  const int o2 = orientation(p1, p2, q2);
+  const int o3 = orientation(q1, q2, p1);
+  const int o4 = orientation(q1, q2, p2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(p1, p2, q1)) return true;
+  if (o2 == 0 && on_segment(p1, p2, q2)) return true;
+  if (o3 == 0 && on_segment(q1, q2, p1)) return true;
+  if (o4 == 0 && on_segment(q1, q2, p2)) return true;
+  return false;
+}
+
+bool ObstructedPropagation::reaches(util::Vec2 from, double range,
+                                    util::Vec2 to) const {
+  if (util::distance_squared(from, to) > range * range) return false;
+  for (const Wall& wall : walls_)
+    if (segments_intersect(from, to, wall.a, wall.b)) return false;
+  return true;
+}
+
+std::shared_ptr<const PropagationModel> free_space_propagation() {
+  static const auto instance = std::make_shared<const FreeSpacePropagation>();
+  return instance;
+}
+
+}  // namespace minim::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+/// \file propagation.hpp
+/// \brief Pluggable propagation models for the edge predicate.
+///
+/// The paper's base model is free space: `(u, v) ∈ E  iff  d(u,v) <= r_u`.
+/// Section 2 notes the generalization "for the non-free-space propagation
+/// case where, due to obstacles, although d_ij <= r_i, (v_i, v_j) ∉ E".
+/// A `PropagationModel` decides reachability; implementations may only
+/// *remove* links relative to free space (never add them), which keeps the
+/// spatial-grid candidate query (disc of radius r) a sound over-approximation.
+
+namespace minim::net {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// True iff a transmission from `from` with maximum range `range` is
+  /// received at `to`.  Must imply `distance(from, to) <= range`.
+  virtual bool reaches(util::Vec2 from, double range, util::Vec2 to) const = 0;
+};
+
+/// The paper's base model: pure disc of radius `range`.
+class FreeSpacePropagation final : public PropagationModel {
+ public:
+  bool reaches(util::Vec2 from, double range, util::Vec2 to) const override {
+    return util::distance_squared(from, to) <= range * range;
+  }
+};
+
+/// An opaque wall: the open segment (a, b).
+struct Wall {
+  util::Vec2 a;
+  util::Vec2 b;
+};
+
+/// True iff segments (p1, p2) and (q1, q2) intersect (including touching
+/// endpoints and collinear overlap).  Exposed for direct testing.
+bool segments_intersect(util::Vec2 p1, util::Vec2 p2, util::Vec2 q1, util::Vec2 q2);
+
+/// Free space plus opaque walls: a link exists iff the receiver is in range
+/// AND the line of sight crosses no wall.
+class ObstructedPropagation final : public PropagationModel {
+ public:
+  explicit ObstructedPropagation(std::vector<Wall> walls) : walls_(std::move(walls)) {}
+
+  bool reaches(util::Vec2 from, double range, util::Vec2 to) const override;
+
+  const std::vector<Wall>& walls() const { return walls_; }
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+/// Shared default instance (stateless, safe to share across networks).
+std::shared_ptr<const PropagationModel> free_space_propagation();
+
+}  // namespace minim::net

@@ -1,0 +1,102 @@
+#include "proto/distributed_cp.hpp"
+
+#include <algorithm>
+
+namespace minim::proto {
+
+DistributedCpResult DistributedCp::run(const net::AdhocNetwork& net,
+                                       net::CodeAssignment& assignment, net::NodeId n,
+                                       core::EventType event, double old_range) const {
+  DistributedCpResult result;
+  strategies::CpStrategy cp(order_, vicinity_);
+  strategies::CpStrategy::RunStats stats;
+  cp.set_stats_sink(&stats);
+
+  switch (event) {
+    case core::EventType::kJoin:
+      result.report = cp.on_join(net, assignment, n);
+      break;
+    case core::EventType::kMove:
+      result.report = cp.on_move(net, assignment, n);
+      break;
+    case core::EventType::kPowerIncrease:
+    case core::EventType::kPowerDecrease:
+      result.report = cp.on_power_change(net, assignment, n, old_range);
+      break;
+    case core::EventType::kLeave:
+      result.report = cp.on_leave(net, assignment, n);
+      break;
+  }
+
+  // Beacons: the event node hears its in-neighborhood announce itself.
+  if (event == core::EventType::kJoin || event == core::EventType::kMove) {
+    for (std::size_t i = 0; i < net.heard_by(n).size(); ++i) {
+      const Message m{net.heard_by(n)[static_cast<std::size_t>(i)], n,
+                      MessageType::kBeacon, 1, 1};
+      result.cost.add(m);
+    }
+    ++result.cost.rounds;
+  }
+
+  // Vicinity snapshots: one relayed query/reply pair per candidate, payload
+  // proportional to the ball it must learn the colors of.
+  for (std::size_t i = 0; i < stats.candidates.size(); ++i) {
+    const net::NodeId candidate = stats.candidates[i];
+    const std::size_t ball = stats.vicinity_sizes[i];
+    result.cost.add(Message{candidate, candidate, MessageType::kConstraintQuery, 0, 2});
+    result.cost.add(Message{candidate, candidate, MessageType::kConstraintReply,
+                            ball, 2});
+  }
+  if (!stats.candidates.empty()) ++result.cost.rounds;
+
+  // Coordination rounds: every pending candidate announces its state with a
+  // broadcast relayed by its direct neighbors so the 2-hop vicinity hears it.
+  const auto& g = net.graph();
+  auto relay_hops = [&g](net::NodeId v) {
+    return 1 + g.out_degree(v);  // own transmission + one relay per neighbor
+  };
+  for (std::size_t round = 0; round < stats.pending_per_round.size(); ++round) {
+    // `pending_per_round[round]` candidates were uncolored entering the
+    // round; each announces once.  We charge the average relay cost using
+    // the candidates' own degrees, iterating deterministically.
+    std::size_t announced = 0;
+    for (std::size_t i = 0; i < stats.candidates.size() &&
+                            announced < stats.pending_per_round[round];
+         ++i, ++announced) {
+      const net::NodeId candidate = stats.candidates[i];
+      result.cost.add(Message{candidate, candidate, MessageType::kBeacon, 1,
+                              relay_hops(candidate)});
+    }
+    ++result.cost.rounds;
+  }
+
+  // Commit: every candidate announces its final color to its vicinity.
+  for (net::NodeId candidate : stats.candidates)
+    result.cost.add(
+        Message{candidate, candidate, MessageType::kCommit, 1, relay_hops(candidate)});
+  if (!stats.candidates.empty()) ++result.cost.rounds;
+
+  result.report.messages = result.cost.messages;
+  return result;
+}
+
+DistributedCpResult DistributedCp::join(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment,
+                                        net::NodeId n) const {
+  return run(net, assignment, n, core::EventType::kJoin, 0.0);
+}
+
+DistributedCpResult DistributedCp::move(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment,
+                                        net::NodeId n) const {
+  return run(net, assignment, n, core::EventType::kMove, 0.0);
+}
+
+DistributedCpResult DistributedCp::power_increase(const net::AdhocNetwork& net,
+                                                  net::CodeAssignment& assignment,
+                                                  net::NodeId n,
+                                                  double old_range) const {
+  return run(net, assignment, n, core::EventType::kPowerIncrease, old_range);
+}
+
+}  // namespace minim::proto

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "core/recode_report.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+#include "proto/message.hpp"
+#include "strategies/cp.hpp"
+
+/// \file distributed_cp.hpp
+/// \brief Message accounting for the CP baseline's distributed execution.
+///
+/// CP is peer-coordinated rather than locally centralized: on a join, the
+/// new node and every duplicate-colored 1-hop neighbor deselect and then
+/// re-select colors in identity order, each needing (a) the current colors
+/// of its 2-hop vicinity and (b) per elimination round, the pending/served
+/// state of the other candidates in its vicinity.  That costs messages
+/// proportional to *candidates x vicinity x rounds*, versus Minim's
+/// *one* coordinator exchanging with its in-neighbors — the asymmetry the
+/// `protocol_overhead` bench quantifies.
+///
+/// Cost model (per join/move):
+///   * beacons: one per in-neighbor of the event node (how it learns 1n∪2n);
+///   * vicinity snapshot: each candidate queries its 2-hop ball once —
+///     replies are relayed, so each costs up to 2 hops;
+///   * coordination: each elimination round, every still-pending candidate
+///     announces its state to its vicinity via a 1-hop broadcast relayed by
+///     its direct neighbors (1 + degree transmissions, counted as one
+///     message with that hop weight);
+///   * commit: every candidate announces its chosen color the same way.
+/// The color computation itself delegates to `strategies::CpStrategy`, so
+/// the distributed run is exactly the proven algorithm plus accounting.
+
+namespace minim::proto {
+
+struct DistributedCpResult {
+  core::RecodeReport report;
+  ProtocolCost cost;
+};
+
+class DistributedCp {
+ public:
+  explicit DistributedCp(
+      strategies::CpStrategy::Order order = strategies::CpStrategy::Order::kHighestFirst,
+      strategies::CpStrategy::Vicinity vicinity =
+          strategies::CpStrategy::Vicinity::kTwoHopBall)
+      : order_(order), vicinity_(vicinity) {}
+
+  DistributedCpResult join(const net::AdhocNetwork& net,
+                           net::CodeAssignment& assignment, net::NodeId n) const;
+
+  DistributedCpResult move(const net::AdhocNetwork& net,
+                           net::CodeAssignment& assignment, net::NodeId n) const;
+
+  DistributedCpResult power_increase(const net::AdhocNetwork& net,
+                                     net::CodeAssignment& assignment, net::NodeId n,
+                                     double old_range) const;
+
+ private:
+  DistributedCpResult run(const net::AdhocNetwork& net, net::CodeAssignment& assignment,
+                          net::NodeId n, core::EventType event,
+                          double old_range) const;
+
+  strategies::CpStrategy::Order order_;
+  strategies::CpStrategy::Vicinity vicinity_;
+};
+
+}  // namespace minim::proto

@@ -1,0 +1,126 @@
+#include "proto/distributed_minim.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "net/constraints.hpp"
+
+namespace minim::proto {
+
+namespace {
+
+std::size_t unicast_hops(const net::AdhocNetwork& net, net::NodeId from, net::NodeId to) {
+  const std::size_t d = graph::hop_distance(net.graph(), from, to);
+  // Unreachable should not happen under Minimal Connectivity; charge 1 so
+  // accounting stays defined even on degenerate test topologies.
+  return d == static_cast<std::size_t>(-1) || d == 0 ? 1 : d;
+}
+
+}  // namespace
+
+DistributedResult DistributedMinim::run_matching_protocol(
+    const net::AdhocNetwork& net, net::CodeAssignment& assignment, net::NodeId n,
+    core::EventType event) const {
+  DistributedResult result;
+  const auto& from_neighbors = net.heard_by(n);
+
+  // Round 1: beacons.  Every from-neighbor's periodic beacon reaches n
+  // directly (u -> n is a real edge), announcing its presence and id.
+  for (net::NodeId u : from_neighbors) {
+    Message m{u, n, MessageType::kBeacon, 1, 1};
+    result.cost.add(m);
+    result.log.push_back(m);
+  }
+  ++result.cost.rounds;
+
+  // Round 2: constraint queries.
+  for (net::NodeId u : from_neighbors) {
+    Message m{n, u, MessageType::kConstraintQuery, 0, unicast_hops(net, n, u)};
+    result.cost.add(m);
+    result.log.push_back(m);
+  }
+  ++result.cost.rounds;
+
+  // Round 3: constraint replies.  Each from-neighbor ships its old color
+  // plus the colors its outside conflict partners pin (what the centralized
+  // builder calls its forbidden set).
+  std::vector<net::NodeId> v1 = from_neighbors;
+  v1.push_back(n);
+  std::sort(v1.begin(), v1.end());
+  auto in_v1 = [&v1](net::NodeId v) {
+    return std::binary_search(v1.begin(), v1.end(), v);
+  };
+  for (net::NodeId u : from_neighbors) {
+    const auto constraints = net::forbidden_colors(net, assignment, u, in_v1);
+    Message m{u, n, MessageType::kConstraintReply, constraints.size() + 1,
+              unicast_hops(net, u, n)};
+    result.cost.add(m);
+    result.log.push_back(m);
+  }
+  ++result.cost.rounds;
+
+  // Local computation at n: steps 3-5 of RecodeOnJoin — delegated to the
+  // exact same code path the centralized strategy uses, guaranteeing the
+  // distributed execution cannot diverge from the proven algorithm.
+  core::MinimStrategy solver(params_);
+  result.report = solver.recode_via_matching(net, assignment, n, event);
+
+  // Rounds 4-5: commit + ack for every node that changes color (n's own
+  // change is local and free).
+  bool any_remote = false;
+  for (const auto& change : result.report.changes) {
+    if (change.node == n) continue;
+    any_remote = true;
+    Message commit{n, change.node, MessageType::kCommit, 1,
+                   unicast_hops(net, n, change.node)};
+    Message ack{change.node, n, MessageType::kCommitAck, 0,
+                unicast_hops(net, change.node, n)};
+    result.cost.add(commit);
+    result.cost.add(ack);
+    result.log.push_back(commit);
+    result.log.push_back(ack);
+  }
+  if (any_remote) result.cost.rounds += 2;
+  result.report.messages = result.cost.messages;
+  return result;
+}
+
+DistributedResult DistributedMinim::join(const net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         net::NodeId n) const {
+  return run_matching_protocol(net, assignment, n, core::EventType::kJoin);
+}
+
+DistributedResult DistributedMinim::move(const net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         net::NodeId n) const {
+  return run_matching_protocol(net, assignment, n, core::EventType::kMove);
+}
+
+DistributedResult DistributedMinim::power_increase(const net::AdhocNetwork& net,
+                                                   net::CodeAssignment& assignment,
+                                                   net::NodeId n,
+                                                   double old_range) const {
+  DistributedResult result;
+
+  // n's new receivers identify themselves (they hear n now); each also
+  // relays the senders it already hears — exactly the CA2 constraints of
+  // RecodeOnPowIncrease step 1.
+  const util::Vec2 pn = net.config(n).position;
+  const double old_r2 = old_range * old_range;
+  for (net::NodeId u : net.hearers_of(n)) {
+    if (util::distance_squared(pn, net.config(u).position) <= old_r2) continue;
+    Message m{u, n, MessageType::kConstraintReply, net.heard_by(u).size() + 1,
+              unicast_hops(net, u, n)};
+    result.cost.add(m);
+    result.log.push_back(m);
+  }
+  result.cost.rounds = 1;
+
+  core::MinimStrategy solver(params_);
+  result.report = solver.on_power_change(net, assignment, n, old_range);
+  result.report.messages = result.cost.messages;
+  return result;
+}
+
+}  // namespace minim::proto

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "core/minim.hpp"
+#include "core/recode_report.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+#include "proto/message.hpp"
+
+/// \file distributed_minim.hpp
+/// \brief Message-level execution of RecodeOnJoin / RecodeOnMove.
+///
+/// The recoding is "locally centralized" at the event node n (paper,
+/// Section 4.1): n gathers its from-neighbors' constraints, solves the
+/// matching locally, and dissipates the new colors.  This class executes
+/// exactly those steps with explicit messages and records their cost, while
+/// producing — by construction and verified by tests — the *same* assignment
+/// the centralized `MinimStrategy` computes.
+///
+/// Round structure (synchronous model):
+///   round 1: beacons — n learns 1n ∪ 2n (its from-neighbors);
+///   round 2: n unicasts a constraint query to each from-neighbor;
+///   round 3: each from-neighbor replies with its old color + constraints;
+///   (local)  n builds G', runs the matching (steps 3-5);
+///   round 4: n unicasts commits to every node whose color changes;
+///   round 5: commit acks; everyone switches at the agreed instant.
+///
+/// Query/reply/commit unicasts are charged their undirected shortest-path
+/// hop cost, because a from-neighbor u of n need not be reachable in one hop
+/// (u -> n does not imply n -> u under asymmetric power).
+
+namespace minim::proto {
+
+struct DistributedResult {
+  core::RecodeReport report;     ///< identical content to the centralized run
+  ProtocolCost cost;
+  std::vector<Message> log;      ///< full message trace (tests/examples)
+};
+
+class DistributedMinim {
+ public:
+  explicit DistributedMinim(core::MinimStrategy::Params params = {})
+      : params_(params) {}
+
+  /// Executes the join protocol for `n` (already inserted, uncolored).
+  DistributedResult join(const net::AdhocNetwork& net, net::CodeAssignment& assignment,
+                         net::NodeId n) const;
+
+  /// Executes the move protocol for `n` (already moved; keeps old color).
+  DistributedResult move(const net::AdhocNetwork& net, net::CodeAssignment& assignment,
+                         net::NodeId n) const;
+
+  /// Power increase: n checks its own new constraints (gathered via
+  /// query/reply with the affected receivers' senders) and recodes itself.
+  DistributedResult power_increase(const net::AdhocNetwork& net,
+                                   net::CodeAssignment& assignment, net::NodeId n,
+                                   double old_range) const;
+
+ private:
+  DistributedResult run_matching_protocol(const net::AdhocNetwork& net,
+                                           net::CodeAssignment& assignment,
+                                           net::NodeId n, core::EventType event) const;
+
+  core::MinimStrategy::Params params_;
+};
+
+}  // namespace minim::proto

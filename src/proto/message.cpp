@@ -1,0 +1,25 @@
+#include "proto/message.hpp"
+
+#include <sstream>
+
+namespace minim::proto {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kBeacon: return "beacon";
+    case MessageType::kConstraintQuery: return "constraint-query";
+    case MessageType::kConstraintReply: return "constraint-reply";
+    case MessageType::kCommit: return "commit";
+    case MessageType::kCommitAck: return "commit-ack";
+  }
+  return "?";
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << minim::proto::to_string(type) << " " << from << "->" << to << " ("
+     << payload_items << " items, " << hops << " hops)";
+  return os.str();
+}
+
+}  // namespace minim::proto

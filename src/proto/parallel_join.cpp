@@ -1,0 +1,49 @@
+#include "proto/parallel_join.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+
+namespace minim::proto {
+
+ParallelJoinOutcome apply_parallel_joins(net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         const std::vector<net::NodeConfig>& configs,
+                                         const core::MinimStrategy::Params& params) {
+  ParallelJoinOutcome outcome;
+
+  // All joiners appear in the network "at the same instant".
+  for (const auto& config : configs) outcome.joined.push_back(net.add_node(config));
+
+  outcome.min_pairwise_hop_distance = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < outcome.joined.size(); ++i)
+    for (std::size_t j = i + 1; j < outcome.joined.size(); ++j)
+      outcome.min_pairwise_hop_distance =
+          std::min(outcome.min_pairwise_hop_distance,
+                   graph::hop_distance(net.graph(), outcome.joined[i], outcome.joined[j]));
+
+  // Each joiner computes against the pre-event snapshot: scratch copies of
+  // the assignment see no other joiner's commits.
+  core::MinimStrategy solver(params);
+  const net::CodeAssignment snapshot = assignment;
+  std::vector<net::CodeAssignment> scratch(outcome.joined.size(), snapshot);
+  for (std::size_t i = 0; i < outcome.joined.size(); ++i)
+    outcome.reports.push_back(
+        solver.recode_via_matching(net, scratch[i], outcome.joined[i],
+                                   core::EventType::kJoin));
+
+  // Commit phase: apply every joiner's changes to the shared assignment.
+  std::vector<net::NodeId> written;
+  for (const auto& report : outcome.reports) {
+    for (const auto& change : report.changes) {
+      if (std::find(written.begin(), written.end(), change.node) != written.end())
+        outcome.overlapping_writes = true;
+      written.push_back(change.node);
+      assignment.set_color(change.node, change.new_color);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace minim::proto

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/minim.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file parallel_join.hpp
+/// \brief Concurrent joins per Theorem 4.1.10.
+///
+/// The paper relaxes the "one event at a time" assumption: simultaneous
+/// joins are safe when the joining nodes are at least 5 hops apart, because
+/// their recoding sets (V1 = in-neighbors ∪ self) and the constraint sources
+/// those sets read (nodes within 2 further hops) cannot overlap.
+///
+/// `apply_parallel_joins` models true concurrency: all joiners are inserted
+/// into the network, every joiner computes its RecodeOnJoin against the
+/// *pre-event* assignment snapshot (nobody sees anybody else's commits), and
+/// all commits are applied afterwards.  The caller can then check validity:
+/// guaranteed when `min_pairwise_hop_distance >= 5`, and tests exhibit a
+/// violation below the threshold.
+
+namespace minim::proto {
+
+struct ParallelJoinOutcome {
+  std::vector<net::NodeId> joined;                 ///< ids, in input order
+  std::vector<core::RecodeReport> reports;         ///< per joiner
+  std::size_t min_pairwise_hop_distance = 0;       ///< over joiner pairs; SIZE_MAX if single
+  bool overlapping_writes = false;                 ///< two joiners recoded the same node
+};
+
+/// Inserts `configs` into `net` and performs all joins concurrently as
+/// described above, committing into `assignment`.
+ParallelJoinOutcome apply_parallel_joins(net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         const std::vector<net::NodeConfig>& configs,
+                                         const core::MinimStrategy::Params& params = {});
+
+}  // namespace minim::proto

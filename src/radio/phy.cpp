@@ -1,0 +1,97 @@
+#include "radio/phy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace minim::radio {
+
+namespace {
+
+/// Amplitude gain of the u -> v link under the configured path-loss law.
+double link_gain(const PhyParams& params, util::Vec2 from, util::Vec2 to) {
+  if (params.path_loss_exponent <= 0.0) return 1.0;
+  const double d = std::max(util::distance(from, to), params.reference_distance);
+  return std::pow(params.reference_distance / d, params.path_loss_exponent / 2.0);
+}
+
+/// Adds `gain * other` into `accumulator`.
+void superpose_scaled(Signal& accumulator, const Signal& other, double gain) {
+  MINIM_REQUIRE(accumulator.size() == other.size(), "superpose: length mismatch");
+  for (std::size_t i = 0; i < other.size(); ++i) accumulator[i] += gain * other[i];
+}
+
+}  // namespace
+
+BroadcastReport simulate_transmitters(const net::AdhocNetwork& net,
+                                      const net::CodeAssignment& assignment,
+                                      const std::vector<net::NodeId>& transmitters,
+                                      const PhyParams& params, util::Rng& rng) {
+  BroadcastReport report;
+  if (transmitters.empty()) return report;
+
+  net::Color max_color = net::kNoColor;
+  for (net::NodeId t : transmitters) {
+    MINIM_REQUIRE(assignment.has_color(t), "transmitter has no code assigned");
+    max_color = std::max(max_color, assignment.color(t));
+  }
+  const WalshCodeBook book = WalshCodeBook::for_colors(max_color);
+
+  // Generate payloads and spread them once per transmitter.
+  std::vector<Bits> payload(transmitters.size());
+  std::vector<Signal> waveform(transmitters.size());
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    payload[i] = random_bits(params.packet_bits, rng);
+    waveform[i] = spread(payload[i], book.code(assignment.color(transmitters[i])));
+  }
+
+  // Each receiver hears the superposition of in-range transmitters.
+  for (net::NodeId v : net.nodes()) {
+    Signal received;
+    bool any = false;
+    std::vector<std::size_t> senders;  // indices into `transmitters`
+    for (std::size_t i = 0; i < transmitters.size(); ++i) {
+      const net::NodeId u = transmitters[i];
+      // A node always hears its own outgoing transmission (the primary
+      // collision mechanism of CA1); others are heard iff in range.
+      const bool audible = (u == v) || net.graph().has_edge(u, v);
+      if (!audible) continue;
+      if (!any) {
+        received.assign(waveform[i].size(), 0.0);
+        any = true;
+      }
+      // Self-interference arrives at full amplitude; real links attenuate
+      // per the path-loss law (unit gain when disabled).
+      const double gain =
+          u == v ? 1.0
+                 : link_gain(params, net.config(u).position, net.config(v).position);
+      superpose_scaled(received, waveform[i], gain);
+      if (u != v) senders.push_back(i);
+    }
+    if (!any || senders.empty()) continue;
+    if (params.noise_sigma > 0.0) add_awgn(received, params.noise_sigma, rng);
+
+    for (std::size_t i : senders) {
+      const Bits decoded = despread(received, book.code(assignment.color(transmitters[i])));
+      LinkReport link;
+      link.transmitter = transmitters[i];
+      link.receiver = v;
+      link.bits = params.packet_bits;
+      link.bit_errors = hamming_distance(decoded, payload[i]);
+      report.total_bits += link.bits;
+      report.total_bit_errors += link.bit_errors;
+      if (link.bit_errors > 0) ++report.garbled_links;
+      report.links.push_back(link);
+    }
+  }
+  return report;
+}
+
+BroadcastReport simulate_all_transmit(const net::AdhocNetwork& net,
+                                      const net::CodeAssignment& assignment,
+                                      const PhyParams& params, util::Rng& rng) {
+  return simulate_transmitters(net, assignment, net.nodes(), params, rng);
+}
+
+}  // namespace minim::radio

@@ -1,0 +1,70 @@
+#include "radio/spread.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace minim::radio {
+
+Bits random_bits(std::size_t length, util::Rng& rng) {
+  Bits bits(length);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+Signal spread(const Bits& bits, const WalshCode& code) {
+  Signal signal;
+  signal.reserve(bits.size() * code.size());
+  for (std::uint8_t bit : bits) {
+    const double symbol = bit ? 1.0 : -1.0;
+    for (Chip chip : code) signal.push_back(symbol * static_cast<double>(chip));
+  }
+  return signal;
+}
+
+Bits despread(const Signal& signal, const WalshCode& code) {
+  MINIM_REQUIRE(!code.empty(), "despread: empty code");
+  MINIM_REQUIRE(signal.size() % code.size() == 0,
+                "despread: signal is not a whole number of symbols");
+  const std::size_t symbols = signal.size() / code.size();
+  Bits bits(symbols);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    double statistic = 0.0;
+    const double* samples = signal.data() + s * code.size();
+    for (std::size_t i = 0; i < code.size(); ++i)
+      statistic += samples[i] * static_cast<double>(code[i]);
+    bits[s] = statistic > 0.0 ? 1 : 0;
+  }
+  return bits;
+}
+
+void superpose(Signal& accumulator, const Signal& other) {
+  MINIM_REQUIRE(accumulator.size() == other.size(), "superpose: length mismatch");
+  for (std::size_t i = 0; i < other.size(); ++i) accumulator[i] += other[i];
+}
+
+void add_awgn(Signal& signal, double sigma, util::Rng& rng) {
+  MINIM_REQUIRE(sigma >= 0.0, "noise sigma must be non-negative");
+  if (sigma == 0.0) return;
+  // Box–Muller, two samples per draw.
+  std::size_t i = 0;
+  while (i < signal.size()) {
+    const double u1 = 1.0 - rng.uniform01();  // (0, 1]
+    const double u2 = rng.uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    signal[i++] += sigma * radius * std::cos(angle);
+    if (i < signal.size()) signal[i++] += sigma * radius * std::sin(angle);
+  }
+}
+
+std::size_t hamming_distance(const Bits& a, const Bits& b) {
+  MINIM_REQUIRE(a.size() == b.size(), "hamming_distance: length mismatch");
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++distance;
+  return distance;
+}
+
+}  // namespace minim::radio

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/walsh.hpp"
+#include "util/rng.hpp"
+
+/// \file spread.hpp
+/// \brief Direct-sequence spreading / despreading over Walsh codes.
+///
+/// A packet is a bit vector; each bit is BPSK-modulated (+1/-1) and
+/// multiplied chip-wise by the transmitter's Walsh code.  A synchronized
+/// correlation receiver despreads by correlating each symbol period against
+/// the wanted code and slicing the sign.  With orthogonal codes the decision
+/// statistic for interference from any *different* code is exactly zero —
+/// the mechanism behind the paper's "CDMA eliminates collisions" premise —
+/// while a *same-code* interferer corrupts the statistic (the collision CA1
+/// and CA2 exist to prevent).
+
+namespace minim::radio {
+
+/// Baseband sample stream (superposition of chip streams, so not just ±1).
+using Signal = std::vector<double>;
+
+/// Packet payload as bits.
+using Bits = std::vector<std::uint8_t>;
+
+/// Random payload of `length` bits.
+Bits random_bits(std::size_t length, util::Rng& rng);
+
+/// Spreads `bits` with `code`: output length = bits.size() * code.size().
+Signal spread(const Bits& bits, const WalshCode& code);
+
+/// Despreads `signal` with `code`.  Each symbol period is correlated against
+/// the code; the sign decides the bit (exact zero — a wiped-out symbol —
+/// decodes as 0 by convention, which is wrong half the time, as a real
+/// garbled link would be).
+Bits despread(const Signal& signal, const WalshCode& code);
+
+/// Adds `other` into `accumulator` sample-wise (chip-synchronous channel
+/// superposition).  Signals must have equal length.
+void superpose(Signal& accumulator, const Signal& other);
+
+/// Adds white Gaussian noise of standard deviation `sigma` (Box–Muller).
+void add_awgn(Signal& signal, double sigma, util::Rng& rng);
+
+/// Number of positions where `a` and `b` differ (requires equal sizes).
+std::size_t hamming_distance(const Bits& a, const Bits& b);
+
+}  // namespace minim::radio

@@ -1,0 +1,49 @@
+#include "radio/walsh.hpp"
+
+#include "util/require.hpp"
+
+namespace minim::radio {
+
+namespace {
+
+bool is_power_of_two(std::size_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+WalshCodeBook::WalshCodeBook(std::size_t length) : length_(length) {
+  MINIM_REQUIRE(is_power_of_two(length) && length >= 2,
+                "Walsh code length must be a power of two >= 2");
+  // Sylvester construction: H_{2n} = [[H_n, H_n], [H_n, -H_n]].
+  rows_.assign(length, WalshCode(length, 1));
+  for (std::size_t block = 1; block < length; block <<= 1) {
+    for (std::size_t r = 0; r < block; ++r) {
+      for (std::size_t c = 0; c < block; ++c) {
+        const Chip v = rows_[r][c];
+        rows_[r][c + block] = v;
+        rows_[r + block][c] = v;
+        rows_[r + block][c + block] = static_cast<Chip>(-v);
+      }
+    }
+  }
+}
+
+WalshCodeBook WalshCodeBook::for_colors(std::uint32_t max_color) {
+  std::size_t length = 2;
+  while (length - 1 < max_color) length <<= 1;
+  return WalshCodeBook(length);
+}
+
+const WalshCode& WalshCodeBook::code(std::size_t index) const {
+  MINIM_REQUIRE(index < length_, "Walsh code index out of range");
+  return rows_[index];
+}
+
+std::int64_t WalshCodeBook::correlate(const WalshCode& a, const WalshCode& b) {
+  MINIM_REQUIRE(a.size() == b.size(), "correlate: length mismatch");
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    sum += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  return sum;
+}
+
+}  // namespace minim::radio

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file walsh.hpp
+/// \brief Walsh–Hadamard orthogonal code generation.
+///
+/// The paper's model assumes "orthogonal codes": distinct codes separate
+/// perfectly at a synchronized receiver, identical codes collide.  Walsh
+/// codes (rows of the Sylvester Hadamard matrix H_{2^k}) are the canonical
+/// realization.  Code index c (the paper's color) maps to row c; row 0 (all
+/// ones) is reserved as a pilot so colors stay 1-based.
+
+namespace minim::radio {
+
+/// Chips are BPSK symbols: +1 / -1.
+using Chip = std::int8_t;
+
+/// One spreading code: a row of the Hadamard matrix.
+using WalshCode = std::vector<Chip>;
+
+/// Code book of length-`length` Walsh codes (length must be a power of two).
+class WalshCodeBook {
+ public:
+  /// Builds H_length by Sylvester doubling.  `length` must be a power of two
+  /// and >= 2.
+  explicit WalshCodeBook(std::size_t length);
+
+  /// Smallest valid code book that can serve `max_color` colors
+  /// (row indices 1..max_color all exist).
+  static WalshCodeBook for_colors(std::uint32_t max_color);
+
+  std::size_t length() const { return length_; }
+  /// Number of usable data codes (rows 1..size-1; row 0 is the pilot).
+  std::size_t capacity() const { return length_ - 1; }
+
+  /// Row `index` (0 = pilot).  Requires index < length().
+  const WalshCode& code(std::size_t index) const;
+
+  /// Signed correlation of two equal-length chip vectors (dot product).
+  /// Distinct rows correlate to 0; equal rows to length().
+  static std::int64_t correlate(const WalshCode& a, const WalshCode& b);
+
+ private:
+  std::size_t length_;
+  std::vector<WalshCode> rows_;
+};
+
+}  // namespace minim::radio

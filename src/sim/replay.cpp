@@ -1,0 +1,34 @@
+#include "sim/replay.hpp"
+
+#include <vector>
+
+namespace minim::sim {
+
+RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
+                  bool validate) {
+  Simulation::Params params;
+  params.width = workload.width;
+  params.height = workload.height;
+  params.validate_after_each = validate;
+  Simulation simulation(strategy, params);
+
+  std::vector<net::NodeId> ids;
+  ids.reserve(workload.joins.size());
+  for (const auto& config : workload.joins) ids.push_back(simulation.join(config));
+
+  RunOutcome outcome;
+  outcome.setup_max_color = simulation.max_color();
+  outcome.setup_recodings = static_cast<double>(simulation.totals().recodings);
+
+  for (const auto& raise : workload.power_raises)
+    simulation.change_power(ids[raise.join_index], raise.new_range);
+  for (const auto& round : workload.move_rounds)
+    for (const auto& mv : round) simulation.move(ids[mv.join_index], mv.position);
+
+  outcome.final_max_color = simulation.max_color();
+  outcome.total_recodings = static_cast<double>(simulation.totals().recodings);
+  outcome.messages = static_cast<double>(simulation.totals().messages);
+  return outcome;
+}
+
+}  // namespace minim::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/strategy.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+/// \file replay.hpp
+/// \brief Replays a workload through a strategy and measures the paper's
+/// metrics, separating the setup phase (joins) from the event phase
+/// (power raises / movement rounds) so Δ-metrics can be computed.
+
+namespace minim::sim {
+
+/// Metrics of one (workload, strategy) replay.
+struct RunOutcome {
+  // After phase 1 (the N joins):
+  double setup_max_color = 0;
+  double setup_recodings = 0;
+  // After phase 2 (power raises or movement rounds; equal to setup when the
+  // workload has no phase 2):
+  double final_max_color = 0;
+  double total_recodings = 0;
+  double messages = 0;
+
+  /// Fig 11/12's Δ(max color index assigned).
+  double delta_max_color() const { return final_max_color - setup_max_color; }
+  /// Fig 11/12's Δ(total number of recodings).
+  double delta_recodings() const { return total_recodings - setup_recodings; }
+};
+
+/// Replays `workload` from an empty network.  `validate` asserts CA1/CA2
+/// after every event (slower; tests only).
+RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
+                  bool validate = false);
+
+}  // namespace minim::sim

@@ -1,0 +1,60 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+#include "net/constraints.hpp"
+
+namespace minim::sim {
+
+Simulation::Simulation(core::RecodingStrategy& strategy)
+    : Simulation(strategy, Params{}) {}
+
+Simulation::Simulation(core::RecodingStrategy& strategy, const Params& params)
+    : strategy_(strategy),
+      params_(params),
+      network_(params.width, params.height) {}
+
+void Simulation::account(const core::RecodeReport& report) {
+  ++totals_.events;
+  totals_.recodings += report.recodings();
+  totals_.messages += report.messages;
+  const auto type_index = static_cast<std::size_t>(report.event);
+  ++totals_.events_by_type[type_index];
+  totals_.recodings_by_type[type_index] += report.recodings();
+  if (params_.keep_history) history_.push_back(report);
+  if (params_.validate_after_each) validate();
+}
+
+void Simulation::validate() const {
+  const auto violations = net::find_violations(network_, assignment_);
+  if (!violations.empty())
+    throw std::logic_error("assignment invalid after event: " +
+                           violations.front().to_string());
+  if (!net::all_colored(network_, assignment_))
+    throw std::logic_error("uncolored live node after event");
+}
+
+net::NodeId Simulation::join(const net::NodeConfig& config) {
+  const net::NodeId id = network_.add_node(config);
+  account(strategy_.on_join(network_, assignment_, id));
+  return id;
+}
+
+void Simulation::leave(net::NodeId v) {
+  network_.remove_node(v);
+  assignment_.clear(v);
+  account(strategy_.on_leave(network_, assignment_, v));
+}
+
+void Simulation::move(net::NodeId v, util::Vec2 new_position) {
+  network_.set_position(v, new_position);
+  account(strategy_.on_move(network_, assignment_, v));
+}
+
+void Simulation::change_power(net::NodeId v, double new_range) {
+  const double old_range = network_.config(v).range;
+  network_.set_range(v, new_range);
+  account(strategy_.on_power_change(network_, assignment_, v, old_range));
+}
+
+}  // namespace minim::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file simulation.hpp
+/// \brief Discrete-event simulation engine: applies reconfiguration events
+/// to the network, invokes the recoding strategy, and accumulates the
+/// paper's metrics.
+///
+/// Event semantics follow Section 2's model: events are sequenced (one at a
+/// time); the physical change happens first, then the strategy repairs the
+/// code assignment.  With `validate_after_each` the engine asserts CA1/CA2
+/// validity after every event — the correctness-theorem soak used in tests.
+
+namespace minim::sim {
+
+/// Accumulated metric totals across all events applied so far.
+struct Totals {
+  std::size_t events = 0;
+  std::size_t recodings = 0;        ///< the paper's "total number of recodings"
+  std::size_t messages = 0;         ///< protocol messages (proto-backed runs)
+  std::array<std::size_t, 5> events_by_type{};     ///< indexed by EventType
+  std::array<std::size_t, 5> recodings_by_type{};  ///< indexed by EventType
+};
+
+class Simulation {
+ public:
+  struct Params {
+    double width = 100.0;
+    double height = 100.0;
+    /// Throw std::logic_error if the assignment is invalid after any event.
+    bool validate_after_each = false;
+    /// Keep every RecodeReport (tests/examples; benches leave it off).
+    bool keep_history = false;
+  };
+
+  /// The strategy is borrowed; it must outlive the simulation.
+  explicit Simulation(core::RecodingStrategy& strategy);
+  Simulation(core::RecodingStrategy& strategy, const Params& params);
+
+  /// Applies a join and returns the new node's id.
+  net::NodeId join(const net::NodeConfig& config);
+
+  void leave(net::NodeId v);
+  void move(net::NodeId v, util::Vec2 new_position);
+  void change_power(net::NodeId v, double new_range);
+
+  const net::AdhocNetwork& network() const { return network_; }
+  const net::CodeAssignment& assignment() const { return assignment_; }
+  net::Color max_color() const { return assignment_.max_color(network_.nodes()); }
+
+  const Totals& totals() const { return totals_; }
+  const std::vector<core::RecodeReport>& history() const { return history_; }
+  core::RecodingStrategy& strategy() { return strategy_; }
+
+ private:
+  void account(const core::RecodeReport& report);
+  void validate() const;
+
+  core::RecodingStrategy& strategy_;
+  Params params_;
+  net::AdhocNetwork network_;
+  net::CodeAssignment assignment_;
+  Totals totals_;
+  std::vector<core::RecodeReport> history_;
+};
+
+}  // namespace minim::sim

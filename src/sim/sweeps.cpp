@@ -1,0 +1,142 @@
+#include "sim/sweeps.hpp"
+
+#include "strategies/factory.hpp"
+#include "util/require.hpp"
+#include "util/thread_pool.hpp"
+
+namespace minim::sim {
+
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const WorkloadFactory& factory, bool delta_metrics,
+                                  const SweepOptions& options) {
+  MINIM_REQUIRE(!xs.empty(), "sweep needs at least one x value");
+  MINIM_REQUIRE(!options.strategies.empty(), "sweep needs at least one strategy");
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+
+  const std::size_t n_x = xs.size();
+  const std::size_t n_s = options.strategies.size();
+  const std::size_t runs = options.runs;
+
+  // Per-(x, strategy, run) metric storage, filled in parallel and reduced
+  // sequentially afterwards so results never depend on thread scheduling.
+  std::vector<double> colors(n_x * n_s * runs, 0.0);
+  std::vector<double> recodes(n_x * n_s * runs, 0.0);
+  auto slot = [n_s, runs](std::size_t xi, std::size_t si, std::size_t run) {
+    return (xi * n_s + si) * runs + run;
+  };
+
+  util::ThreadPool pool(options.threads);
+  pool.parallel_for(n_x * runs, [&](std::size_t task) {
+    const std::size_t xi = task / runs;
+    const std::size_t run = task % runs;
+    // One independent stream per (x, run); strategies share the workload.
+    util::Rng rng = util::Rng::for_stream(options.seed, task);
+    const Workload workload = factory(xs[xi], rng);
+    for (std::size_t si = 0; si < n_s; ++si) {
+      const auto strategy = strategies::make_strategy(options.strategies[si]);
+      const RunOutcome outcome = replay(workload, *strategy, options.validate);
+      const std::size_t at = slot(xi, si, run);
+      if (delta_metrics) {
+        colors[at] = outcome.delta_max_color();
+        recodes[at] = outcome.delta_recodings();
+      } else {
+        colors[at] = outcome.final_max_color;
+        recodes[at] = outcome.total_recodings;
+      }
+    }
+  });
+
+  std::vector<SweepPoint> points;
+  points.reserve(n_x * n_s);
+  for (std::size_t xi = 0; xi < n_x; ++xi)
+    for (std::size_t si = 0; si < n_s; ++si) {
+      SweepPoint point;
+      point.x = xs[xi];
+      point.strategy = options.strategies[si];
+      for (std::size_t run = 0; run < runs; ++run) {
+        point.color_metric.add(colors[slot(xi, si, run)]);
+        point.recoding_metric.add(recodes[slot(xi, si, run)]);
+      }
+      points.push_back(std::move(point));
+    }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
+                                        const SweepOptions& options, double min_range,
+                                        double max_range) {
+  return run_sweep(
+      ns,
+      [min_range, max_range](double x, util::Rng& rng) {
+        WorkloadParams params;
+        params.n = static_cast<std::size_t>(x);
+        params.min_range = min_range;
+        params.max_range = max_range;
+        return make_join_workload(params, rng);
+      },
+      /*delta_metrics=*/false, options);
+}
+
+std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_ranges,
+                                                const SweepOptions& options,
+                                                std::size_t n, double spread) {
+  return run_sweep(
+      avg_ranges,
+      [n, spread](double x, util::Rng& rng) {
+        WorkloadParams params;
+        params.n = n;
+        params.min_range = x - spread / 2.0;
+        params.max_range = x + spread / 2.0;
+        return make_join_workload(params, rng);
+      },
+      /*delta_metrics=*/false, options);
+}
+
+std::vector<SweepPoint> sweep_power_vs_raise_factor(
+    const std::vector<double>& raise_factors, const SweepOptions& options,
+    std::size_t n, double min_range, double max_range) {
+  return run_sweep(
+      raise_factors,
+      [n, min_range, max_range](double x, util::Rng& rng) {
+        WorkloadParams params;
+        params.n = n;
+        params.min_range = min_range;
+        params.max_range = max_range;
+        return make_power_workload(params, x, rng);
+      },
+      /*delta_metrics=*/true, options);
+}
+
+std::vector<SweepPoint> sweep_move_vs_max_displacement(
+    const std::vector<double>& max_displacements, const SweepOptions& options,
+    std::size_t n, double min_range, double max_range) {
+  return run_sweep(
+      max_displacements,
+      [n, min_range, max_range](double x, util::Rng& rng) {
+        WorkloadParams params;
+        params.n = n;
+        params.min_range = min_range;
+        params.max_range = max_range;
+        return make_move_workload(params, x, /*rounds=*/1, rng);
+      },
+      /*delta_metrics=*/true, options);
+}
+
+std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
+                                             const SweepOptions& options, std::size_t n,
+                                             double max_displacement, double min_range,
+                                             double max_range) {
+  return run_sweep(
+      rounds,
+      [n, max_displacement, min_range, max_range](double x, util::Rng& rng) {
+        WorkloadParams params;
+        params.n = n;
+        params.min_range = min_range;
+        params.max_range = max_range;
+        return make_move_workload(params, max_displacement,
+                                  static_cast<std::size_t>(x), rng);
+      },
+      /*delta_metrics=*/true, options);
+}
+
+}  // namespace minim::sim

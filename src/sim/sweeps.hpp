@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/replay.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+/// \file sweeps.hpp
+/// \brief Parameter sweeps reproducing the evaluation of Section 5.
+///
+/// Every figure in the paper is a sweep: an x-axis parameter, one curve per
+/// strategy, each point "the average of the metric measured over 100 runs of
+/// randomly generated ad-hoc networks".  `run_sweep` is the shared engine:
+/// it fans (x, run) pairs over a thread pool, replays each generated
+/// workload once per strategy (paired comparison — all strategies see the
+/// same random networks), and reduces per-run metrics deterministically
+/// (accumulation order is by run index, independent of thread scheduling).
+
+namespace minim::sim {
+
+/// One (x, strategy) point of a figure.
+struct SweepPoint {
+  double x = 0;
+  std::string strategy;
+  /// Fig 10: final max color / total recodings.
+  /// Fig 11/12: Δ(max color) / Δ(recodings) relative to after-setup state.
+  util::RunningStats color_metric;
+  util::RunningStats recoding_metric;
+};
+
+struct SweepOptions {
+  std::vector<std::string> strategies{"minim", "cp", "bbb"};
+  std::size_t runs = 100;     ///< paper: 100
+  std::uint64_t seed = 2001;  ///< master seed; runs derive independent streams
+  std::size_t threads = 0;    ///< 0 = hardware concurrency
+  bool validate = false;      ///< CA1/CA2 check after every event (slow)
+};
+
+/// Builds the workload for parameter value `x` using the supplied run-local
+/// RNG stream.
+using WorkloadFactory = std::function<Workload(double x, util::Rng& rng)>;
+
+/// Runs the sweep.  With `delta_metrics` the Δ-versions of both metrics are
+/// recorded (Figs 11 and 12), otherwise the absolute after-setup values
+/// (Fig 10).  Points are ordered x-major, strategy-minor.
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const WorkloadFactory& factory, bool delta_metrics,
+                                  const SweepOptions& options);
+
+// ---- Figure-specific sweeps (parameters default to the paper's) ----------
+
+/// Fig 10(a-c): joins vs N, minr=20.5, maxr=30.5.
+std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
+                                        const SweepOptions& options,
+                                        double min_range = 20.5,
+                                        double max_range = 30.5);
+
+/// Fig 10(d-f): joins vs average range, N=100, maxr-minr=5.
+std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_ranges,
+                                                const SweepOptions& options,
+                                                std::size_t n = 100,
+                                                double spread = 5.0);
+
+/// Fig 11: power raises of half the nodes vs raisefactor, N=100.
+std::vector<SweepPoint> sweep_power_vs_raise_factor(
+    const std::vector<double>& raise_factors, const SweepOptions& options,
+    std::size_t n = 100, double min_range = 20.5, double max_range = 30.5);
+
+/// Fig 12(a): one movement round vs maxdisp, N=40.
+std::vector<SweepPoint> sweep_move_vs_max_displacement(
+    const std::vector<double>& max_displacements, const SweepOptions& options,
+    std::size_t n = 40, double min_range = 20.5, double max_range = 30.5);
+
+/// Fig 12(b-d): movement rounds vs RoundNo, maxdisp=40, N=40.
+std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
+                                             const SweepOptions& options,
+                                             std::size_t n = 40,
+                                             double max_displacement = 40.0,
+                                             double min_range = 20.5,
+                                             double max_range = 30.5);
+
+}  // namespace minim::sim

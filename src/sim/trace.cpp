@@ -1,0 +1,157 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace minim::sim {
+
+std::string serialize_trace(const Trace& trace) {
+  std::ostringstream os;
+  os.precision(17);  // exact double round-trip
+  for (const TraceEvent& event : trace) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kJoin:
+        os << "join " << event.position.x << " " << event.position.y << " "
+           << event.range << "\n";
+        break;
+      case TraceEvent::Kind::kLeave:
+        os << "leave " << event.node << "\n";
+        break;
+      case TraceEvent::Kind::kMove:
+        os << "move " << event.node << " " << event.position.x << " "
+           << event.position.y << "\n";
+        break;
+      case TraceEvent::Kind::kPower:
+        os << "power " << event.node << " " << event.range << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  MINIM_REQUIRE(false,
+                "trace line " + std::to_string(line_number) + ": " + message);
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace
+
+Trace parse_trace(const std::string& text) {
+  Trace trace;
+  std::istringstream input(text);
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t joined = 0;             // nodes seen so far
+  std::vector<char> departed;         // by join index
+
+  while (std::getline(input, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string verb;
+    if (!(fields >> verb)) continue;  // blank/comment line
+
+    auto read_double = [&](const char* what) {
+      double value;
+      if (!(fields >> value)) fail(line_number, std::string("missing ") + what);
+      return value;
+    };
+    auto read_node = [&]() {
+      long long value;
+      if (!(fields >> value) || value < 0) fail(line_number, "missing/invalid node");
+      const auto node = static_cast<std::size_t>(value);
+      if (node >= joined) fail(line_number, "node has not joined yet");
+      if (departed[node]) fail(line_number, "node already left");
+      return node;
+    };
+
+    TraceEvent event;
+    if (verb == "join") {
+      event.kind = TraceEvent::Kind::kJoin;
+      event.position.x = read_double("x");
+      event.position.y = read_double("y");
+      event.range = read_double("range");
+      if (event.range < 0) fail(line_number, "negative range");
+      ++joined;
+      departed.push_back(0);
+    } else if (verb == "leave") {
+      event.kind = TraceEvent::Kind::kLeave;
+      event.node = read_node();
+      departed[event.node] = 1;
+    } else if (verb == "move") {
+      event.kind = TraceEvent::Kind::kMove;
+      event.node = read_node();
+      event.position.x = read_double("x");
+      event.position.y = read_double("y");
+    } else if (verb == "power") {
+      event.kind = TraceEvent::Kind::kPower;
+      event.node = read_node();
+      event.range = read_double("range");
+      if (event.range < 0) fail(line_number, "negative range");
+    } else {
+      fail(line_number, "unknown verb '" + verb + "'");
+    }
+    std::string trailing;
+    if (fields >> trailing) fail(line_number, "trailing tokens");
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+Trace trace_from_workload(const Workload& workload) {
+  Trace trace;
+  for (const auto& join : workload.joins) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kJoin;
+    event.position = join.position;
+    event.range = join.range;
+    trace.push_back(event);
+  }
+  for (const auto& raise : workload.power_raises) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kPower;
+    event.node = raise.join_index;
+    event.range = raise.new_range;
+    trace.push_back(event);
+  }
+  for (const auto& round : workload.move_rounds)
+    for (const auto& mv : round) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kMove;
+      event.node = mv.join_index;
+      event.position = mv.position;
+      trace.push_back(event);
+    }
+  return trace;
+}
+
+void apply_trace(const Trace& trace, Simulation& simulation) {
+  std::vector<net::NodeId> by_join_order;
+  for (const TraceEvent& event : trace) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kJoin:
+        by_join_order.push_back(
+            simulation.join(net::NodeConfig{event.position, event.range}));
+        break;
+      case TraceEvent::Kind::kLeave:
+        MINIM_REQUIRE(event.node < by_join_order.size(), "trace: unknown node");
+        simulation.leave(by_join_order[event.node]);
+        break;
+      case TraceEvent::Kind::kMove:
+        MINIM_REQUIRE(event.node < by_join_order.size(), "trace: unknown node");
+        simulation.move(by_join_order[event.node], event.position);
+        break;
+      case TraceEvent::Kind::kPower:
+        MINIM_REQUIRE(event.node < by_join_order.size(), "trace: unknown node");
+        simulation.change_power(by_join_order[event.node], event.range);
+        break;
+    }
+  }
+}
+
+}  // namespace minim::sim

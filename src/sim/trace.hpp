@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+/// \file trace.hpp
+/// \brief Plain-text event traces: record, share and replay exact scenarios.
+///
+/// A trace is the full reconfiguration history of a network as a line-based
+/// text document — the artifact you attach to a bug report or a paper
+/// appendix.  Nodes are named by their join order (0-based), independent of
+/// internal id reuse, so a trace is meaningful without the engine state.
+///
+/// Grammar (one event per line; `#` starts a comment; blank lines ignored):
+///   join <x> <y> <range>
+///   leave <node>
+///   move <node> <x> <y>
+///   power <node> <range>
+
+namespace minim::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kJoin, kLeave, kMove, kPower };
+
+  Kind kind = Kind::kJoin;
+  std::size_t node = 0;      ///< join-order index (ignored for kJoin)
+  util::Vec2 position{};     ///< kJoin / kMove
+  double range = 0.0;        ///< kJoin / kPower
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Renders `trace` in the text format above (stable round-trip).
+std::string serialize_trace(const Trace& trace);
+
+/// Parses the text format; throws std::invalid_argument with a line number
+/// on malformed input or references to nodes that have not joined/already
+/// left.
+Trace parse_trace(const std::string& text);
+
+/// Converts a phased workload into the equivalent flat trace.
+Trace trace_from_workload(const Workload& workload);
+
+/// Applies `trace` to a fresh simulation run by `strategy`; returns the
+/// engine for inspection.  Throws on references to departed nodes.
+void apply_trace(const Trace& trace, Simulation& simulation);
+
+}  // namespace minim::sim

@@ -1,0 +1,76 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace minim::sim {
+
+namespace {
+
+Workload joins_only(const WorkloadParams& params, util::Rng& rng) {
+  MINIM_REQUIRE(params.min_range <= params.max_range, "min_range > max_range");
+  Workload w;
+  w.width = params.width;
+  w.height = params.height;
+  w.joins.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    net::NodeConfig config;
+    config.position = {rng.uniform(0.0, params.width), rng.uniform(0.0, params.height)};
+    config.range = rng.uniform(params.min_range, params.max_range);
+    w.joins.push_back(config);
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload make_join_workload(const WorkloadParams& params, util::Rng& rng) {
+  return joins_only(params, rng);
+}
+
+Workload make_power_workload(const WorkloadParams& params, double raise_factor,
+                             util::Rng& rng) {
+  MINIM_REQUIRE(raise_factor >= 1.0, "raise_factor must be >= 1");
+  Workload w = joins_only(params, rng);
+  // Half of the nodes, chosen uniformly without replacement, in random order.
+  std::vector<std::size_t> indices(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) indices[i] = i;
+  rng.shuffle(indices);
+  const std::size_t raisers = params.n / 2;
+  for (std::size_t i = 0; i < raisers; ++i) {
+    const std::size_t idx = indices[i];
+    w.power_raises.push_back(PowerRaise{idx, w.joins[idx].range * raise_factor});
+  }
+  return w;
+}
+
+Workload make_move_workload(const WorkloadParams& params, double max_displacement,
+                            std::size_t rounds, util::Rng& rng) {
+  MINIM_REQUIRE(max_displacement >= 0.0, "max_displacement must be >= 0");
+  Workload w = joins_only(params, rng);
+  // Track evolving positions so each round's displacement composes.
+  std::vector<util::Vec2> position(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) position[i] = w.joins[i].position;
+
+  w.move_rounds.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Move> round;
+    round.reserve(params.n);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double displacement = rng.uniform(0.0, max_displacement);
+      const util::Vec2 target = util::clamp_to_box(
+          position[i] + util::Vec2::from_angle(angle) * displacement,
+          params.width, params.height);
+      position[i] = target;
+      round.push_back(Move{i, target});
+    }
+    w.move_rounds.push_back(std::move(round));
+  }
+  return w;
+}
+
+}  // namespace minim::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+/// \file workload.hpp
+/// \brief Randomized event workloads matching Section 5's experiment setup.
+///
+/// A `Workload` is a strategy-independent description of everything random
+/// in one simulation run: the join sequence (positions + ranges), the power
+/// raises, and the per-round absolute positions of movers.  Generating the
+/// workload *before* replaying it per strategy guarantees every strategy
+/// sees the identical event sequence — the paired comparison the paper's
+/// plots rely on.
+///
+/// Positions are uniform on the field (paper: 100 x 100 units); ranges
+/// uniform in (min_range, max_range); movement picks a uniform direction and
+/// a displacement uniform in [0, max_displacement], clamped to the field.
+
+namespace minim::sim {
+
+/// One power-range change: the `join_index`-th joined node moves to
+/// `new_range`.
+struct PowerRaise {
+  std::size_t join_index;
+  double new_range;
+};
+
+/// One movement: the `join_index`-th joined node relocates to `position`
+/// (already absolute and clamped).
+struct Move {
+  std::size_t join_index;
+  util::Vec2 position;
+};
+
+struct Workload {
+  double width = 100.0;
+  double height = 100.0;
+  std::vector<net::NodeConfig> joins;          ///< phase 1: consecutive joins
+  std::vector<PowerRaise> power_raises;        ///< phase 2 (Fig 11)
+  std::vector<std::vector<Move>> move_rounds;  ///< phase 2 (Fig 12)
+};
+
+/// Experiment knobs shared by all three figures.
+struct WorkloadParams {
+  std::size_t n = 100;        ///< nodes joined in phase 1
+  double min_range = 20.5;
+  double max_range = 30.5;
+  double width = 100.0;
+  double height = 100.0;
+};
+
+/// Fig 10 workload: N consecutive joins, nothing else.
+Workload make_join_workload(const WorkloadParams& params, util::Rng& rng);
+
+/// Fig 11 workload: N joins, then `n/2` distinct random nodes raise their
+/// range by `raise_factor` (sequenced in random order).
+Workload make_power_workload(const WorkloadParams& params, double raise_factor,
+                             util::Rng& rng);
+
+/// Fig 12 workload: N joins, then `rounds` rounds in which every node moves
+/// once (ascending join order, as "one by one" in the paper) by a uniform
+/// displacement in a uniform direction, clamped to the field.
+Workload make_move_workload(const WorkloadParams& params, double max_displacement,
+                            std::size_t rounds, util::Rng& rng);
+
+}  // namespace minim::sim

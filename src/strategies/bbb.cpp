@@ -1,0 +1,60 @@
+#include "strategies/bbb.hpp"
+
+namespace minim::strategies {
+
+std::string BbbStrategy::name() const {
+  if (order_ == ColoringOrder::kSmallestLast) return "BBB";
+  return std::string("BBB/") + to_string(order_);
+}
+
+core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
+                                               net::CodeAssignment& assignment,
+                                               core::EventType event,
+                                               net::NodeId subject) const {
+  core::RecodeReport report;
+  report.event = event;
+  report.subject = subject;
+
+  // Remember the previous assignment to count changes.
+  const auto nodes = net.nodes();
+  std::vector<net::Color> old_colors;
+  old_colors.reserve(nodes.size());
+  for (net::NodeId v : nodes) old_colors.push_back(assignment.color(v));
+
+  color_network(net, order_, assignment);
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const net::Color fresh = assignment.color(nodes[i]);
+    if (fresh != old_colors[i])
+      report.changes.push_back(core::Recode{nodes[i], old_colors[i], fresh});
+  }
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+core::RecodeReport BbbStrategy::on_join(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment, net::NodeId n) {
+  return global_recolor(net, assignment, core::EventType::kJoin, n);
+}
+
+core::RecodeReport BbbStrategy::on_leave(const net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         net::NodeId departed) {
+  return global_recolor(net, assignment, core::EventType::kLeave, departed);
+}
+
+core::RecodeReport BbbStrategy::on_move(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment, net::NodeId n) {
+  return global_recolor(net, assignment, core::EventType::kMove, n);
+}
+
+core::RecodeReport BbbStrategy::on_power_change(const net::AdhocNetwork& net,
+                                                net::CodeAssignment& assignment,
+                                                net::NodeId n, double old_range) {
+  const double new_range = net.config(n).range;
+  const core::EventType event = new_range > old_range ? core::EventType::kPowerIncrease
+                                                      : core::EventType::kPowerDecrease;
+  return global_recolor(net, assignment, event, n);
+}
+
+}  // namespace minim::strategies

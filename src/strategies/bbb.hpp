@@ -1,0 +1,45 @@
+#pragma once
+
+#include "core/strategy.hpp"
+#include "strategies/coloring.hpp"
+
+/// \file bbb.hpp
+/// \brief The BBB global baseline: recolor the whole network at every event.
+///
+/// The paper evaluates its distributed strategies against "a strategy that
+/// uses a centralized coloring heuristic: the BBB algorithm of [7], to
+/// recolor the entire network at every event".  BBB is near-optimal in max
+/// color index (it ignores history and colors from scratch) but pathological
+/// in #recodings, which is exactly the contrast Figures 10-12 show.
+
+namespace minim::strategies {
+
+class BbbStrategy final : public core::RecodingStrategy {
+ public:
+  explicit BbbStrategy(ColoringOrder order = ColoringOrder::kSmallestLast)
+      : order_(order) {}
+
+  std::string name() const override;
+
+  core::RecodeReport on_join(const net::AdhocNetwork& net,
+                             net::CodeAssignment& assignment, net::NodeId n) override;
+  core::RecodeReport on_leave(const net::AdhocNetwork& net,
+                              net::CodeAssignment& assignment,
+                              net::NodeId departed) override;
+  core::RecodeReport on_move(const net::AdhocNetwork& net,
+                             net::CodeAssignment& assignment, net::NodeId n) override;
+  core::RecodeReport on_power_change(const net::AdhocNetwork& net,
+                                     net::CodeAssignment& assignment, net::NodeId n,
+                                     double old_range) override;
+
+  ColoringOrder order() const { return order_; }
+
+ private:
+  core::RecodeReport global_recolor(const net::AdhocNetwork& net,
+                                    net::CodeAssignment& assignment,
+                                    core::EventType event, net::NodeId subject) const;
+
+  ColoringOrder order_;
+};
+
+}  // namespace minim::strategies

@@ -1,0 +1,138 @@
+#include "strategies/coloring.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "net/constraints.hpp"
+
+namespace minim::strategies {
+
+const char* to_string(ColoringOrder order) {
+  switch (order) {
+    case ColoringOrder::kSmallestLast: return "smallest-last";
+    case ColoringOrder::kDSatur: return "dsatur";
+    case ColoringOrder::kLargestFirst: return "largest-first";
+    case ColoringOrder::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+std::vector<std::vector<net::NodeId>> conflict_adjacency(const net::AdhocNetwork& net) {
+  std::vector<std::vector<net::NodeId>> adj(net.id_bound());
+  for (net::NodeId v : net.nodes()) adj[v] = net::conflict_partners(net, v);
+  return adj;
+}
+
+namespace {
+
+/// Colors `vertices` in the given sequence; each takes the lowest color not
+/// used by an already-colored conflict neighbor.
+net::Color greedy_in_sequence(const std::vector<std::vector<net::NodeId>>& adj,
+                              const std::vector<net::NodeId>& sequence,
+                              net::CodeAssignment& assignment) {
+  net::Color used = 0;
+  std::vector<net::Color> forbidden;
+  for (net::NodeId v : sequence) {
+    forbidden.clear();
+    for (net::NodeId w : adj[v]) {
+      const net::Color c = assignment.color(w);
+      if (c != net::kNoColor) forbidden.push_back(c);
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+    const net::Color c = net::lowest_free_color(forbidden);
+    assignment.set_color(v, c);
+    used = std::max(used, c);
+  }
+  return used;
+}
+
+/// DSATUR needs interleaved ordering and coloring, so it gets its own loop.
+net::Color dsatur(const std::vector<std::vector<net::NodeId>>& adj,
+                  const std::vector<net::NodeId>& vertices,
+                  net::CodeAssignment& assignment) {
+  std::vector<char> pending(adj.size(), 0);
+  for (net::NodeId v : vertices) pending[v] = 1;
+
+  net::Color used = 0;
+  std::vector<net::Color> forbidden;
+  for (std::size_t step = 0; step < vertices.size(); ++step) {
+    // Pick the pending vertex with maximum saturation (distinct colors among
+    // its conflict neighbors), ties by degree then by lowest id.
+    net::NodeId best = graph::kInvalidNode;
+    std::size_t best_sat = 0;
+    std::size_t best_deg = 0;
+    for (net::NodeId v : vertices) {
+      if (!pending[v]) continue;
+      forbidden.clear();
+      for (net::NodeId w : adj[v]) {
+        const net::Color c = assignment.color(w);
+        if (c != net::kNoColor) forbidden.push_back(c);
+      }
+      std::sort(forbidden.begin(), forbidden.end());
+      forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+      const std::size_t sat = forbidden.size();
+      const std::size_t deg = adj[v].size();
+      if (best == graph::kInvalidNode || sat > best_sat ||
+          (sat == best_sat && deg > best_deg)) {
+        best = v;
+        best_sat = sat;
+        best_deg = deg;
+      }
+    }
+    forbidden.clear();
+    for (net::NodeId w : adj[best]) {
+      const net::Color c = assignment.color(w);
+      if (c != net::kNoColor) forbidden.push_back(c);
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+    const net::Color c = net::lowest_free_color(forbidden);
+    assignment.set_color(best, c);
+    used = std::max(used, c);
+    pending[best] = 0;
+  }
+  return used;
+}
+
+std::vector<net::NodeId> order_vertices(const std::vector<std::vector<net::NodeId>>& adj,
+                                        std::vector<net::NodeId> vertices,
+                                        ColoringOrder order) {
+  switch (order) {
+    case ColoringOrder::kSmallestLast:
+      return graph::smallest_last_order(adj, vertices);
+    case ColoringOrder::kLargestFirst:
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [&adj](net::NodeId a, net::NodeId b) {
+                         return adj[a].size() > adj[b].size();
+                       });
+      return vertices;
+    case ColoringOrder::kIdentity:
+      std::sort(vertices.begin(), vertices.end());
+      return vertices;
+    case ColoringOrder::kDSatur:
+      return vertices;  // handled by the dedicated loop
+  }
+  return vertices;
+}
+
+}  // namespace
+
+net::Color greedy_color_subset(const net::AdhocNetwork& net,
+                               const std::vector<net::NodeId>& vertices,
+                               ColoringOrder order, net::CodeAssignment& assignment) {
+  const auto adj = conflict_adjacency(net);
+  if (order == ColoringOrder::kDSatur) return dsatur(adj, vertices, assignment);
+  const auto sequence = order_vertices(adj, vertices, order);
+  return greedy_in_sequence(adj, sequence, assignment);
+}
+
+net::Color color_network(const net::AdhocNetwork& net, ColoringOrder order,
+                         net::CodeAssignment& out) {
+  // Start all nodes uncolored so greedy sees a clean slate.
+  for (net::NodeId v : net.nodes()) out.clear(v);
+  return greedy_color_subset(net, net.nodes(), order, out);
+}
+
+}  // namespace minim::strategies

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+
+/// \file coloring.hpp
+/// \brief Global conflict-graph coloring heuristics (the BBB substrate).
+///
+/// The TOCA problem is vertex coloring of the *conflict graph*: nodes are
+/// adjacent iff CA1 or CA2 forbids them the same color.  Optimal coloring is
+/// NP-complete [Bertossi-Bonuccelli 1995], so the paper's global baseline
+/// (BBB, from Battiti-Bertossi-Bonuccelli 1999) is a sequential greedy
+/// heuristic.  The original code was never released; we provide the standard
+/// ordering family — smallest-last (degeneracy), DSATUR, largest-first and
+/// identity — with smallest-last as the default "near-optimal" stand-in, and
+/// expose the choice as an ablation.
+
+namespace minim::strategies {
+
+/// Vertex orderings for sequential greedy coloring.
+enum class ColoringOrder {
+  kSmallestLast,  ///< degeneracy order; classic near-optimal default
+  kDSatur,        ///< Brelaz's saturation-degree-first [9]
+  kLargestFirst,  ///< descending conflict degree
+  kIdentity,      ///< ascending node id (worst-case baseline)
+};
+
+const char* to_string(ColoringOrder order);
+
+/// Conflict-graph adjacency for all live nodes: `adj[v]` lists every node
+/// that may not share v's color, ascending.  Indexed by node id.
+std::vector<std::vector<net::NodeId>> conflict_adjacency(const net::AdhocNetwork& net);
+
+/// Colors the whole network from scratch with sequential greedy coloring in
+/// the given order, writing into `out` (existing colors ignored/overwritten).
+/// Returns the number of colors used.
+net::Color color_network(const net::AdhocNetwork& net, ColoringOrder order,
+                         net::CodeAssignment& out);
+
+/// Greedy-colors exactly `vertices` (in the order produced for `order`),
+/// holding all other nodes' colors in `assignment` fixed.  Used by tests.
+net::Color greedy_color_subset(const net::AdhocNetwork& net,
+                               const std::vector<net::NodeId>& vertices,
+                               ColoringOrder order, net::CodeAssignment& assignment);
+
+}  // namespace minim::strategies

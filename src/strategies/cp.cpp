@@ -1,0 +1,209 @@
+#include "strategies/cp.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "net/constraints.hpp"
+#include "util/geometry.hpp"
+#include "util/require.hpp"
+
+namespace minim::strategies {
+
+std::string CpStrategy::name() const {
+  std::string name = order_ == Order::kHighestFirst ? "CP" : "CP/lowest-first";
+  if (vicinity_ == Vicinity::kExactConstraints) name += "/exact";
+  return name;
+}
+
+std::vector<net::NodeId> CpStrategy::duplicate_color_neighbors(
+    const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
+    net::NodeId n) {
+  std::map<net::Color, std::vector<net::NodeId>> by_color;
+  for (net::NodeId u : net.heard_by(n)) {
+    const net::Color c = assignment.color(u);
+    if (c != net::kNoColor) by_color[c].push_back(u);
+  }
+  std::vector<net::NodeId> duplicates;
+  for (auto& [color, members] : by_color)
+    if (members.size() > 1)
+      duplicates.insert(duplicates.end(), members.begin(), members.end());
+  std::sort(duplicates.begin(), duplicates.end());
+  return duplicates;
+}
+
+core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
+                                                  net::CodeAssignment& assignment,
+                                                  std::vector<net::NodeId> candidates,
+                                                  net::NodeId subject,
+                                                  core::EventType event) const {
+  core::RecodeReport report;
+  report.event = event;
+  report.subject = subject;
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  // Deselect: candidates give up their colors before re-selection.
+  std::vector<net::Color> saved_old(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    saved_old[i] = assignment.color(candidates[i]);
+    assignment.clear(candidates[i]);
+  }
+
+  // Vicinity = self + nodes within 2 undirected hops (CP's notion, which
+  // over-approximates the real constraint set).
+  std::vector<std::vector<net::NodeId>> vicinity(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    vicinity[i] = graph::k_hop_ball(net.graph(), candidates[i], 2);
+
+  if (stats_ != nullptr) {
+    *stats_ = RunStats{};
+    stats_->candidates = candidates;
+    for (const auto& ball : vicinity) stats_->vicinity_sizes.push_back(ball.size());
+  }
+
+  auto candidate_index = [&candidates](net::NodeId v) -> std::size_t {
+    const auto it = std::lower_bound(candidates.begin(), candidates.end(), v);
+    if (it == candidates.end() || *it != v) return candidates.size();
+    return static_cast<std::size_t>(it - candidates.begin());
+  };
+
+  std::vector<char> colored(candidates.size(), 0);
+  std::size_t remaining = candidates.size();
+  std::vector<net::Color> forbidden;
+  while (remaining > 0) {
+    if (stats_ != nullptr) {
+      ++stats_->rounds;
+      stats_->pending_per_round.push_back(remaining);
+    }
+    // A candidate selects when it is the extreme-identity uncolored
+    // candidate within its own vicinity.  All simultaneously-eligible
+    // candidates are pairwise > 2 hops apart, so their choices commute; we
+    // process them in deterministic identity order.
+    bool progressed = false;
+    for (std::size_t step = 0; step < candidates.size(); ++step) {
+      const std::size_t i =
+          order_ == Order::kHighestFirst ? candidates.size() - 1 - step : step;
+      if (colored[i]) continue;
+      const net::NodeId u = candidates[i];
+      bool blocked = false;
+      for (net::NodeId w : vicinity[i]) {
+        const std::size_t j = candidate_index(w);
+        if (j == candidates.size() || colored[j]) continue;
+        if (order_ == Order::kHighestFirst ? w > u : w < u) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+
+      forbidden.clear();
+      if (vicinity_ == Vicinity::kTwoHopBall) {
+        for (net::NodeId w : vicinity[i]) {
+          const net::Color c = assignment.color(w);
+          if (c != net::kNoColor) forbidden.push_back(c);
+        }
+      } else {
+        // Exact variant: avoid only true CA1/CA2 conflict partners (pending
+        // candidates are uncolored and contribute nothing yet).
+        for (net::NodeId w : net::conflict_partners(net, u)) {
+          const net::Color c = assignment.color(w);
+          if (c != net::kNoColor) forbidden.push_back(c);
+        }
+      }
+      std::sort(forbidden.begin(), forbidden.end());
+      forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+      assignment.set_color(u, net::lowest_free_color(forbidden));
+      colored[i] = 1;
+      --remaining;
+      progressed = true;
+    }
+    // The globally extreme uncolored candidate is always eligible.
+    MINIM_REQUIRE(progressed, "CP recoloring failed to make progress");
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const net::Color fresh = assignment.color(candidates[i]);
+    if (fresh != saved_old[i])
+      report.changes.push_back(core::Recode{candidates[i], saved_old[i], fresh});
+  }
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+core::RecodeReport CpStrategy::on_join(const net::AdhocNetwork& net,
+                                       net::CodeAssignment& assignment, net::NodeId n) {
+  std::vector<net::NodeId> candidates = duplicate_color_neighbors(net, assignment, n);
+  candidates.push_back(n);
+  return recolor_candidates(net, assignment, std::move(candidates), n,
+                            core::EventType::kJoin);
+}
+
+core::RecodeReport CpStrategy::on_leave(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment,
+                                        net::NodeId departed) {
+  // CP's leave strategy: neighbors only update constraint bookkeeping.
+  core::RecodeReport report;
+  report.event = core::EventType::kLeave;
+  report.subject = departed;
+  finalize_report(net, assignment, report);
+  return report;
+}
+
+core::RecodeReport CpStrategy::on_move(const net::AdhocNetwork& net,
+                                       net::CodeAssignment& assignment, net::NodeId n) {
+  // Leave (no recoding) followed by a join at the new position; the mover
+  // deselects its color and re-selects like a new node.  Counting compares
+  // against its pre-move color, so re-selecting it counts as zero.
+  std::vector<net::NodeId> candidates = duplicate_color_neighbors(net, assignment, n);
+  candidates.push_back(n);
+  return recolor_candidates(net, assignment, std::move(candidates), n,
+                            core::EventType::kMove);
+}
+
+core::RecodeReport CpStrategy::on_power_change(const net::AdhocNetwork& net,
+                                               net::CodeAssignment& assignment,
+                                               net::NodeId n, double old_range) {
+  const double new_range = net.config(n).range;
+  if (new_range <= old_range) {
+    core::RecodeReport report;
+    report.event = core::EventType::kPowerDecrease;
+    report.subject = n;
+    finalize_report(net, assignment, report);
+    return report;
+  }
+
+  // New constraints all involve n: its new out-neighbors (CA1) and their
+  // other in-neighbors (CA2).  Candidates are those holding n's color.
+  const net::Color cn = assignment.color(n);
+  const util::Vec2 pn = net.config(n).position;
+  const double old_r2 = old_range * old_range;
+  std::vector<net::NodeId> conflicted;
+  for (net::NodeId u : net.hearers_of(n)) {
+    const bool is_new =
+        util::distance_squared(pn, net.config(u).position) > old_r2;
+    if (!is_new) continue;
+    if (assignment.color(u) == cn) conflicted.push_back(u);
+    for (net::NodeId w : net.heard_by(u)) {
+      if (w == n) continue;
+      if (assignment.color(w) == cn) conflicted.push_back(w);
+    }
+  }
+  std::sort(conflicted.begin(), conflicted.end());
+  conflicted.erase(std::unique(conflicted.begin(), conflicted.end()), conflicted.end());
+
+  if (conflicted.empty()) {
+    // No conflicts: the old assignment is still valid; CP does nothing.
+    core::RecodeReport report;
+    report.event = core::EventType::kPowerIncrease;
+    report.subject = n;
+    finalize_report(net, assignment, report);
+    return report;
+  }
+  conflicted.push_back(n);
+  return recolor_candidates(net, assignment, std::move(conflicted), n,
+                            core::EventType::kPowerIncrease);
+}
+
+}  // namespace minim::strategies

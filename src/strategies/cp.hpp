@@ -1,0 +1,100 @@
+#pragma once
+
+#include <vector>
+
+#include "core/strategy.hpp"
+
+/// \file cp.hpp
+/// \brief The CP baseline (Chlamtac-Pinter [3]), extended per Section 3.
+///
+/// CP is the prior distributed recoding scheme the paper compares against:
+///
+/// * **Join**: the new node plus every 1-hop (in-)neighbor whose color
+///   collides with another 1-hop neighbor "deselect" their colors and pick
+///   new ones in identity order — a node selects when it is the
+///   highest-identity (or lowest, selectable) not-yet-colored candidate in
+///   its *vicinity* (itself + nodes up to 2 undirected hops away).  It takes
+///   the lowest color not used by any colored node in its vicinity.  Note
+///   that the 2-hop vicinity over-approximates the true CA1/CA2 constraint
+///   set, which is why CP burns more colors than Minim on joins.
+/// * **Leave / power decrease**: nothing (same as Minim).
+/// * **Move**: treated as a leave followed by a join at the new position
+///   (the mover deselects its color and re-selects as a "new" node).
+/// * **Power increase** (the paper's extension of CP): every node within two
+///   hops of n that gained a *new* constraint with n and holds n's old
+///   color recolors, along with n itself, in identity order as above.
+///
+/// Recodings are counted as color *changes*; a candidate that re-selects its
+/// old color does not count (paper Fig 4: CP recodes 4 nodes, not 5).
+
+namespace minim::strategies {
+
+class CpStrategy final : public core::RecodingStrategy {
+ public:
+  /// Which end of the identity order selects first.
+  enum class Order { kHighestFirst, kLowestFirst };
+
+  /// What a recoloring candidate avoids when picking its new color.
+  /// `kTwoHopBall` is the literal CP rule ("not yet taken by any of its
+  /// 1 hop and 2 hop neighbors"); on *symmetric* graphs — CP's original
+  /// setting — that set coincides with the true CA1/CA2 constraint set, but
+  /// on this paper's directed model it over-approximates it.
+  /// `kExactConstraints` avoids only true conflict partners, which is the
+  /// faithful port of CP's intent to the directed model.
+  enum class Vicinity { kTwoHopBall, kExactConstraints };
+
+  explicit CpStrategy(Order order = Order::kHighestFirst,
+                      Vicinity vicinity = Vicinity::kTwoHopBall)
+      : order_(order), vicinity_(vicinity) {}
+
+  std::string name() const override;
+
+  core::RecodeReport on_join(const net::AdhocNetwork& net,
+                             net::CodeAssignment& assignment, net::NodeId n) override;
+  core::RecodeReport on_leave(const net::AdhocNetwork& net,
+                              net::CodeAssignment& assignment,
+                              net::NodeId departed) override;
+  core::RecodeReport on_move(const net::AdhocNetwork& net,
+                             net::CodeAssignment& assignment, net::NodeId n) override;
+  core::RecodeReport on_power_change(const net::AdhocNetwork& net,
+                                     net::CodeAssignment& assignment, net::NodeId n,
+                                     double old_range) override;
+
+  Order order() const { return order_; }
+  Vicinity vicinity() const { return vicinity_; }
+
+  /// Execution statistics of the last recoloring — what the distributed
+  /// runtime needs for message accounting (the algorithm itself is
+  /// identical, so proto::DistributedCp delegates here).
+  struct RunStats {
+    std::size_t rounds = 0;                      ///< elimination iterations
+    std::vector<net::NodeId> candidates;         ///< recoloring set, ascending
+    std::vector<std::size_t> vicinity_sizes;     ///< |2-hop ball| per candidate
+    std::vector<std::size_t> pending_per_round;  ///< uncolored count entering each round
+  };
+
+  /// Installs a borrowed sink filled by every subsequent recoloring (null to
+  /// detach).  Not thread-safe; intended for single-threaded tracing runs.
+  void set_stats_sink(RunStats* sink) { stats_ = sink; }
+
+ private:
+  /// In-neighbors of n that share an old color with another in-neighbor —
+  /// the CA2 casualties of a join/move at n.
+  static std::vector<net::NodeId> duplicate_color_neighbors(
+      const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
+      net::NodeId n);
+
+  /// The identity-ordered distributed recoloring of `candidates` (their
+  /// colors are deselected first).  Returns the per-node changes.
+  core::RecodeReport recolor_candidates(const net::AdhocNetwork& net,
+                                        net::CodeAssignment& assignment,
+                                        std::vector<net::NodeId> candidates,
+                                        net::NodeId subject,
+                                        core::EventType event) const;
+
+  Order order_;
+  Vicinity vicinity_;
+  RunStats* stats_ = nullptr;
+};
+
+}  // namespace minim::strategies

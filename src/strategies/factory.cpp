@@ -1,0 +1,40 @@
+#include "strategies/factory.hpp"
+
+#include "core/minim.hpp"
+#include "strategies/bbb.hpp"
+#include "strategies/cp.hpp"
+#include "util/require.hpp"
+
+namespace minim::strategies {
+
+core::StrategyPtr make_strategy(const std::string& name) {
+  if (name == "minim") return std::make_unique<core::MinimStrategy>();
+  if (name == "minim-greedy") {
+    core::MinimStrategy::Params p;
+    p.matcher = core::MinimStrategy::Matcher::kGreedy;
+    return std::make_unique<core::MinimStrategy>(p);
+  }
+  if (name == "minim-cardinality") {
+    core::MinimStrategy::Params p;
+    p.matcher = core::MinimStrategy::Matcher::kCardinality;
+    return std::make_unique<core::MinimStrategy>(p);
+  }
+  if (name == "cp") return std::make_unique<CpStrategy>();
+  if (name == "cp-lowest") return std::make_unique<CpStrategy>(CpStrategy::Order::kLowestFirst);
+  if (name == "cp-exact")
+    return std::make_unique<CpStrategy>(CpStrategy::Order::kHighestFirst,
+                                        CpStrategy::Vicinity::kExactConstraints);
+  if (name == "bbb") return std::make_unique<BbbStrategy>();
+  if (name == "bbb-dsatur") return std::make_unique<BbbStrategy>(ColoringOrder::kDSatur);
+  if (name == "bbb-largest") return std::make_unique<BbbStrategy>(ColoringOrder::kLargestFirst);
+  if (name == "bbb-identity") return std::make_unique<BbbStrategy>(ColoringOrder::kIdentity);
+  MINIM_REQUIRE(false, "unknown strategy '" + name + "'; known: " + known_strategy_names());
+  return nullptr;  // unreachable
+}
+
+std::string known_strategy_names() {
+  return "minim, minim-greedy, minim-cardinality, cp, cp-lowest, cp-exact, "
+         "bbb, bbb-dsatur, bbb-largest, bbb-identity";
+}
+
+}  // namespace minim::strategies

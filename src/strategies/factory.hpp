@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "core/strategy.hpp"
+
+/// \file factory.hpp
+/// \brief Construct strategies by name for benches and examples.
+///
+/// Known names: "minim", "minim-greedy", "minim-cardinality", "cp",
+/// "cp-lowest", "bbb", "bbb-dsatur", "bbb-largest", "bbb-identity".
+
+namespace minim::strategies {
+
+/// Builds the named strategy; throws std::invalid_argument on unknown names.
+core::StrategyPtr make_strategy(const std::string& name);
+
+/// All names accepted by `make_strategy`, for help text.
+std::string known_strategy_names();
+
+}  // namespace minim::strategies

@@ -1,0 +1,36 @@
+#include "strategies/gossip.hpp"
+
+#include "net/constraints.hpp"
+
+namespace minim::strategies {
+
+GossipResult gossip_compact(const net::AdhocNetwork& net,
+                            net::CodeAssignment& assignment,
+                            const GossipParams& params) {
+  GossipResult result;
+  const auto nodes = net.nodes();
+  result.max_color_before = assignment.max_color(nodes);
+
+  std::vector<net::NodeId> order(nodes);
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    ++result.rounds;
+    if (params.rng != nullptr) params.rng->shuffle(order);
+    bool changed = false;
+    for (net::NodeId v : order) {
+      const net::Color current = assignment.color(v);
+      if (current == net::kNoColor) continue;
+      const auto forbidden = net::forbidden_colors(net, assignment, v);
+      const net::Color lowest = net::lowest_free_color(forbidden);
+      if (lowest < current) {
+        assignment.set_color(v, lowest);
+        ++result.recodings;
+        changed = true;
+      }
+    }
+    if (!changed) break;  // fixed point: greedy-stable assignment
+  }
+  result.max_color_after = assignment.max_color(nodes);
+  return result;
+}
+
+}  // namespace minim::strategies

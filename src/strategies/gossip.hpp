@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+/// \file gossip.hpp
+/// \brief Gossip-based color compaction (the paper's Future Work, Section 6).
+///
+/// The paper closes by proposing "a recoding strategy that seeks to maximize
+/// the network-wide code reuse by using a local gossiping strategy ...
+/// during the (possibly significantly long) periods when no nodes connect
+/// to, move about or increase their power".
+///
+/// We implement the natural realization: in repeated local rounds, each node
+/// computes the lowest color consistent with its conflict partners' current
+/// colors and adopts it when strictly lower than its own.  Each adoption
+/// keeps the assignment valid (the new color avoids every constraint), so
+/// validity is an invariant; colors only decrease, so the process terminates.
+/// The fixed point is a *greedy-stable* assignment: no node can lower its
+/// color unilaterally, hence max color <= 1 + max conflict degree.
+
+namespace minim::strategies {
+
+struct GossipResult {
+  std::size_t recodings = 0;   ///< nodes that lowered their color (total adoptions)
+  std::size_t rounds = 0;      ///< full passes executed (including the quiet one)
+  net::Color max_color_before = net::kNoColor;
+  net::Color max_color_after = net::kNoColor;
+};
+
+struct GossipParams {
+  /// Safety valve; the process terminates on its own far earlier.
+  std::size_t max_rounds = 1000;
+  /// Visit order is shuffled per round when an Rng is supplied, modelling
+  /// asynchronous gossip; nullptr = ascending-id deterministic rounds.
+  util::Rng* rng = nullptr;
+};
+
+/// Runs compaction rounds until a full pass makes no change (or the round
+/// limit hits).  `assignment` must be valid on entry and stays valid.
+GossipResult gossip_compact(const net::AdhocNetwork& net,
+                            net::CodeAssignment& assignment,
+                            const GossipParams& params = {});
+
+}  // namespace minim::strategies

@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace minim::util {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  MINIM_REQUIRE(!header_written_, "CSV header written twice");
+  MINIM_REQUIRE(rows_ == 0, "CSV header after rows");
+  MINIM_REQUIRE(!names.empty(), "CSV header must be non-empty");
+  width_ = names.size();
+  header_written_ = true;
+  write_cells(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (width_ == 0) width_ = cells.size();
+  MINIM_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  ++rows_;
+  write_cells(cells);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    formatted.push_back(os.str());
+  }
+  row(formatted);
+}
+
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream out(path);
+  MINIM_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  return out;
+}
+
+}  // namespace minim::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// \brief Minimal RFC-4180-ish CSV emission for benchmark series.
+///
+/// Every figure harness in `bench/` can dump its series as CSV (in addition
+/// to the human-readable table) so plots can be regenerated offline.
+
+namespace minim::util {
+
+/// Streams rows of a fixed-width CSV table.  Quotes fields that contain
+/// commas, quotes or newlines; doubles embedded quotes.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (caller keeps it alive).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emits the header row.  Must be called at most once, before any row.
+  void header(const std::vector<std::string>& names);
+
+  /// Emits a row of already-formatted cells.  Row width must match the
+  /// header width when a header was written.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void row_numeric(const std::vector<double>& cells, int precision = 10);
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a single field per CSV quoting rules.
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  std::size_t width_ = 0;  // 0 until header or first row fixes it
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Opens `path` for writing and returns the stream; throws on failure.
+std::ofstream open_csv(const std::string& path);
+
+}  // namespace minim::util

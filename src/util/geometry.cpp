@@ -1,0 +1,13 @@
+#include "util/geometry.hpp"
+
+#include <sstream>
+
+namespace minim::util {
+
+std::string Vec2::to_string() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ")";
+  return os.str();
+}
+
+}  // namespace minim::util

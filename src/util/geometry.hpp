@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+/// \file geometry.hpp
+/// \brief 2-D points/vectors for the planar network model.
+///
+/// The paper models nodes on a 100x100 unit square.  All range tests are done
+/// on squared distances to keep `sqrt` out of the hot path.
+
+namespace minim::util {
+
+/// A 2-D point or displacement.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm_squared() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm_squared()); }
+
+  /// Unit vector at `angle` radians from the +x axis.
+  static Vec2 from_angle(double angle) { return {std::cos(angle), std::sin(angle)}; }
+
+  std::string to_string() const;
+};
+
+/// Squared Euclidean distance (preferred for range tests).
+constexpr double distance_squared(Vec2 a, Vec2 b) { return (a - b).norm_squared(); }
+
+/// Euclidean distance.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Clamps `p` into the axis-aligned box [0,w] x [0,h].
+constexpr Vec2 clamp_to_box(Vec2 p, double w, double h) {
+  auto clamp = [](double v, double lo, double hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  return {clamp(p.x, 0.0, w), clamp(p.y, 0.0, h)};
+}
+
+}  // namespace minim::util

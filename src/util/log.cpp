@@ -1,0 +1,63 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace minim::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+std::mutex g_output_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+int init_from_env() {
+  const char* env = std::getenv("MINIM_LOG");
+  const LogLevel level = env ? parse_log_level(env) : LogLevel::kWarn;
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = init_from_env();
+    int expected = -1;
+    g_level.compare_exchange_strong(expected, level);
+    level = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace minim::util

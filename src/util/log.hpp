@@ -1,0 +1,58 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+/// \file log.hpp
+/// \brief Leveled, thread-safe logging to stderr.
+///
+/// Intended for examples and long-running benches; hot simulation loops do
+/// not log.  The level is process-global and can be set from the environment
+/// (`MINIM_LOG=debug|info|warn|error`) or programmatically.
+
+namespace minim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the process-wide log level (reads `MINIM_LOG` once, lazily).
+LogLevel log_level();
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings -> kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+/// Emits one line (`[level] message`) if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// RAII line builder used by the MINIM_LOG_* macros.
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { log_line(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace minim::util
+
+#define MINIM_LOG_DEBUG() ::minim::util::detail::LineLogger(::minim::util::LogLevel::kDebug)
+#define MINIM_LOG_INFO() ::minim::util::detail::LineLogger(::minim::util::LogLevel::kInfo)
+#define MINIM_LOG_WARN() ::minim::util::detail::LineLogger(::minim::util::LogLevel::kWarn)
+#define MINIM_LOG_ERROR() ::minim::util::detail::LineLogger(::minim::util::LogLevel::kError)

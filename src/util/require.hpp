@@ -1,0 +1,26 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file require.hpp
+/// \brief Precondition checking for public API boundaries.
+///
+/// `MINIM_REQUIRE(cond, msg)` throws `std::invalid_argument` when `cond` is
+/// false.  It is intended for argument validation at module entry points;
+/// internal invariants use `assert` so release hot paths stay branch-light.
+
+namespace minim::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement `" + expr + "` failed: " + msg);
+}
+
+}  // namespace minim::util
+
+#define MINIM_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) ::minim::util::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// \brief Streaming and batch descriptive statistics for experiment metrics.
+///
+/// Every plotted point in the paper is "the average of the metric measured
+/// over 100 runs"; `RunningStats` accumulates those runs with Welford's
+/// algorithm (numerically stable single pass) and reports mean, sample
+/// standard deviation, standard error and a normal-approximation 95%
+/// confidence interval.
+
+namespace minim::util {
+
+/// Welford single-pass accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderror() const;
+  /// Half-width of the normal-approximation 95% CI around the mean.
+  double ci95_halfwidth() const { return 1.959964 * stderror(); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector (quantiles require a copy + sort).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  /// Computes all fields from `xs`; empty input yields an all-zero summary.
+  static Summary of(std::span<const double> xs);
+
+  /// One-line human-readable rendering, e.g. for log output.
+  std::string to_string() const;
+};
+
+/// Linear interpolation quantile (type-7, the numpy/R default).
+/// `q` in [0,1]; `sorted` must be ascending and non-empty.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Simple fixed-width bucket histogram, for exploratory output.
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `buckets` equal cells plus under/overflow.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count_in_bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  /// Inclusive lower edge of bucket `i`.
+  double bucket_lo(std::size_t i) const;
+
+  /// ASCII rendering with proportional bars (for example programs).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace minim::util

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// \brief Aligned ASCII table rendering for bench/example console output.
+///
+/// The figure harnesses print the same rows the paper plots; `TextTable`
+/// keeps that output readable without dragging in a formatting library.
+
+namespace minim::util {
+
+/// Collects rows of string cells and renders them column-aligned.
+class TextTable {
+ public:
+  /// Optional title printed above the table.
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row (printed with a separator rule underneath).
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; `precision` = digits after the point.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed `precision` digits after the decimal point.
+std::string fmt_fixed(double v, int precision = 2);
+
+}  // namespace minim::util

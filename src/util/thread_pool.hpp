@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// \brief Fixed-size thread pool used to fan out Monte-Carlo runs.
+///
+/// Design notes (per the HPC-parallel guides):
+///  * work items are independent runs — no inter-task synchronization, so a
+///    simple mutex-protected deque is contention-free in practice (tasks are
+///    milliseconds to seconds long);
+///  * determinism is preserved by seeding each run from its run index, never
+///    from scheduling order (see `util::Rng::for_stream`);
+///  * `parallel_for` is a barrier construct: it returns only when all
+///    iterations finished, and rethrows the first exception it saw.
+
+namespace minim::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means `hardware_concurrency()` (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs `body(i)` for every `i` in `[0, count)` across the pool and waits.
+  /// The first exception thrown by any iteration is rethrown here.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace minim::util

@@ -1,0 +1,164 @@
+// Cross-feature composition tests: properties that must hold when the
+// extensions are combined — grid tuning must never change semantics,
+// obstacles must compose with every strategy and with gossip, and the
+// whole stack must agree with itself.
+
+#include <gtest/gtest.h>
+
+#include "core/minim.hpp"
+#include "net/constraints.hpp"
+#include "net/partitions.hpp"
+#include "net/propagation.hpp"
+#include "strategies/factory.hpp"
+#include "strategies/gossip.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::core::MinimStrategy;
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::NodeConfig;
+using minim::net::NodeId;
+using minim::net::ObstructedPropagation;
+using minim::net::Wall;
+using minim::util::Rng;
+
+std::vector<NodeConfig> random_configs(std::size_t n, Rng& rng) {
+  std::vector<NodeConfig> configs;
+  for (std::size_t i = 0; i < n; ++i)
+    configs.push_back({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                       rng.uniform(15, 35)});
+  return configs;
+}
+
+// The spatial grid is a pure accelerator: any cell size must induce the
+// exact same communication graph.
+class GridCellInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridCellInvarianceTest, EdgeSetIndependentOfCellSize) {
+  Rng rng(1);
+  const auto configs = random_configs(60, rng);
+
+  AdhocNetwork reference(100, 100, 12.5);
+  AdhocNetwork tuned(100, 100, GetParam());
+  for (const auto& config : configs) {
+    reference.add_node(config);
+    tuned.add_node(config);
+  }
+  ASSERT_EQ(reference.graph().edge_count(), tuned.graph().edge_count());
+  for (NodeId v : reference.nodes()) {
+    ASSERT_EQ(reference.graph().out_neighbors(v), tuned.graph().out_neighbors(v));
+    ASSERT_EQ(reference.graph().in_neighbors(v), tuned.graph().in_neighbors(v));
+  }
+
+  // ...and after mutation too.
+  reference.set_position(3, {1, 1});
+  tuned.set_position(3, {1, 1});
+  reference.set_range(7, 55);
+  tuned.set_range(7, 55);
+  for (NodeId v : reference.nodes())
+    ASSERT_EQ(reference.graph().out_neighbors(v), tuned.graph().out_neighbors(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridCellInvarianceTest,
+                         ::testing::Values(1.0, 5.0, 25.0, 100.0, 500.0));
+
+TEST(Composition, GridCellDoesNotChangeStrategyDecisions) {
+  // Same edges => same recoding decisions, color for color.
+  Rng rng(2);
+  const auto configs = random_configs(40, rng);
+  AdhocNetwork net_a(100, 100, 5.0);
+  AdhocNetwork net_b(100, 100, 50.0);
+  CodeAssignment asg_a;
+  CodeAssignment asg_b;
+  MinimStrategy minim;
+  for (const auto& config : configs) {
+    minim.on_join(net_a, asg_a, net_a.add_node(config));
+    minim.on_join(net_b, asg_b, net_b.add_node(config));
+  }
+  for (NodeId v : net_a.nodes()) ASSERT_EQ(asg_a.color(v), asg_b.color(v));
+}
+
+TEST(Composition, MixedEventsOnObstructedNetworkEveryStrategy) {
+  const auto walls = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{33, 0}, {33, 66}}, Wall{{66, 33}, {66, 100}}});
+  for (const char* name : {"minim", "cp", "cp-exact", "bbb"}) {
+    AdhocNetwork net(100, 100, 12.5, walls);
+    CodeAssignment asg;
+    const auto strategy = minim::strategies::make_strategy(name);
+    Rng rng(3);
+    std::vector<NodeId> alive;
+    for (int event = 0; event < 100; ++event) {
+      const double dice = rng.uniform01();
+      if (alive.size() < 8 || dice < 0.4) {
+        const NodeId id = net.add_node(
+            {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(15, 35)});
+        strategy->on_join(net, asg, id);
+        alive.push_back(id);
+      } else if (dice < 0.55) {
+        const std::size_t pick = rng.below(alive.size());
+        const NodeId v = alive[pick];
+        net.remove_node(v);
+        asg.clear(v);
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+        strategy->on_leave(net, asg, v);
+      } else if (dice < 0.8) {
+        const NodeId v = alive[rng.below(alive.size())];
+        net.set_position(v, {rng.uniform(0, 100), rng.uniform(0, 100)});
+        strategy->on_move(net, asg, v);
+      } else {
+        const NodeId v = alive[rng.below(alive.size())];
+        const double old_range = net.config(v).range;
+        net.set_range(v, old_range * rng.uniform(0.5, 2.0));
+        strategy->on_power_change(net, asg, v, old_range);
+      }
+      ASSERT_TRUE(minim::net::is_valid(net, asg)) << name << " event " << event;
+    }
+  }
+}
+
+TEST(Composition, GossipCompactsObstructedNetworks) {
+  const auto walls = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{50, 0}, {50, 100}}});
+  AdhocNetwork net(100, 100, 12.5, walls);
+  CodeAssignment asg;
+  MinimStrategy minim;
+  Rng rng(4);
+  std::vector<NodeId> alive;
+  for (int i = 0; i < 50; ++i) {
+    const NodeId id = net.add_node(
+        {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(15, 35)});
+    minim.on_join(net, asg, id);
+    alive.push_back(id);
+  }
+  for (int i = 0; i < 25; ++i) {
+    const std::size_t pick = rng.below(alive.size());
+    net.remove_node(alive[pick]);
+    asg.clear(alive[pick]);
+    alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  const auto result = minim::strategies::gossip_compact(net, asg);
+  EXPECT_LE(result.max_color_after, result.max_color_before);
+  EXPECT_TRUE(minim::net::is_valid(net, asg));
+}
+
+TEST(Composition, MinimalityBoundHoldsBehindWalls) {
+  // Lemma 4.1.1 is purely graph-theoretic; obstacles change the graph, not
+  // the theorem.
+  const auto walls = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{25, 25}, {75, 75}}});
+  AdhocNetwork net(100, 100, 12.5, walls);
+  CodeAssignment asg;
+  MinimStrategy minim;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId id = net.add_node(
+        {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(18, 30)});
+    const std::size_t bound = minim::net::minimal_recoding_bound(net, asg, id);
+    const auto report = minim.on_join(net, asg, id);
+    ASSERT_EQ(report.recodings(), bound + 1) << "join " << i;
+  }
+}
+
+}  // namespace

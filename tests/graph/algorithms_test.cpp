@@ -1,0 +1,172 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/digraph.hpp"
+
+namespace {
+
+using minim::graph::connected_components;
+using minim::graph::Digraph;
+using minim::graph::hop_distance;
+using minim::graph::k_hop_ball;
+using minim::graph::max_degree;
+using minim::graph::NodeId;
+using minim::graph::smallest_last_order;
+using minim::graph::undirected_adjacency;
+
+/// Directed path 0 -> 1 -> 2 -> ... -> n-1.
+Digraph directed_path(int n) {
+  Digraph g;
+  for (int i = 0; i < n; ++i) g.add_node();
+  for (int i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  return g;
+}
+
+TEST(KHopBall, HopsIgnoreEdgeDirection) {
+  // Even though edges point one way, hop neighborhoods are undirected:
+  // node 3 in a directed path sees both sides.
+  Digraph g = directed_path(7);
+  EXPECT_EQ(k_hop_ball(g, 3, 1), (std::vector<NodeId>{2, 4}));
+  EXPECT_EQ(k_hop_ball(g, 3, 2), (std::vector<NodeId>{1, 2, 4, 5}));
+  EXPECT_EQ(k_hop_ball(g, 3, 3), (std::vector<NodeId>{0, 1, 2, 4, 5, 6}));
+}
+
+TEST(KHopBall, ZeroHopsIsEmpty) {
+  Digraph g = directed_path(3);
+  EXPECT_TRUE(k_hop_ball(g, 1, 0).empty());
+}
+
+TEST(KHopBall, LargeKCoversComponentOnly) {
+  Digraph g = directed_path(4);
+  const NodeId isolated = g.add_node();
+  const auto ball = k_hop_ball(g, 0, 100);
+  EXPECT_EQ(ball, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_TRUE(std::find(ball.begin(), ball.end(), isolated) == ball.end());
+}
+
+TEST(KHopBall, DuplicatePathsCountedOnce) {
+  // Diamond: 0->1, 0->2, 1->3, 2->3.
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(k_hop_ball(g, 0, 2), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(HopDistance, PathDistances) {
+  Digraph g = directed_path(6);
+  EXPECT_EQ(hop_distance(g, 0, 0), 0u);
+  EXPECT_EQ(hop_distance(g, 0, 1), 1u);
+  EXPECT_EQ(hop_distance(g, 0, 5), 5u);
+  EXPECT_EQ(hop_distance(g, 5, 0), 5u);  // undirected view
+}
+
+TEST(HopDistance, UnreachableIsMax) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_EQ(hop_distance(g, 0, 1), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  Digraph g = directed_path(3);  // component 0
+  g.add_node();                  // 3: isolated, component 1
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b);  // component 2
+  std::vector<std::size_t> component;
+  EXPECT_EQ(connected_components(g, component), 3u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[1], component[2]);
+  EXPECT_NE(component[0], component[3]);
+  EXPECT_EQ(component[a], component[b]);
+  EXPECT_NE(component[a], component[3]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  Digraph g;
+  std::vector<std::size_t> component;
+  EXPECT_EQ(connected_components(g, component), 0u);
+}
+
+TEST(MaxDegree, TakesMaxOfInAndOut) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  // Node 0 has out-degree 4 (in-degree 0).
+  for (NodeId v = 1; v < 5; ++v) g.add_edge(0, v);
+  EXPECT_EQ(max_degree(g), 4u);
+}
+
+TEST(UndirectedAdjacency, MergesBothDirectionsNoDuplicates) {
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // mutual edge must appear once
+  g.add_edge(2, 0);
+  const auto adj = undirected_adjacency(g);
+  EXPECT_EQ(adj[0], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(adj[1], (std::vector<NodeId>{0}));
+  EXPECT_EQ(adj[2], (std::vector<NodeId>{0}));
+}
+
+TEST(SmallestLast, OrdersEveryVertexOnce) {
+  Digraph g = directed_path(8);
+  const auto adj = undirected_adjacency(g);
+  auto order = smallest_last_order(adj, g.nodes());
+  EXPECT_EQ(order.size(), 8u);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, g.nodes());
+}
+
+TEST(SmallestLast, CliqueAnyOrderIsFine) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = 0; v < 5; ++v)
+      if (u != v) g.add_edge(u, v);
+  const auto adj = undirected_adjacency(g);
+  const auto order = smallest_last_order(adj, g.nodes());
+  EXPECT_EQ(order.size(), 5u);
+}
+
+TEST(SmallestLast, StarColoringOrderPutsHubEarly) {
+  // Star: hub adjacent to all leaves.  Smallest-last eliminates leaves
+  // first (the hub ties with the final leaf at degree 1), so the *coloring*
+  // order has the hub in the first two positions — which is what bounds the
+  // greedy coloring at 2 colors.
+  Digraph g;
+  const NodeId hub = g.add_node();
+  for (int i = 0; i < 6; ++i) {
+    const NodeId leaf = g.add_node();
+    g.add_edge(hub, leaf);
+  }
+  const auto adj = undirected_adjacency(g);
+  const auto order = smallest_last_order(adj, g.nodes());
+  EXPECT_TRUE(order[0] == hub || order[1] == hub);
+}
+
+TEST(SmallestLast, SubsetRestrictsDegrees) {
+  // Path 0-1-2-3; restricted to {0, 2, 3}, vertex 2-3 form an edge and 0 is
+  // isolated.  All three must appear exactly once.
+  Digraph g = directed_path(4);
+  const auto adj = undirected_adjacency(g);
+  auto order = smallest_last_order(adj, {0, 2, 3});
+  EXPECT_EQ(order.size(), 3u);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(SmallestLast, EmptyVertexSet) {
+  Digraph g = directed_path(3);
+  const auto adj = undirected_adjacency(g);
+  EXPECT_TRUE(smallest_last_order(adj, {}).empty());
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using minim::graph::Digraph;
+using minim::graph::NodeId;
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.nodes().empty());
+}
+
+TEST(Digraph, AddNodesSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_FALSE(g.contains(3));
+}
+
+TEST(Digraph, RemovedIdsAreReusedLowestFirst) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  g.remove_node(1);
+  g.remove_node(3);
+  EXPECT_EQ(g.add_node(), 1u);  // lowest free slot first
+  EXPECT_EQ(g.add_node(), 3u);
+  EXPECT_EQ(g.add_node(), 5u);  // then fresh
+}
+
+TEST(Digraph, EdgesAreDirected) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, DuplicateEdgeIsNoop) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+}
+
+TEST(Digraph, SelfLoopRejected) {
+  Digraph g;
+  g.add_node();
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(Digraph, EdgeToUnknownNodeRejected) {
+  Digraph g;
+  g.add_node();
+  EXPECT_THROW(g.add_edge(0, 9), std::invalid_argument);
+}
+
+TEST(Digraph, NeighborsSortedAscending) {
+  Digraph g;
+  for (int i = 0; i < 6; ++i) g.add_node();
+  g.add_edge(0, 5);
+  g.add_edge(0, 2);
+  g.add_edge(0, 4);
+  const auto& outs = g.out_neighbors(0);
+  EXPECT_EQ(outs, (std::vector<NodeId>{2, 4, 5}));
+}
+
+TEST(Digraph, InNeighborsMirrorOutEdges) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.in_neighbors(3), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+}
+
+TEST(Digraph, RemoveEdge) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.remove_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, RemoveNodeDropsAllIncidentEdges) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(3, 1);
+  g.remove_node(1);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_TRUE(g.out_neighbors(0).empty());
+  EXPECT_TRUE(g.in_neighbors(2).empty());
+}
+
+TEST(Digraph, ClearEdgesKeepsNode) {
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(2, 0);
+  g.clear_edges_of(0);
+  EXPECT_TRUE(g.contains(0));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, ReusedSlotStartsClean) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.remove_node(0);
+  const NodeId reused = g.add_node();
+  EXPECT_EQ(reused, 0u);
+  EXPECT_TRUE(g.out_neighbors(reused).empty());
+  EXPECT_TRUE(g.in_neighbors(reused).empty());
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Digraph, NodesListsOnlyAlive) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  g.remove_node(2);
+  EXPECT_EQ(g.nodes(), (std::vector<NodeId>{0, 1, 3, 4}));
+  EXPECT_EQ(g.id_bound(), 5u);
+}
+
+TEST(Digraph, AccessorsOnDeadNodeThrow) {
+  Digraph g;
+  g.add_node();
+  g.remove_node(0);
+  EXPECT_THROW(g.out_neighbors(0), std::invalid_argument);
+  EXPECT_THROW(g.remove_node(0), std::invalid_argument);
+}
+
+TEST(Digraph, LargeStarGraphDegrees) {
+  Digraph g;
+  const NodeId hub = g.add_node();
+  for (int i = 0; i < 100; ++i) {
+    const NodeId leaf = g.add_node();
+    g.add_edge(hub, leaf);
+    g.add_edge(leaf, hub);
+  }
+  EXPECT_EQ(g.out_degree(hub), 100u);
+  EXPECT_EQ(g.in_degree(hub), 100u);
+  EXPECT_EQ(g.edge_count(), 200u);
+}
+
+}  // namespace

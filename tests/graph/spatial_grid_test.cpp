@@ -1,0 +1,122 @@
+#include "graph/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::NodeId;
+using minim::graph::SpatialGrid;
+using minim::util::Rng;
+using minim::util::Vec2;
+
+bool contains(const std::vector<NodeId>& xs, NodeId v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+TEST(SpatialGrid, InsertAndQuery) {
+  SpatialGrid grid(100, 100, 10);
+  grid.insert(1, {50, 50});
+  grid.insert(2, {90, 90});
+  std::vector<NodeId> out;
+  grid.query_disc({50, 50}, 5, out);
+  EXPECT_TRUE(contains(out, 1));
+  EXPECT_FALSE(contains(out, 2));
+  EXPECT_EQ(grid.size(), 2u);
+}
+
+TEST(SpatialGrid, QueryIsSupersetWithinRadius) {
+  // The grid may over-return (cell granularity) but must never miss a point
+  // inside the disc.
+  Rng rng(17);
+  SpatialGrid grid(100, 100, 12.5);
+  std::vector<Vec2> pos(200);
+  for (NodeId i = 0; i < 200; ++i) {
+    pos[i] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    grid.insert(i, pos[i]);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 center{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double radius = rng.uniform(1, 40);
+    std::vector<NodeId> out;
+    grid.query_disc(center, radius, out);
+    for (NodeId i = 0; i < 200; ++i) {
+      if (minim::util::distance(center, pos[i]) <= radius)
+        ASSERT_TRUE(contains(out, i)) << "missed point " << i;
+    }
+  }
+}
+
+TEST(SpatialGrid, RemoveDropsPoint) {
+  SpatialGrid grid(100, 100, 10);
+  grid.insert(7, {10, 10});
+  grid.remove(7, {10, 10});
+  std::vector<NodeId> out;
+  grid.query_disc({10, 10}, 50, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(SpatialGrid, RemoveWrongCellThrows) {
+  SpatialGrid grid(100, 100, 10);
+  grid.insert(7, {10, 10});
+  EXPECT_THROW(grid.remove(7, {90, 90}), std::invalid_argument);
+}
+
+TEST(SpatialGrid, MoveAcrossCells) {
+  SpatialGrid grid(100, 100, 10);
+  grid.insert(3, {5, 5});
+  grid.move(3, {5, 5}, {95, 95});
+  std::vector<NodeId> out;
+  grid.query_disc({95, 95}, 2, out);
+  EXPECT_TRUE(contains(out, 3));
+  out.clear();
+  grid.query_disc({5, 5}, 2, out);
+  EXPECT_FALSE(contains(out, 3));
+}
+
+TEST(SpatialGrid, MoveWithinCellKeepsPoint) {
+  SpatialGrid grid(100, 100, 50);
+  grid.insert(4, {10, 10});
+  grid.move(4, {10, 10}, {12, 12});  // same cell
+  std::vector<NodeId> out;
+  grid.query_disc({12, 12}, 1, out);
+  EXPECT_TRUE(contains(out, 4));
+}
+
+TEST(SpatialGrid, ClampsOutOfFieldPositions) {
+  SpatialGrid grid(100, 100, 10);
+  grid.insert(9, {150, -20});  // clamped into the boundary cell
+  std::vector<NodeId> out;
+  grid.query_disc({100, 0}, 1, out);
+  EXPECT_TRUE(contains(out, 9));
+}
+
+TEST(SpatialGrid, QueryDiscCoveringWholeFieldReturnsEverything) {
+  SpatialGrid grid(100, 100, 10);
+  for (NodeId i = 0; i < 20; ++i)
+    grid.insert(i, {static_cast<double>(i * 5), static_cast<double>(i * 5)});
+  std::vector<NodeId> out;
+  grid.query_disc({50, 50}, 1000, out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(SpatialGrid, RejectsBadConstruction) {
+  EXPECT_THROW(SpatialGrid(0, 100, 10), std::invalid_argument);
+  EXPECT_THROW(SpatialGrid(100, 100, 0), std::invalid_argument);
+}
+
+TEST(SpatialGrid, TinyFieldSingleCell) {
+  SpatialGrid grid(1, 1, 10);  // cell bigger than field -> 1x1 grid
+  grid.insert(0, {0.5, 0.5});
+  std::vector<NodeId> out;
+  grid.query_disc({0, 0}, 0.1, out);
+  EXPECT_TRUE(contains(out, 0));  // superset semantics: same cell
+}
+
+}  // namespace

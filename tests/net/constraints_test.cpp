@@ -1,0 +1,249 @@
+// CA1/CA2 conflict semantics: oracle functions cross-checked against an
+// O(n^3) brute force on random geometric networks.
+
+#include "net/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::NodeId;
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::Color;
+using minim::net::ConflictKind;
+using minim::net::conflict_partners;
+using minim::net::find_violations;
+using minim::net::forbidden_colors;
+using minim::net::in_conflict;
+using minim::net::is_valid;
+using minim::net::lowest_free_color;
+using minim::util::Rng;
+
+/// Brute-force conflict: scan the definition directly.
+bool conflict_oracle(const AdhocNetwork& net, NodeId u, NodeId v) {
+  const auto& g = net.graph();
+  if (g.has_edge(u, v) || g.has_edge(v, u)) return true;
+  for (NodeId k : net.nodes()) {
+    if (k == u || k == v) continue;
+    if (g.has_edge(u, k) && g.has_edge(v, k)) return true;
+  }
+  return false;
+}
+
+AdhocNetwork random_network(Rng& rng, std::size_t n, double min_r, double max_r) {
+  AdhocNetwork net;
+  for (std::size_t i = 0; i < n; ++i)
+    net.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                  rng.uniform(min_r, max_r)});
+  return net;
+}
+
+// --------------------------------------------------------- hand geometry
+
+TEST(Conflicts, PrimaryConflictFromSingleEdge) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{5, 0}, 1.0});  // b cannot reach a
+  EXPECT_TRUE(in_conflict(net, a, b));
+  EXPECT_TRUE(in_conflict(net, b, a));  // symmetric predicate
+}
+
+TEST(Conflicts, HiddenConflictThroughCommonReceiver) {
+  // a and c both reach b but not each other: the hidden-terminal pair.
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  const NodeId b = net.add_node({{10, 0}, 1.0});
+  const NodeId c = net.add_node({{20, 0}, 12.0});
+  ASSERT_TRUE(net.graph().has_edge(a, b));
+  ASSERT_TRUE(net.graph().has_edge(c, b));
+  ASSERT_FALSE(net.graph().has_edge(a, c));
+  EXPECT_TRUE(in_conflict(net, a, c));
+}
+
+TEST(Conflicts, NoConflictWhenFarApart) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{90, 90}, 10.0});
+  EXPECT_FALSE(in_conflict(net, a, b));
+}
+
+TEST(Conflicts, PartnersSortedUniqueAndSelfFree) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 15.0});
+  const NodeId b = net.add_node({{10, 0}, 15.0});
+  const NodeId c = net.add_node({{20, 0}, 15.0});
+  // a<->b, b<->c edges; a-c hidden via b.
+  const auto partners = conflict_partners(net, a);
+  EXPECT_EQ(partners, (std::vector<NodeId>{b, c}));
+  EXPECT_TRUE(std::is_sorted(partners.begin(), partners.end()));
+}
+
+TEST(Violations, DetectsPrimary) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{5, 0}, 10.0});
+  CodeAssignment asg;
+  asg.set_color(a, 1);
+  asg.set_color(b, 1);
+  const auto violations = find_violations(net, asg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ConflictKind::kPrimary);
+  EXPECT_EQ(violations[0].color, 1u);
+  EXPECT_FALSE(violations[0].to_string().empty());
+}
+
+TEST(Violations, DetectsHidden) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  const NodeId b = net.add_node({{10, 0}, 1.0});
+  const NodeId c = net.add_node({{20, 0}, 12.0});
+  CodeAssignment asg;
+  asg.set_color(a, 2);
+  asg.set_color(b, 1);
+  asg.set_color(c, 2);
+  const auto violations = find_violations(net, asg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ConflictKind::kHidden);
+  EXPECT_EQ(violations[0].a, a);
+  EXPECT_EQ(violations[0].b, c);
+}
+
+TEST(Violations, PairReportedOnceWithPrimaryPrecedence) {
+  // Mutual edge AND common receiver: one violation, classified primary.
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 20.0});
+  const NodeId b = net.add_node({{5, 0}, 20.0});
+  net.add_node({{10, 0}, 1.0});  // common receiver
+  CodeAssignment asg;
+  for (NodeId v : net.nodes()) asg.set_color(v, 1);
+  const auto violations = find_violations(net, asg);
+  std::size_t ab_count = 0;
+  for (const auto& violation : violations)
+    if (violation.a == a && violation.b == b) {
+      ++ab_count;
+      EXPECT_EQ(violation.kind, ConflictKind::kPrimary);
+    }
+  EXPECT_EQ(ab_count, 1u);
+}
+
+TEST(Violations, UncoloredNodesNeverViolate) {
+  AdhocNetwork net;
+  net.add_node({{0, 0}, 10.0});
+  net.add_node({{5, 0}, 10.0});
+  CodeAssignment asg;  // nobody colored
+  EXPECT_TRUE(find_violations(net, asg).empty());
+  EXPECT_FALSE(is_valid(net, asg));  // but not valid either: uncolored
+}
+
+TEST(Validity, ValidAssignmentAccepted) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{5, 0}, 10.0});
+  CodeAssignment asg;
+  asg.set_color(a, 1);
+  asg.set_color(b, 2);
+  EXPECT_TRUE(is_valid(net, asg));
+}
+
+// --------------------------------------------------------- forbidden colors
+
+TEST(ForbiddenColors, CollectsPartnerColors) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 15.0});
+  const NodeId b = net.add_node({{10, 0}, 15.0});
+  const NodeId c = net.add_node({{20, 0}, 15.0});
+  CodeAssignment asg;
+  asg.set_color(b, 4);
+  asg.set_color(c, 2);
+  EXPECT_EQ(forbidden_colors(net, asg, a), (std::vector<Color>{2, 4}));
+}
+
+TEST(ForbiddenColors, IgnorePredicateExcludes) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 15.0});
+  const NodeId b = net.add_node({{10, 0}, 15.0});
+  const NodeId c = net.add_node({{20, 0}, 15.0});
+  CodeAssignment asg;
+  asg.set_color(b, 4);
+  asg.set_color(c, 2);
+  const auto forbidden =
+      forbidden_colors(net, asg, a, [b](NodeId v) { return v == b; });
+  EXPECT_EQ(forbidden, (std::vector<Color>{2}));
+}
+
+TEST(LowestFreeColor, FindsGaps) {
+  EXPECT_EQ(lowest_free_color({}), 1u);
+  EXPECT_EQ(lowest_free_color({1, 2, 3}), 4u);
+  EXPECT_EQ(lowest_free_color({2, 3}), 1u);
+  EXPECT_EQ(lowest_free_color({1, 3, 4}), 2u);
+  EXPECT_EQ(lowest_free_color({1, 2, 5, 9}), 3u);
+}
+
+// --------------------------------------------------- randomized cross-check
+
+class ConflictOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConflictOracleTest, PairwisePredicateMatchesBruteForce) {
+  Rng rng(GetParam());
+  const AdhocNetwork net = random_network(rng, 30, 15.0, 35.0);
+  const auto nodes = net.nodes();
+  for (NodeId u : nodes)
+    for (NodeId v : nodes) {
+      if (u >= v) continue;
+      ASSERT_EQ(in_conflict(net, u, v), conflict_oracle(net, u, v))
+          << "pair " << u << "," << v;
+    }
+}
+
+TEST_P(ConflictOracleTest, PartnersMatchPredicate) {
+  Rng rng(GetParam() + 1000);
+  const AdhocNetwork net = random_network(rng, 30, 15.0, 35.0);
+  for (NodeId u : net.nodes()) {
+    const auto partners = conflict_partners(net, u);
+    for (NodeId v : net.nodes()) {
+      if (v == u) continue;
+      const bool listed = std::binary_search(partners.begin(), partners.end(), v);
+      ASSERT_EQ(listed, in_conflict(net, u, v)) << u << " vs " << v;
+    }
+  }
+}
+
+TEST_P(ConflictOracleTest, ViolationsMatchPairScan) {
+  Rng rng(GetParam() + 2000);
+  const AdhocNetwork net = random_network(rng, 25, 15.0, 35.0);
+  CodeAssignment asg;
+  // Deliberately tight palette to force violations.
+  for (NodeId v : net.nodes()) asg.set_color(v, static_cast<Color>(1 + rng.below(4)));
+
+  const auto violations = find_violations(net, asg);
+  std::vector<std::pair<NodeId, NodeId>> reported;
+  for (const auto& violation : violations) {
+    EXPECT_LT(violation.a, violation.b);
+    reported.emplace_back(violation.a, violation.b);
+  }
+  std::sort(reported.begin(), reported.end());
+  EXPECT_TRUE(std::adjacent_find(reported.begin(), reported.end()) == reported.end())
+      << "duplicate violation pair";
+
+  std::vector<std::pair<NodeId, NodeId>> expected;
+  const auto nodes = net.nodes();
+  for (NodeId u : nodes)
+    for (NodeId v : nodes) {
+      if (u >= v) continue;
+      if (asg.color(u) == asg.color(v) && conflict_oracle(net, u, v))
+        expected.emplace_back(u, v);
+    }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(reported, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictOracleTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace

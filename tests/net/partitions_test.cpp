@@ -1,0 +1,171 @@
+// Join partitions 1n/2n/3n/4n (Fig 2) and the minimal recoding bound
+// (Lemma 4.1.1).
+
+#include "net/partitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/assignment.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::NodeId;
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::Color;
+using minim::net::JoinPartitions;
+using minim::net::minimal_recoding_bound;
+using minim::util::Rng;
+
+TEST(Partitions, AllFourSetsPopulated) {
+  AdhocNetwork net;
+  // n at origin with range 10.
+  // a: hears n and is heard (set2).   b: only heard by n... etc.
+  const NodeId n = net.add_node({{0, 0}, 10.0});
+  const NodeId mutual = net.add_node({{5, 0}, 10.0});   // both directions
+  const NodeId to_n_only = net.add_node({{0, 12}, 20.0}); // reaches n; n doesn't reach it
+  const NodeId from_n_only = net.add_node({{8, 0}, 1.0});  // n reaches it; it can't reach n
+  const NodeId unrelated = net.add_node({{90, 90}, 5.0});
+
+  const JoinPartitions p = JoinPartitions::compute(net, n);
+  EXPECT_EQ(p.set2, (std::vector<NodeId>{mutual}));
+  EXPECT_EQ(p.set1, (std::vector<NodeId>{to_n_only}));
+  EXPECT_EQ(p.set3, (std::vector<NodeId>{from_n_only}));
+  EXPECT_EQ(p.set4, (std::vector<NodeId>{unrelated}));
+}
+
+TEST(Partitions, RecodeCandidatesIsInNeighborhood) {
+  AdhocNetwork net;
+  const NodeId n = net.add_node({{0, 0}, 10.0});
+  net.add_node({{5, 0}, 10.0});
+  net.add_node({{0, 12}, 20.0});
+  const JoinPartitions p = JoinPartitions::compute(net, n);
+  EXPECT_EQ(p.recode_candidates(), net.heard_by(n));
+}
+
+TEST(Partitions, SetsArePairwiseDisjointAndCoverEverything) {
+  Rng rng(91);
+  AdhocNetwork net;
+  for (int i = 0; i < 40; ++i)
+    net.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(10, 40)});
+  const NodeId n = net.add_node({{50, 50}, 25.0});
+  const JoinPartitions p = JoinPartitions::compute(net, n);
+
+  std::vector<NodeId> all;
+  for (const auto* set : {&p.set1, &p.set2, &p.set3, &p.set4})
+    all.insert(all.end(), set->begin(), set->end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  std::vector<NodeId> expected = net.nodes();
+  expected.erase(std::find(expected.begin(), expected.end(), n));
+  EXPECT_EQ(all, expected);
+}
+
+TEST(Partitions, IsolatedJoinerHasOnlySet4) {
+  AdhocNetwork net;
+  net.add_node({{0, 0}, 5.0});
+  const NodeId n = net.add_node({{90, 90}, 5.0});
+  const JoinPartitions p = JoinPartitions::compute(net, n);
+  EXPECT_TRUE(p.set1.empty());
+  EXPECT_TRUE(p.set2.empty());
+  EXPECT_TRUE(p.set3.empty());
+  EXPECT_EQ(p.set4.size(), 1u);
+}
+
+// --------------------------------------------------- minimal recoding bound
+
+TEST(MinimalBound, ZeroWhenAllDistinct) {
+  AdhocNetwork net;
+  const NodeId n = net.add_node({{0, 0}, 0.0});  // hears everyone below
+  CodeAssignment asg;
+  for (int i = 1; i <= 4; ++i) {
+    const NodeId v = net.add_node({{static_cast<double>(i), 0}, 50.0});
+    asg.set_color(v, static_cast<Color>(i));
+  }
+  EXPECT_EQ(minimal_recoding_bound(net, asg, n), 0u);
+}
+
+TEST(MinimalBound, CountsDuplicatesPerColorClass) {
+  AdhocNetwork net;
+  const NodeId n = net.add_node({{0, 0}, 0.0});
+  CodeAssignment asg;
+  // Colors: 1,1,1 (K=3 -> 2), 2,2 (K=2 -> 1), 3 (K=1 -> 0): bound 3.
+  const Color colors[] = {1, 1, 1, 2, 2, 3};
+  for (int i = 0; i < 6; ++i) {
+    const NodeId v = net.add_node({{static_cast<double>(i + 1), 0}, 50.0});
+    asg.set_color(v, colors[i]);
+  }
+  EXPECT_EQ(minimal_recoding_bound(net, asg, n), 3u);
+}
+
+TEST(MinimalBound, NoInNeighborsIsZero) {
+  AdhocNetwork net;
+  net.add_node({{0, 0}, 5.0});
+  const NodeId n = net.add_node({{90, 90}, 5.0});
+  CodeAssignment asg;
+  asg.set_color(0, 1);
+  EXPECT_EQ(minimal_recoding_bound(net, asg, n), 0u);
+}
+
+TEST(MinimalBound, FormulaSumKiMinusM) {
+  // Direct check of the formula: bound == (sum K_i) - m.
+  Rng rng(92);
+  for (int trial = 0; trial < 20; ++trial) {
+    AdhocNetwork net;
+    const NodeId n = net.add_node({{50, 50}, 0.0});
+    CodeAssignment asg;
+    const int k = 3 + static_cast<int>(rng.below(10));
+    std::size_t total = 0;
+    std::vector<char> seen(16, 0);
+    std::size_t distinct = 0;
+    for (int i = 0; i < k; ++i) {
+      const NodeId v = net.add_node(
+          {{50 + rng.uniform(-5, 5), 50 + rng.uniform(-5, 5)}, 30.0});
+      const auto c = static_cast<Color>(1 + rng.below(5));
+      asg.set_color(v, c);
+      ++total;
+      if (!seen[c]) {
+        seen[c] = 1;
+        ++distinct;
+      }
+    }
+    ASSERT_EQ(minimal_recoding_bound(net, asg, n), total - distinct);
+  }
+}
+
+// --------------------------------------------------- CodeAssignment basics
+
+TEST(CodeAssignment, DefaultsToNoColor) {
+  CodeAssignment asg;
+  EXPECT_EQ(asg.color(42), minim::net::kNoColor);
+  EXPECT_FALSE(asg.has_color(42));
+}
+
+TEST(CodeAssignment, SetAndClear) {
+  CodeAssignment asg;
+  asg.set_color(3, 7);
+  EXPECT_EQ(asg.color(3), 7u);
+  asg.clear(3);
+  EXPECT_FALSE(asg.has_color(3));
+  asg.clear(1000);  // clearing unknown id is a no-op
+}
+
+TEST(CodeAssignment, ZeroColorRejected) {
+  CodeAssignment asg;
+  EXPECT_THROW(asg.set_color(0, 0), std::invalid_argument);
+}
+
+TEST(CodeAssignment, MaxAndDistinct) {
+  CodeAssignment asg;
+  asg.set_color(0, 3);
+  asg.set_color(1, 5);
+  asg.set_color(2, 3);
+  const std::vector<NodeId> nodes{0, 1, 2};
+  EXPECT_EQ(asg.max_color(nodes), 5u);
+  EXPECT_EQ(asg.distinct_colors(nodes), 2u);
+  EXPECT_EQ(asg.max_color({}), minim::net::kNoColor);
+}
+
+}  // namespace

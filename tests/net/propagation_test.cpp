@@ -1,0 +1,198 @@
+// Non-free-space propagation (Section 2's generalization): segment
+// intersection geometry, obstructed link predicates, and recoding strategies
+// operating on obstructed networks.
+
+#include "net/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/minim.hpp"
+#include "net/constraints.hpp"
+#include "net/network.hpp"
+#include "strategies/cp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::core::MinimStrategy;
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::FreeSpacePropagation;
+using minim::net::NodeId;
+using minim::net::ObstructedPropagation;
+using minim::net::segments_intersect;
+using minim::net::Wall;
+using minim::util::Rng;
+using minim::util::Vec2;
+
+// ------------------------------------------------------ segment geometry
+
+TEST(Segments, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+}
+
+TEST(Segments, NoIntersection) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 1}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {10, 0}, {0, 1}, {10, 1}));  // parallel
+}
+
+TEST(Segments, TouchingEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {5, 5}, {5, 5}, {10, 0}));
+}
+
+TEST(Segments, TEndpointOnInterior) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 0}, {5, 0}, {5, 5}));
+}
+
+TEST(Segments, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 0}, {5, 0}, {15, 0}));
+}
+
+TEST(Segments, CollinearDisjoint) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {4, 0}, {5, 0}, {9, 0}));
+}
+
+TEST(Segments, SharedLineButSeparated) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {0, 3}, {0, 4}, {0, 9}));
+}
+
+TEST(Segments, CrossNearEndpoint) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 0}, {9.999, -1}, {9.999, 1}));
+}
+
+// ------------------------------------------------------ propagation models
+
+TEST(Propagation, FreeSpaceIsDisc) {
+  FreeSpacePropagation model;
+  EXPECT_TRUE(model.reaches({0, 0}, 10, {10, 0}));   // boundary inclusive
+  EXPECT_FALSE(model.reaches({0, 0}, 10, {10.01, 0}));
+}
+
+TEST(Propagation, WallBlocksLineOfSight) {
+  ObstructedPropagation model({Wall{{5, -5}, {5, 5}}});
+  EXPECT_FALSE(model.reaches({0, 0}, 20, {10, 0}));  // wall between
+  EXPECT_TRUE(model.reaches({0, 0}, 20, {3, 0}));    // same side
+  EXPECT_TRUE(model.reaches({6, 0}, 20, {10, 0}));   // both beyond the wall
+}
+
+TEST(Propagation, ObstructedStillRespectsRange) {
+  ObstructedPropagation model({});
+  EXPECT_FALSE(model.reaches({0, 0}, 5, {10, 0}));
+}
+
+TEST(Propagation, ObstructedNeverAddsLinks) {
+  // Soundness requirement for the spatial grid: obstructed reachability is
+  // a subset of free-space reachability.
+  Rng rng(5);
+  ObstructedPropagation obstructed(
+      {Wall{{20, 0}, {20, 100}}, Wall{{60, 40}, {90, 40}}});
+  FreeSpacePropagation free_space;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 from{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const Vec2 to{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double range = rng.uniform(0, 60);
+    if (obstructed.reaches(from, range, to))
+      ASSERT_TRUE(free_space.reaches(from, range, to));
+  }
+}
+
+// ------------------------------------------------------ obstructed networks
+
+TEST(ObstructedNetwork, WallSplitsNeighbors) {
+  auto model = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{50, 0}, {50, 100}}});
+  AdhocNetwork net(100, 100, 12.5, model);
+  const NodeId west = net.add_node({{40, 50}, 30});
+  const NodeId east = net.add_node({{60, 50}, 30});
+  const NodeId west2 = net.add_node({{30, 50}, 30});
+  // In range but separated by the wall:
+  EXPECT_FALSE(net.graph().has_edge(west, east));
+  EXPECT_FALSE(net.graph().has_edge(east, west));
+  // Same side connects normally:
+  EXPECT_TRUE(net.graph().has_edge(west, west2));
+  EXPECT_TRUE(net.graph().has_edge(west2, west));
+}
+
+TEST(ObstructedNetwork, IncrementalMaintenanceMatchesBruteForce) {
+  auto model = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{30, 0}, {30, 70}}, Wall{{70, 30}, {70, 100}}});
+  AdhocNetwork net(100, 100, 12.5, model);
+  Rng rng(6);
+  std::vector<NodeId> alive;
+  for (int event = 0; event < 60; ++event) {
+    if (alive.size() < 5 || rng.chance(0.4)) {
+      alive.push_back(net.add_node(
+          {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(10, 40)}));
+    } else if (rng.chance(0.5)) {
+      net.set_position(alive[rng.below(alive.size())],
+                       {rng.uniform(0, 100), rng.uniform(0, 100)});
+    } else {
+      net.set_range(alive[rng.below(alive.size())], rng.uniform(10, 40));
+    }
+    const auto fresh = net.rebuild_graph_brute_force();
+    ASSERT_EQ(net.graph().edge_count(), fresh.edge_count()) << "event " << event;
+    for (NodeId u : net.nodes())
+      ASSERT_EQ(net.graph().out_neighbors(u), fresh.out_neighbors(u));
+  }
+}
+
+TEST(ObstructedNetwork, StrategiesStayCorrectBehindWalls) {
+  auto model = std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{50, 20}, {50, 80}}});
+  for (int strategy_kind = 0; strategy_kind < 2; ++strategy_kind) {
+    AdhocNetwork net(100, 100, 12.5, model);
+    CodeAssignment asg;
+    MinimStrategy minim;
+    minim::strategies::CpStrategy cp;
+    minim::core::RecodingStrategy& strategy =
+        strategy_kind == 0 ? static_cast<minim::core::RecodingStrategy&>(minim)
+                           : cp;
+    Rng rng(7 + strategy_kind);
+    std::vector<NodeId> alive;
+    for (int event = 0; event < 80; ++event) {
+      if (alive.size() < 6 || rng.chance(0.4)) {
+        const NodeId id = net.add_node(
+            {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(15, 35)});
+        strategy.on_join(net, asg, id);
+        alive.push_back(id);
+      } else if (rng.chance(0.6)) {
+        const NodeId v = alive[rng.below(alive.size())];
+        net.set_position(v, {rng.uniform(0, 100), rng.uniform(0, 100)});
+        strategy.on_move(net, asg, v);
+      } else {
+        const NodeId v = alive[rng.below(alive.size())];
+        const double old_range = net.config(v).range;
+        net.set_range(v, old_range * rng.uniform(0.6, 1.8));
+        strategy.on_power_change(net, asg, v, old_range);
+      }
+      ASSERT_TRUE(minim::net::is_valid(net, asg))
+          << "strategy " << strategy_kind << " event " << event;
+    }
+  }
+}
+
+TEST(ObstructedNetwork, WallsReduceColorPressure) {
+  // Obstacles remove conflicts, so the same deployment needs no more (and
+  // usually fewer) codes than in free space.
+  Rng rng(8);
+  std::vector<minim::net::NodeConfig> configs;
+  for (int i = 0; i < 40; ++i)
+    configs.push_back({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                       rng.uniform(20.5, 30.5)});
+
+  auto run = [&configs](std::shared_ptr<const minim::net::PropagationModel> model) {
+    AdhocNetwork net(100, 100, 12.5, std::move(model));
+    CodeAssignment asg;
+    MinimStrategy minim;
+    for (const auto& config : configs)
+      minim.on_join(net, asg, net.add_node(config));
+    return asg.max_color(net.nodes());
+  };
+
+  const auto free_colors = run(nullptr);
+  const auto walled_colors = run(std::make_shared<const ObstructedPropagation>(
+      std::vector<Wall>{Wall{{50, 0}, {50, 100}}, Wall{{0, 50}, {100, 50}}}));
+  EXPECT_LE(walled_colors, free_colors);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Distributed CP executor: exact equivalence with the centralized baseline,
+// sane cost accounting, and stats-sink plumbing.
+
+#include "proto/distributed_cp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "net/constraints.hpp"
+#include "proto/distributed_minim.hpp"
+#include "strategies/cp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::NodeConfig;
+using minim::net::NodeId;
+using minim::proto::DistributedCp;
+using minim::strategies::CpStrategy;
+using minim::test::build_world;
+using minim::test::World;
+using minim::util::Rng;
+
+class DistributedCpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedCpTest, JoinMatchesCentralizedCp) {
+  Rng rng(GetParam());
+  World world = build_world(30, 20.5, 30.5, rng);
+  const NodeConfig config{{rng.uniform(0, 100), rng.uniform(0, 100)},
+                          rng.uniform(20.5, 30.5)};
+
+  AdhocNetwork net_c = world.network;
+  CodeAssignment asg_c = world.assignment;
+  CpStrategy cp;
+  const NodeId id_c = net_c.add_node(config);
+  const auto report_c = cp.on_join(net_c, asg_c, id_c);
+
+  AdhocNetwork net_d = world.network;
+  CodeAssignment asg_d = world.assignment;
+  DistributedCp protocol;
+  const NodeId id_d = net_d.add_node(config);
+  const auto result = protocol.join(net_d, asg_d, id_d);
+
+  for (NodeId v : net_c.nodes()) ASSERT_EQ(asg_c.color(v), asg_d.color(v));
+  EXPECT_EQ(result.report.recodings(), report_c.recodings());
+  EXPECT_TRUE(minim::net::is_valid(net_d, asg_d));
+}
+
+TEST_P(DistributedCpTest, MoveAndPowerMatchCentralized) {
+  Rng rng(GetParam() + 777);
+  World world = build_world(25, 20.5, 30.5, rng);
+  const NodeId mover = world.ids[rng.below(world.ids.size())];
+
+  AdhocNetwork net_c = world.network;
+  CodeAssignment asg_c = world.assignment;
+  AdhocNetwork net_d = world.network;
+  CodeAssignment asg_d = world.assignment;
+
+  const minim::util::Vec2 target{rng.uniform(0, 100), rng.uniform(0, 100)};
+  CpStrategy cp;
+  DistributedCp protocol;
+  net_c.set_position(mover, target);
+  cp.on_move(net_c, asg_c, mover);
+  net_d.set_position(mover, target);
+  protocol.move(net_d, asg_d, mover);
+  for (NodeId v : net_c.nodes()) ASSERT_EQ(asg_c.color(v), asg_d.color(v));
+
+  const NodeId riser = world.ids[rng.below(world.ids.size())];
+  const double old_range = net_c.config(riser).range;
+  net_c.set_range(riser, old_range * 2.0);
+  cp.on_power_change(net_c, asg_c, riser, old_range);
+  net_d.set_range(riser, old_range * 2.0);
+  protocol.power_increase(net_d, asg_d, riser, old_range);
+  for (NodeId v : net_c.nodes()) ASSERT_EQ(asg_c.color(v), asg_d.color(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedCpTest,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+TEST(DistributedCpCost, ScalesWithCandidatesNotNetwork) {
+  // An isolated joiner exchanges only beacons + its own snapshot/commit.
+  Rng rng(900);
+  World world = build_world(50, 10.0, 14.0, rng);
+  AdhocNetwork net = world.network;
+  CodeAssignment asg = world.assignment;
+  const NodeId loner = net.add_node({{0.0, 0.0}, 0.5});
+  DistributedCp protocol;
+  const auto result = protocol.join(net, asg, loner);
+  const std::size_t k = net.heard_by(loner).size();
+  // beacons (k) + per-candidate: snapshot pair + <=rounds announcements +
+  // commit; the candidate set here is {loner} plus duplicate-colored
+  // neighbors, all <= k + 1.
+  EXPECT_LE(result.cost.messages,
+            k + (k + 1) * (3 + result.cost.rounds));
+}
+
+TEST(DistributedCpCost, MoreCoordinationThanMinim) {
+  // With several duplicate-colored in-neighbors, CP's peer coordination
+  // costs more radio transmissions than Minim's centralized exchange.
+  Rng rng(901);
+  World world = build_world(40, 25.0, 35.0, rng);
+  const NodeConfig config{{50, 50}, 30.0};
+
+  AdhocNetwork net_m = world.network;
+  CodeAssignment asg_m = world.assignment;
+  minim::proto::DistributedMinim minim_protocol;
+  const auto rm = minim_protocol.join(net_m, asg_m, net_m.add_node(config));
+
+  AdhocNetwork net_c = world.network;
+  CodeAssignment asg_c = world.assignment;
+  DistributedCp cp_protocol;
+  const auto rc = cp_protocol.join(net_c, asg_c, net_c.add_node(config));
+
+  EXPECT_GE(rc.cost.hop_count, rm.cost.hop_count / 2)
+      << "sanity: both in the same order of magnitude";
+  EXPECT_GT(rc.cost.rounds, 0u);
+}
+
+TEST(CpRunStats, SinkFilledAndDetached) {
+  Rng rng(902);
+  World world = build_world(20, 25.0, 35.0, rng);
+  CpStrategy cp;
+  CpStrategy::RunStats stats;
+  cp.set_stats_sink(&stats);
+  const NodeId joiner = world.network.add_node({{50, 50}, 30.0});
+  cp.on_join(world.network, world.assignment, joiner);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_FALSE(stats.candidates.empty());
+  EXPECT_EQ(stats.candidates.size(), stats.vicinity_sizes.size());
+  EXPECT_EQ(stats.pending_per_round.size(), stats.rounds);
+  EXPECT_EQ(stats.pending_per_round.front(), stats.candidates.size());
+
+  // Detach: further operations must not touch the old sink.
+  cp.set_stats_sink(nullptr);
+  const auto snapshot_rounds = stats.rounds;
+  const NodeId joiner2 = world.network.add_node({{25, 25}, 30.0});
+  cp.on_join(world.network, world.assignment, joiner2);
+  EXPECT_EQ(stats.rounds, snapshot_rounds);
+}
+
+}  // namespace

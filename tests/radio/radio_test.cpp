@@ -1,0 +1,311 @@
+// CDMA PHY substrate: Walsh orthogonality, spreading round-trips, and the
+// end-to-end claim the whole paper rests on — a CA1/CA2-valid assignment
+// yields zero bit errors under simultaneous transmission, while primary and
+// hidden collisions garble links.
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "net/constraints.hpp"
+#include "radio/phy.hpp"
+#include "radio/spread.hpp"
+#include "radio/walsh.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::net::AdhocNetwork;
+using minim::net::CodeAssignment;
+using minim::net::NodeId;
+using minim::radio::Bits;
+using minim::radio::despread;
+using minim::radio::hamming_distance;
+using minim::radio::PhyParams;
+using minim::radio::random_bits;
+using minim::radio::Signal;
+using minim::radio::simulate_all_transmit;
+using minim::radio::simulate_transmitters;
+using minim::radio::spread;
+using minim::radio::superpose;
+using minim::radio::WalshCodeBook;
+using minim::test::build_world;
+using minim::test::World;
+using minim::util::Rng;
+
+// ---------------------------------------------------------------- Walsh
+
+TEST(Walsh, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(WalshCodeBook(3), std::invalid_argument);
+  EXPECT_THROW(WalshCodeBook(1), std::invalid_argument);
+  EXPECT_THROW(WalshCodeBook(0), std::invalid_argument);
+}
+
+TEST(Walsh, KnownH4) {
+  const WalshCodeBook book(4);
+  using Code = std::vector<minim::radio::Chip>;
+  EXPECT_EQ(book.code(0), (Code{1, 1, 1, 1}));
+  EXPECT_EQ(book.code(1), (Code{1, -1, 1, -1}));
+  EXPECT_EQ(book.code(2), (Code{1, 1, -1, -1}));
+  EXPECT_EQ(book.code(3), (Code{1, -1, -1, 1}));
+}
+
+class WalshOrthogonalityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WalshOrthogonalityTest, AllRowPairsOrthogonal) {
+  const WalshCodeBook book(GetParam());
+  for (std::size_t i = 0; i < book.length(); ++i)
+    for (std::size_t j = 0; j < book.length(); ++j) {
+      const auto corr = WalshCodeBook::correlate(book.code(i), book.code(j));
+      if (i == j) {
+        ASSERT_EQ(corr, static_cast<std::int64_t>(book.length()));
+      } else {
+        ASSERT_EQ(corr, 0) << "rows " << i << "," << j;
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WalshOrthogonalityTest,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+TEST(Walsh, ForColorsSizesMinimally) {
+  EXPECT_EQ(WalshCodeBook::for_colors(1).length(), 2u);
+  EXPECT_EQ(WalshCodeBook::for_colors(3).length(), 4u);
+  EXPECT_EQ(WalshCodeBook::for_colors(4).length(), 8u);
+  EXPECT_EQ(WalshCodeBook::for_colors(7).length(), 8u);
+  EXPECT_EQ(WalshCodeBook::for_colors(8).length(), 16u);
+  EXPECT_GE(WalshCodeBook::for_colors(40).capacity(), 40u);
+}
+
+// ---------------------------------------------------------------- spreading
+
+TEST(Spread, RoundTripSingleTransmitter) {
+  Rng rng(1);
+  const WalshCodeBook book(16);
+  const Bits bits = random_bits(64, rng);
+  const Signal signal = spread(bits, book.code(5));
+  EXPECT_EQ(signal.size(), 64u * 16u);
+  EXPECT_EQ(despread(signal, book.code(5)), bits);
+}
+
+TEST(Spread, TwoOrthogonalTransmittersSeparatePerfectly) {
+  Rng rng(2);
+  const WalshCodeBook book(8);
+  const Bits b1 = random_bits(32, rng);
+  const Bits b2 = random_bits(32, rng);
+  Signal channel = spread(b1, book.code(1));
+  superpose(channel, spread(b2, book.code(2)));
+  EXPECT_EQ(despread(channel, book.code(1)), b1);
+  EXPECT_EQ(despread(channel, book.code(2)), b2);
+}
+
+TEST(Spread, ManyOrthogonalTransmittersStillSeparate) {
+  Rng rng(3);
+  const WalshCodeBook book(16);
+  std::vector<Bits> payloads;
+  Signal channel;
+  for (std::size_t code = 1; code <= 15; ++code) {
+    payloads.push_back(random_bits(16, rng));
+    const Signal s = spread(payloads.back(), book.code(code));
+    if (channel.empty()) channel.assign(s.size(), 0.0);
+    superpose(channel, s);
+  }
+  for (std::size_t code = 1; code <= 15; ++code)
+    ASSERT_EQ(despread(channel, book.code(code)), payloads[code - 1]);
+}
+
+TEST(Spread, SameCodeCollisionGarbles) {
+  Rng rng(4);
+  const WalshCodeBook book(8);
+  const Bits b1 = random_bits(256, rng);
+  const Bits b2 = random_bits(256, rng);
+  Signal channel = spread(b1, book.code(3));
+  superpose(channel, spread(b2, book.code(3)));
+  const Bits decoded = despread(channel, book.code(3));
+  // Where the two payloads agree the sum reinforces; where they differ the
+  // statistic is 0 and decodes as 0.  Errors must appear.
+  EXPECT_GT(hamming_distance(decoded, b1), 0u);
+}
+
+TEST(Spread, ModerateNoiseIsRejectedBySpreadingGain) {
+  Rng rng(5);
+  const WalshCodeBook book(64);
+  const Bits bits = random_bits(64, rng);
+  Signal signal = spread(bits, book.code(9));
+  minim::radio::add_awgn(signal, 0.5, rng);  // well under the gain of 64
+  EXPECT_EQ(despread(signal, book.code(9)), bits);
+}
+
+TEST(Spread, MismatchedLengthsThrow) {
+  const WalshCodeBook book(8);
+  Signal too_short(12, 0.0);  // not a multiple of 8
+  EXPECT_THROW(despread(too_short, book.code(1)), std::invalid_argument);
+  Signal a(8, 0.0);
+  Signal b(16, 0.0);
+  EXPECT_THROW(superpose(a, b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- PHY + net
+
+TEST(Phy, ValidAssignmentGivesZeroErrorsEverywhere) {
+  Rng rng(6);
+  World world = build_world(25, 20.5, 30.5, rng);
+  ASSERT_TRUE(minim::net::is_valid(world.network, world.assignment));
+  PhyParams params;
+  const auto report =
+      simulate_all_transmit(world.network, world.assignment, params, rng);
+  EXPECT_GT(report.links.size(), 0u);
+  EXPECT_EQ(report.total_bit_errors, 0u);
+  EXPECT_EQ(report.garbled_links, 0u);
+}
+
+TEST(Phy, PrimaryCollisionGarblesLink) {
+  // u -> v edge with equal colors: v's own transmission stomps u's.
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId u = net.add_node({{0, 0}, 10.0});
+  const NodeId v = net.add_node({{5, 0}, 1.0});
+  asg.set_color(u, 2);
+  asg.set_color(v, 2);  // CA1 violation on edge u->v
+  Rng rng(7);
+  PhyParams params;
+  const auto report = simulate_all_transmit(net, asg, params, rng);
+  bool found = false;
+  for (const auto& link : report.links)
+    if (link.transmitter == u && link.receiver == v) {
+      found = true;
+      EXPECT_GT(link.bit_errors, 0u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Phy, HiddenCollisionGarblesBothLinks) {
+  // Classic hidden terminal: a and c share a color and a receiver b.
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  const NodeId b = net.add_node({{10, 0}, 1.0});
+  const NodeId c = net.add_node({{20, 0}, 12.0});
+  asg.set_color(a, 3);
+  asg.set_color(b, 1);
+  asg.set_color(c, 3);  // CA2 violation at receiver b
+  Rng rng(8);
+  PhyParams params;
+  const auto report = simulate_transmitters(net, asg, {a, c}, params, rng);
+  ASSERT_EQ(report.links.size(), 2u);  // a->b and c->b
+  for (const auto& link : report.links) {
+    EXPECT_EQ(link.receiver, b);
+    EXPECT_GT(link.bit_errors, 0u) << "tx " << link.transmitter;
+  }
+}
+
+TEST(Phy, RecodingRestoresCleanDecoding) {
+  // End-to-end story: force a hidden collision by a power increase, let
+  // Minim recode, confirm the channel is clean again.
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  const NodeId b = net.add_node({{10, 0}, 1.0});
+  const NodeId c = net.add_node({{30, 0}, 5.0});  // out of range of b at first
+  asg.set_color(a, 1);
+  asg.set_color(b, 2);
+  asg.set_color(c, 1);
+  ASSERT_TRUE(minim::net::is_valid(net, asg));
+
+  Rng rng(9);
+  minim::core::MinimStrategy minim;
+  net.set_range(c, 25.0);  // now c -> b too: hidden collision with a
+  ASSERT_FALSE(minim::net::find_violations(net, asg).empty());
+
+  // Without recoding the channel is garbled...
+  PhyParams params;
+  const auto bad = simulate_transmitters(net, asg, {a, c}, params, rng);
+  EXPECT_GT(bad.total_bit_errors, 0u);
+
+  // ...after RecodeOnPowIncrease it is clean.
+  minim.on_power_change(net, asg, c, 5.0);
+  ASSERT_TRUE(minim::net::is_valid(net, asg));
+  const auto good = simulate_all_transmit(net, asg, params, rng);
+  EXPECT_EQ(good.total_bit_errors, 0u);
+}
+
+TEST(Phy, PathLossKeepsOrthogonalLinksClean) {
+  // Unequal gains do not break orthogonality: the correlator cancels every
+  // other code exactly, regardless of amplitude.
+  Rng rng(12);
+  World world = build_world(20, 20.5, 30.5, rng);
+  PhyParams params;
+  params.path_loss_exponent = 2.7;
+  params.reference_distance = 1.0;
+  const auto report =
+      simulate_all_transmit(world.network, world.assignment, params, rng);
+  EXPECT_GT(report.links.size(), 0u);
+  EXPECT_EQ(report.total_bit_errors, 0u);
+}
+
+TEST(Phy, NearFarCaptureOnSameCodeCollision) {
+  // Two same-code transmitters at very different distances: the near link
+  // captures (decodes cleanly), the far link garbles.
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId near_tx = net.add_node({{48, 50}, 10});
+  const NodeId rx = net.add_node({{50, 50}, 1});
+  const NodeId far_tx = net.add_node({{80, 50}, 31});  // reaches rx, not near_tx
+  asg.set_color(near_tx, 2);
+  asg.set_color(rx, 1);
+  asg.set_color(far_tx, 2);  // CA2 violation at rx
+  Rng rng(13);
+  PhyParams params;
+  params.packet_bits = 256;
+  params.path_loss_exponent = 3.0;
+  const auto report = simulate_transmitters(net, asg, {near_tx, far_tx}, params, rng);
+  ASSERT_EQ(report.links.size(), 2u);
+  for (const auto& link : report.links) {
+    if (link.transmitter == near_tx) {
+      EXPECT_EQ(link.bit_errors, 0u) << "near link must capture";
+    } else {
+      EXPECT_GT(link.bit_errors, 0u) << "far link must garble";
+    }
+  }
+}
+
+TEST(Phy, UnitGainWhenPathLossDisabled) {
+  // Default params reproduce the paper's abstract model: collisions garble
+  // both ways regardless of distance.
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId a = net.add_node({{48, 50}, 10});
+  const NodeId rx = net.add_node({{50, 50}, 1});
+  const NodeId b = net.add_node({{80, 50}, 40});
+  asg.set_color(a, 2);
+  asg.set_color(rx, 1);
+  asg.set_color(b, 2);
+  Rng rng(14);
+  PhyParams params;
+  params.packet_bits = 256;
+  const auto report = simulate_transmitters(net, asg, {a, b}, params, rng);
+  for (const auto& link : report.links)
+    EXPECT_GT(link.bit_errors, 0u) << "tx " << link.transmitter;
+}
+
+TEST(Phy, UncoloredTransmitterRejected) {
+  AdhocNetwork net;
+  CodeAssignment asg;
+  const NodeId u = net.add_node({{0, 0}, 10.0});
+  net.add_node({{5, 0}, 10.0});
+  asg.set_color(u, 1);
+  Rng rng(10);
+  PhyParams params;
+  EXPECT_THROW(simulate_all_transmit(net, asg, params, rng), std::invalid_argument);
+}
+
+TEST(Phy, NoTransmittersMeansEmptyReport) {
+  AdhocNetwork net;
+  CodeAssignment asg;
+  Rng rng(11);
+  PhyParams params;
+  const auto report = simulate_transmitters(net, asg, {}, params, rng);
+  EXPECT_TRUE(report.links.empty());
+  EXPECT_EQ(report.link_error_rate(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Text trace format: parse/serialize round-trips, error reporting with line
+// numbers, workload conversion, and replay equivalence.
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/minim.hpp"
+#include "net/constraints.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::core::MinimStrategy;
+using minim::sim::apply_trace;
+using minim::sim::parse_trace;
+using minim::sim::serialize_trace;
+using minim::sim::Simulation;
+using minim::sim::Trace;
+using minim::sim::trace_from_workload;
+using minim::sim::TraceEvent;
+using minim::util::Rng;
+
+TEST(Trace, ParseBasicDocument) {
+  const Trace trace = parse_trace(
+      "# a comment\n"
+      "join 10 20 25.5\n"
+      "join 30 40 20\n"
+      "\n"
+      "move 0 50 60   # trailing comment\n"
+      "power 1 35\n"
+      "leave 0\n");
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].kind, TraceEvent::Kind::kJoin);
+  EXPECT_DOUBLE_EQ(trace[0].position.x, 10);
+  EXPECT_DOUBLE_EQ(trace[0].range, 25.5);
+  EXPECT_EQ(trace[2].kind, TraceEvent::Kind::kMove);
+  EXPECT_EQ(trace[2].node, 0u);
+  EXPECT_EQ(trace[3].kind, TraceEvent::Kind::kPower);
+  EXPECT_DOUBLE_EQ(trace[3].range, 35);
+  EXPECT_EQ(trace[4].kind, TraceEvent::Kind::kLeave);
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  const Trace original = parse_trace(
+      "join 1.25 2.5 10\njoin 99.125 3 20\nmove 1 7 8\npower 0 12.5\nleave 1\n");
+  const Trace reparsed = parse_trace(serialize_trace(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].kind, original[i].kind) << i;
+    EXPECT_EQ(reparsed[i].node, original[i].node) << i;
+    EXPECT_EQ(reparsed[i].position, original[i].position) << i;
+    EXPECT_DOUBLE_EQ(reparsed[i].range, original[i].range) << i;
+  }
+}
+
+TEST(Trace, ErrorsCarryLineNumbers) {
+  auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse_trace(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("warp 1 2 3\n", "line 1");
+  expect_error("join 1 2\n", "missing range");
+  expect_error("join 1 2 3\nmove 5 1 2\n", "not joined");
+  expect_error("join 1 2 3\nleave 0\nmove 0 1 2\n", "already left");
+  expect_error("join 1 2 3 4\n", "trailing");
+  expect_error("join 1 2 -5\n", "negative range");
+  expect_error("move -1 2 2\n", "invalid node");
+}
+
+TEST(Trace, FromWorkloadCoversAllPhases) {
+  Rng rng(9);
+  minim::sim::WorkloadParams params;
+  params.n = 10;
+  const auto workload = minim::sim::make_power_workload(params, 2.0, rng);
+  const Trace trace = trace_from_workload(workload);
+  EXPECT_EQ(trace.size(), workload.joins.size() + workload.power_raises.size());
+}
+
+TEST(Trace, ApplyMatchesWorkloadReplay) {
+  Rng rng(10);
+  minim::sim::WorkloadParams params;
+  params.n = 20;
+  const auto workload = minim::sim::make_move_workload(params, 25.0, 2, rng);
+
+  MinimStrategy strategy_a;
+  const auto outcome = minim::sim::replay(workload, strategy_a);
+
+  MinimStrategy strategy_b;
+  Simulation simulation(strategy_b);
+  apply_trace(trace_from_workload(workload), simulation);
+
+  EXPECT_EQ(static_cast<double>(simulation.totals().recodings),
+            outcome.total_recodings);
+  EXPECT_EQ(static_cast<double>(simulation.max_color()), outcome.final_max_color);
+}
+
+TEST(Trace, TextRoundTripPreservesSimulationResult) {
+  Rng rng(11);
+  minim::sim::WorkloadParams params;
+  params.n = 15;
+  const auto workload = minim::sim::make_join_workload(params, rng);
+  const Trace trace = trace_from_workload(workload);
+  const Trace reparsed = parse_trace(serialize_trace(trace));
+
+  MinimStrategy s1;
+  MinimStrategy s2;
+  Simulation sim1(s1);
+  Simulation sim2(s2);
+  apply_trace(trace, sim1);
+  apply_trace(reparsed, sim2);
+  EXPECT_EQ(sim1.totals().recodings, sim2.totals().recodings);
+  EXPECT_EQ(sim1.max_color(), sim2.max_color());
+  for (auto v : sim1.network().nodes())
+    EXPECT_EQ(sim1.assignment().color(v), sim2.assignment().color(v));
+}
+
+TEST(Trace, EmptyDocumentIsEmptyTrace) {
+  EXPECT_TRUE(parse_trace("").empty());
+  EXPECT_TRUE(parse_trace("# only comments\n\n").empty());
+  EXPECT_EQ(serialize_trace({}), "");
+}
+
+}  // namespace

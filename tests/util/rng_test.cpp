@@ -1,0 +1,169 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace {
+
+using minim::util::Rng;
+using minim::util::splitmix64;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, StreamsAreIndependentAndReproducible) {
+  Rng s0 = Rng::for_stream(42, 0);
+  Rng s1 = Rng::for_stream(42, 1);
+  Rng s0_again = Rng::for_stream(42, 0);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = s0();
+    const auto b = s1();
+    EXPECT_EQ(a, s0_again());
+    if (a != b) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, AdjacentStreamsDiffer) {
+  // Regression guard: naive seeding (seed + index) made adjacent streams
+  // correlated; the splitmix double-mix must keep them apart.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 256; ++i) firsts.insert(Rng::for_stream(7, i)());
+  EXPECT_EQ(firsts.size(), 256u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(6);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(20.5, 30.5);
+    ASSERT_GE(x, 20.5);
+    ASSERT_LT(x, 30.5);
+  }
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(10);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b)
+    EXPECT_NEAR(counts[b], kN / kBound, kN * 0.01) << "bucket " << b;
+}
+
+TEST(Rng, UniformIntInclusiveEnds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = xs;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(xs.begin(), xs.end(), shuffled.begin()));
+}
+
+TEST(Rng, ShuffleSingletonAndEmpty) {
+  Rng rng(14);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  Rng rng(15);
+  std::vector<int> xs(100);
+  for (int i = 0; i < 100; ++i) xs[static_cast<std::size_t>(i)] = i;
+  auto shuffled = xs;
+  rng.shuffle(shuffled);
+  EXPECT_NE(xs, shuffled);  // probability of identity is 1/100!
+}
+
+TEST(Splitmix, KnownFirstValueIsStable) {
+  // Lock the seeding path: changing it would silently change every
+  // experiment in the repository.
+  std::uint64_t state = 0;
+  const auto v1 = splitmix64(state);
+  std::uint64_t state2 = 0;
+  const auto v1_again = splitmix64(state2);
+  EXPECT_EQ(v1, v1_again);
+  EXPECT_NE(splitmix64(state), v1);  // state advanced
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using minim::util::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(3);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 5; });
+  EXPECT_EQ(value, 5);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<long> out(kN, 0);
+  pool.parallel_for(kN, [&](std::size_t i) { out[i] = static_cast<long>(i) * 3; });
+  const long total = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(total, 3L * kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(257, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 257);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&done] { done.fetch_add(1); });
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
