@@ -1,0 +1,137 @@
+// Batched scenario sweeps through sim::run_scenario_sweep: every scenario
+// kind (join / power / move / churn) for each strategy, N Monte-Carlo trials
+// fanned across the thread pool, with per-counter mean +- stddev summaries
+// and the parallel-vs-serial wall-clock speedup.
+//
+// Options (all optional):
+//   --trials=N          trials per (scenario, strategy) cell (default 100)
+//   --seed=S            master seed (default 2001)
+//   --threads=T         pool size (default 0 = hardware concurrency)
+//   --n=N               nodes joined per trial (default 100; churn ignores it)
+//   --churn-duration=D  churn horizon (default 400)
+//   --serial-check      re-run every cell on 1 thread and verify the summary
+//                       is bit-identical (the sweep runner's contract)
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minim;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string fmt_stat(const util::RunningStats& stat) {
+  return util::fmt_fixed(stat.mean(), 2) + " +- " + util::fmt_fixed(stat.stddev(), 2);
+}
+
+bool summaries_equal(const sim::TotalsSummary& a, const sim::TotalsSummary& b) {
+  auto same = [](const util::RunningStats& x, const util::RunningStats& y) {
+    return x.count() == y.count() && x.mean() == y.mean() &&
+           x.variance() == y.variance() && x.min() == y.min() && x.max() == y.max();
+  };
+  if (!same(a.events, b.events) || !same(a.recodings, b.recodings) ||
+      !same(a.messages, b.messages) || !same(a.max_color, b.max_color))
+    return false;
+  for (std::size_t t = 0; t < a.recodings_by_type.size(); ++t)
+    if (!same(a.events_by_type[t], b.events_by_type[t]) ||
+        !same(a.recodings_by_type[t], b.recodings_by_type[t]))
+      return false;
+  return true;
+}
+
+const char* kind_name(sim::ScenarioKind kind) {
+  switch (kind) {
+    case sim::ScenarioKind::kJoin: return "join";
+    case sim::ScenarioKind::kPower: return "power";
+    case sim::ScenarioKind::kMove: return "move";
+    case sim::ScenarioKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  sim::SweepRunnerOptions sweep;
+  sweep.trials = static_cast<std::size_t>(options.get_int("trials", 100));
+  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
+  const auto n = static_cast<std::size_t>(options.get_int("n", 100));
+  const double churn_duration = options.get_double("churn-duration", 400.0);
+  const bool serial_check = options.get_bool("serial-check", false);
+
+  std::cout << "=== Scenario sweep engine ===\n"
+            << sweep.trials << " trials per cell, seed " << sweep.seed << "\n\n";
+
+  util::TextTable table("Per-scenario totals (mean +- stddev over trials)");
+  table.set_header({"scenario", "strategy", "events", "recodings", "max color",
+                    "wall s", "serial s"});
+
+  double parallel_total = 0.0;
+  double serial_total = 0.0;
+  bool all_match = true;
+
+  for (const sim::ScenarioKind kind :
+       {sim::ScenarioKind::kJoin, sim::ScenarioKind::kPower,
+        sim::ScenarioKind::kMove, sim::ScenarioKind::kChurn}) {
+    for (const char* strategy : {"minim", "cp", "bbb"}) {
+      sim::ScenarioSpec spec;
+      spec.kind = kind;
+      spec.strategy = strategy;
+      spec.workload.n = n;
+      spec.move_rounds = 3;
+      spec.churn.duration = churn_duration;
+
+      const auto start = std::chrono::steady_clock::now();
+      const sim::SweepReport report = sim::run_scenario_sweep(spec, sweep);
+      const double elapsed = seconds_since(start);
+      parallel_total += elapsed;
+
+      std::string serial_cell = "-";
+      if (serial_check) {
+        sim::SweepRunnerOptions serial = sweep;
+        serial.threads = 1;
+        const auto serial_start = std::chrono::steady_clock::now();
+        const sim::SweepReport reference = sim::run_scenario_sweep(spec, serial);
+        const double serial_elapsed = seconds_since(serial_start);
+        serial_total += serial_elapsed;
+        serial_cell = util::fmt_fixed(serial_elapsed, 2);
+        if (!summaries_equal(report.summary, reference.summary)) {
+          all_match = false;
+          std::cerr << "MISMATCH: " << kind_name(kind) << "/" << strategy
+                    << " parallel summary differs from serial\n";
+        }
+      }
+
+      table.add_row({kind_name(kind), strategy, fmt_stat(report.summary.events),
+                     fmt_stat(report.summary.recodings),
+                     fmt_stat(report.summary.max_color),
+                     util::fmt_fixed(elapsed, 2), serial_cell});
+    }
+  }
+
+  std::cout << table.render() << "\n"
+            << "parallel wall time: " << util::fmt_fixed(parallel_total, 2) << " s\n";
+  if (serial_check) {
+    std::cout << "serial wall time:   " << util::fmt_fixed(serial_total, 2)
+              << " s (speedup "
+              << util::fmt_fixed(serial_total / std::max(parallel_total, 1e-9), 2)
+              << "x)\n"
+              << (all_match ? "determinism check: PASS (bit-identical summaries)\n"
+                            : "determinism check: FAIL\n");
+  }
+  return all_match ? 0 : 1;
+}

@@ -8,7 +8,7 @@
 //   2. forced CA2 violation      -> the hidden-terminal links garble;
 //   3. RecodeOnPowIncrease fixes -> clean channel again.
 //
-// Run:  ./build/examples/cdma_phy_demo [--packet-bits=64] [--seed=5]
+// Run:  ./build/examples/example_cdma_phy_demo [--packet-bits=64] [--seed=5]
 
 #include <iostream>
 

@@ -7,7 +7,7 @@
 // identical event trace under Minim, CP and BBB, and reports the two paper
 // metrics plus the per-event-type breakdown.
 //
-// Run:  ./build/examples/conference_scenario [--attendees=60] [--seed=7]
+// Run:  ./build/examples/example_conference_scenario [--attendees=60] [--seed=7]
 
 #include <iostream>
 #include <vector>

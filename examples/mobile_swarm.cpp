@@ -8,7 +8,7 @@
 // Minim vs CP, then demonstrate the gossip compaction pass (the paper's
 // future work) reclaiming code space during a quiet period.
 //
-// Run:  ./build/examples/mobile_swarm [--units=24] [--rounds=12] [--seed=3]
+// Run:  ./build/examples/example_mobile_swarm [--units=24] [--rounds=12] [--seed=3]
 
 #include <cmath>
 #include <iostream>

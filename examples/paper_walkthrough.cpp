@@ -5,7 +5,7 @@
 // behaviour the figure is cited for (Minim vs CP recoding counts and max
 // color relations).
 //
-// Run:  ./build/examples/paper_walkthrough
+// Run:  ./build/examples/example_paper_walkthrough
 
 #include <array>
 #include <iostream>

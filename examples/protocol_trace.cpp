@@ -4,7 +4,7 @@
 // summary.  Also verifies the distributed run produced exactly the
 // centralized result, and demonstrates Theorem 4.1.10's parallel joins.
 //
-// Run:  ./build/examples/protocol_trace [--seed=11]
+// Run:  ./build/examples/example_protocol_trace [--seed=11]
 
 #include <iostream>
 

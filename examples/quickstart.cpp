@@ -4,7 +4,7 @@
 // codes as nodes join, then exercises all four reconfiguration events and
 // prints what got recoded each time.
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/examples/example_quickstart
 
 #include <iostream>
 
@@ -52,7 +52,7 @@ int main() {
   std::cout << "--- five nodes join ---\n";
   const auto a = simulation.join({{20, 50}, 25});
   const auto b = simulation.join({{40, 50}, 25});
-  const auto c = simulation.join({{60, 50}, 25});
+  [[maybe_unused]] const auto c = simulation.join({{60, 50}, 25});
   const auto d = simulation.join({{80, 50}, 25});
   const auto e = simulation.join({{50, 70}, 30});
   print_network(simulation);

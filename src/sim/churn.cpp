@@ -152,6 +152,7 @@ ChurnResult run_churn(const ChurnParams& params, core::RecodingStrategy& strateg
   }
 
   result.totals = simulation.totals();
+  result.final_max_color = simulation.max_color();
   result.final_valid =
       net::is_valid(simulation.network(), simulation.assignment());
   return result;

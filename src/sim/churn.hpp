@@ -58,6 +58,7 @@ struct ChurnResult {
   Totals totals;                ///< event/recoding totals from the engine
   std::size_t peak_nodes = 0;
   std::size_t dropped_arrivals = 0;  ///< arrivals rejected by the cap
+  net::Color final_max_color = net::kNoColor;  ///< max color at the horizon
   bool final_valid = false;     ///< CA1/CA2 validity at the horizon
 };
 

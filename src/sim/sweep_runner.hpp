@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+/// \file sweep_runner.hpp
+/// \brief Batched Monte-Carlo engine: N independent scenario trials fanned
+/// over the thread pool, reduced into deterministic summary statistics.
+///
+/// `sweeps.hpp` reproduces the paper's figures (x-axis sweeps of the two
+/// plot metrics).  This engine answers a different question — "run this one
+/// scenario many times and summarize *everything* the engine counts" — which
+/// is the workload shape of the large Monte-Carlo studies in the follow-on
+/// power-control literature (Meshkati et al., Liu et al.).
+///
+/// Determinism contract: trial `i` draws all of its randomness from
+/// `util::Rng::for_stream(options.seed, i)` and results are reduced in trial
+/// order on the calling thread, so the report is bit-identical for any
+/// thread count, including 1 (serial).
+
+namespace minim::sim {
+
+/// Which scenario shape each trial runs.
+enum class ScenarioKind {
+  kJoin,   ///< N consecutive joins (Fig 10's setup phase)
+  kPower,  ///< joins, then half the nodes raise their range (Fig 11)
+  kMove,   ///< joins, then movement rounds (Fig 12)
+  kChurn,  ///< continuous-time open network (sim/churn.hpp)
+};
+
+/// Everything one trial needs besides its RNG stream.
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kJoin;
+  std::string strategy = "minim";  ///< a strategies::make_strategy name
+  WorkloadParams workload{};       ///< join/power/move scenarios
+  double raise_factor = 2.0;       ///< kPower: range multiplier
+  double max_displacement = 40.0;  ///< kMove: per-move displacement bound
+  std::size_t move_rounds = 1;     ///< kMove: rounds of everyone-moves-once
+  ChurnParams churn{};             ///< kChurn parameters
+  bool validate = false;           ///< CA1/CA2 check after every event (slow)
+};
+
+struct SweepRunnerOptions {
+  std::size_t trials = 100;   ///< paper: every point averages 100 runs
+  std::uint64_t seed = 2001;  ///< master seed; trials derive streams
+  std::size_t threads = 0;    ///< 0 = hardware concurrency, 1 = serial
+  bool keep_trials = false;   ///< retain per-trial results in the report
+};
+
+/// Raw outcome of one trial.
+struct TrialResult {
+  Totals totals;
+  net::Color final_max_color = net::kNoColor;
+};
+
+/// Mean/stddev (and min/max) of every engine counter across trials.
+struct TotalsSummary {
+  util::RunningStats events;
+  util::RunningStats recodings;
+  util::RunningStats messages;
+  util::RunningStats max_color;
+  std::array<util::RunningStats, 5> events_by_type{};     ///< by core::EventType
+  std::array<util::RunningStats, 5> recodings_by_type{};  ///< by core::EventType
+};
+
+struct SweepReport {
+  TotalsSummary summary;
+  /// Per-trial raw results, trial-ordered; empty unless `keep_trials`.
+  std::vector<TrialResult> trials;
+};
+
+/// Runs one trial of `spec` on the given RNG stream (exposed for tests and
+/// for callers that schedule trials themselves).
+TrialResult run_scenario_trial(const ScenarioSpec& spec, util::Rng& rng);
+
+/// Runs `options.trials` independent trials of `spec` across a thread pool
+/// and reduces them in trial order.  Bit-identical for any thread count.
+SweepReport run_scenario_sweep(const ScenarioSpec& spec,
+                               const SweepRunnerOptions& options);
+
+}  // namespace minim::sim

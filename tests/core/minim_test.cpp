@@ -227,7 +227,9 @@ TEST_P(MinimPowerSweep, IncreaseRecodesAtMostOneAndStaysValid) {
     const RecodeReport report =
         minim.on_power_change(world.network, world.assignment, v, old_range);
     ASSERT_LE(report.recodings(), 1u);
-    if (report.recodings() == 1) ASSERT_EQ(report.changes[0].node, v);
+    if (report.recodings() == 1) {
+      ASSERT_EQ(report.changes[0].node, v);
+    }
     ASSERT_TRUE(minim::net::is_valid(world.network, world.assignment));
   }
 }

@@ -46,8 +46,9 @@ TEST(SpatialGrid, QueryIsSupersetWithinRadius) {
     std::vector<NodeId> out;
     grid.query_disc(center, radius, out);
     for (NodeId i = 0; i < 200; ++i) {
-      if (minim::util::distance(center, pos[i]) <= radius)
+      if (minim::util::distance(center, pos[i]) <= radius) {
         ASSERT_TRUE(contains(out, i)) << "missed point " << i;
+      }
     }
   }
 }

@@ -91,8 +91,9 @@ TEST(Propagation, ObstructedNeverAddsLinks) {
     const Vec2 from{rng.uniform(0, 100), rng.uniform(0, 100)};
     const Vec2 to{rng.uniform(0, 100), rng.uniform(0, 100)};
     const double range = rng.uniform(0, 60);
-    if (obstructed.reaches(from, range, to))
+    if (obstructed.reaches(from, range, to)) {
       ASSERT_TRUE(free_space.reaches(from, range, to));
+    }
   }
 }
 
