@@ -43,8 +43,8 @@ void minim_variant_row(util::TextTable& table, const std::string& label,
                  : sim::make_join_workload(wp, rng);
     core::MinimStrategy strategy(params);
     const auto outcome = sim::replay(workload, strategy);
-    colors.add(outcome.final_max_color);
-    recodings.add(movement ? outcome.delta_recodings() : outcome.total_recodings);
+    colors.add(outcome.final_max_color());
+    recodings.add(movement ? outcome.delta_recodings() : outcome.total_recodings());
   }
   table.add_row({label, util::fmt_fixed(colors.mean(), 2),
                  util::fmt_fixed(recodings.mean(), 2)});

@@ -23,6 +23,41 @@
 
 namespace minim::bench {
 
+/// Splits a comma-separated value on commas, dropping empty fields.
+inline std::vector<std::string> split_list(const std::string& raw) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t pos = raw.find(',', start);
+    const std::string field =
+        raw.substr(start, pos == std::string::npos ? pos : pos - start);
+    if (!field.empty()) fields.push_back(field);
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+/// Parses a comma-separated string list option ("--strategies=minim,cp");
+/// returns `fallback` when the option is absent.
+inline std::vector<std::string> string_list_from(const util::Options& options,
+                                                 const std::string& key,
+                                                 std::vector<std::string> fallback) {
+  const std::string raw = options.get(key, "");
+  return raw.empty() ? fallback : split_list(raw);
+}
+
+/// Parses a comma-separated list option ("--ns=40,60,80") into doubles.
+inline std::vector<double> double_list_from(const util::Options& options,
+                                            const std::string& key,
+                                            std::vector<double> fallback) {
+  const std::string raw = options.get(key, "");
+  if (raw.empty()) return fallback;
+  std::vector<double> values;
+  for (const std::string& field : split_list(raw)) values.push_back(std::stod(field));
+  return values;
+}
+
 inline sim::SweepOptions sweep_options_from(const util::Options& options,
                                             std::vector<std::string> strategies) {
   sim::SweepOptions sweep;

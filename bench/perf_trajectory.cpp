@@ -1,0 +1,133 @@
+// Perf-trajectory harness: times the repo's slowest bench workloads — the
+// paper-size x-grids behind the fig10_join / fig11_power_increase smokes,
+// plus the new grid-study engine — and writes the wall clocks as JSON
+// (default BENCH_sweep.json).  The committed BENCH_sweep.json at the repo
+// root is the first recorded baseline; future optimization work (BBB
+// incremental conflict graphs, memoized coloring) re-runs this harness and
+// diffs against it.
+//
+// Options:
+//   --runs=N      Monte-Carlo runs per figure point (default 2, = CI smoke)
+//   --trials=N    trials per grid-study point (default 2)
+//   --threads=T   pool size (default 0 = hardware concurrency)
+//   --seed=S      master seed (default 2001)
+//   --out=FILE    output path (default BENCH_sweep.json)
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweeps.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minim;
+
+struct Entry {
+  std::string name;
+  double wall_s = 0.0;
+};
+
+template <typename Fn>
+Entry timed(const std::string& name, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "  " << name << ": " << util::fmt_fixed(elapsed, 2) << " s\n";
+  return Entry{name, elapsed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  sim::SweepOptions sweep;
+  sweep.runs = static_cast<std::size_t>(options.get_int("runs", 2));
+  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
+  const auto trials = static_cast<std::size_t>(options.get_int("trials", 2));
+  const std::string out_path = options.get("out", "BENCH_sweep.json");
+
+  std::cout << "=== Perf trajectory (runs=" << sweep.runs
+            << ", trials=" << trials << ") ===\n";
+
+  std::vector<Entry> entries;
+
+  // The exact sweeps bench_fig10_join runs (paper-size x-grids).
+  entries.push_back(timed("bench.fig10_join", [&] {
+    const std::vector<double> ns{40, 50, 60, 70, 80, 90, 100, 110, 120};
+    const std::vector<double> avg_ranges{7.5, 17.5, 27.5, 37.5, 47.5, 57.5, 67.5};
+    sim::SweepOptions all = sweep;
+    all.strategies = {"minim", "cp", "bbb"};
+    sim::SweepOptions distributed = sweep;
+    distributed.strategies = {"minim", "cp"};
+    sim::sweep_join_vs_n(ns, all);
+    sim::sweep_join_vs_n(ns, distributed);
+    sim::sweep_join_vs_avg_range(avg_ranges, all);
+    sim::sweep_join_vs_avg_range(avg_ranges, distributed);
+  }));
+
+  // The exact sweeps bench_fig11_power_increase runs.
+  entries.push_back(timed("bench.fig11_power_increase", [&] {
+    const std::vector<double> factors{1.0, 1.5, 2.0, 2.5, 3.0,  3.5,
+                                      4.0, 4.5, 5.0, 5.5, 6.0};
+    sim::SweepOptions all = sweep;
+    all.strategies = {"minim", "cp", "cp-exact", "bbb"};
+    sim::SweepOptions distributed = sweep;
+    distributed.strategies = {"minim", "cp"};
+    sim::sweep_power_vs_raise_factor(factors, all);
+    sim::sweep_power_vs_raise_factor(factors, distributed);
+  }));
+
+  // The grid-study default grid (bench/grid_study.cpp).
+  entries.push_back(timed("bench.grid_study", [&] {
+    sim::ExperimentGrid grid;
+    grid.base.kind = sim::ScenarioKind::kPower;
+    grid.axes.push_back(sim::GridAxis{
+        "n", {40, 60, 80, 100}, [](sim::ScenarioSpec& spec, double x) {
+          spec.workload.n = static_cast<std::size_t>(x);
+        }});
+    grid.axes.push_back(sim::GridAxis{
+        "raise_factor", {1.5, 2.5, 3.5, 4.5, 5.5},
+        [](sim::ScenarioSpec& spec, double x) { spec.raise_factor = x; }});
+    sim::ExperimentOptions run;
+    run.trials = trials;
+    run.seed = sweep.seed;
+    run.threads = sweep.threads;
+    sim::Experiment(std::move(grid)).run(run);
+  }));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema\": \"minim-bench-trajectory-v1\",\n"
+      << "  \"config\": {\n"
+      << "    \"runs\": " << sweep.runs << ",\n"
+      << "    \"trials\": " << trials << ",\n"
+      << "    \"threads\": "
+      << (sweep.threads ? sweep.threads : std::thread::hardware_concurrency())
+      << ",\n"
+      << "    \"seed\": " << sweep.seed << "\n"
+      << "  },\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "    {\"name\": \"" << entries[i].name << "\", \"wall_s\": "
+        << util::fmt_fixed(entries[i].wall_s, 3) << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[json] wrote " << out_path << "\n";
+  return 0;
+}

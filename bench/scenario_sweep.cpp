@@ -1,16 +1,19 @@
-// Batched scenario sweeps through sim::run_scenario_sweep: every scenario
-// kind (join / power / move / churn) for each strategy, N Monte-Carlo trials
-// fanned across the thread pool, with per-counter mean +- stddev summaries
-// and the parallel-vs-serial wall-clock speedup.
+// Batched scenario sweeps on the unified experiment API: every scenario kind
+// (join / power / move / churn) as one sim::Experiment across the strategy
+// list, N Monte-Carlo trials fanned over the thread pool, with per-counter
+// mean +- stddev summaries and the parallel-vs-serial wall-clock speedup.
+// Each (kind, trial) workload is generated once and replayed across all
+// strategies (paired comparison, no per-strategy regeneration).
 //
 // Options (all optional):
-//   --trials=N          trials per (scenario, strategy) cell (default 100)
+//   --trials=N          trials per scenario kind (default 100)
 //   --seed=S            master seed (default 2001)
 //   --threads=T         pool size (default 0 = hardware concurrency)
 //   --n=N               nodes joined per trial (default 100; churn ignores it)
 //   --churn-duration=D  churn horizon (default 400)
-//   --serial-check      re-run every cell on 1 thread and verify the summary
-//                       is bit-identical (the sweep runner's contract)
+//   --strategies=...    strategy names (default minim,cp,bbb)
+//   --serial-check      re-run every kind on 1 thread and verify the result
+//                       is bit-identical (the experiment engine's contract)
 
 #include <algorithm>
 #include <chrono>
@@ -18,7 +21,8 @@
 #include <string>
 #include <vector>
 
-#include "sim/sweep_runner.hpp"
+#include "../bench/bench_util.hpp"
+#include "sim/experiment.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -65,20 +69,23 @@ const char* kind_name(sim::ScenarioKind kind) {
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
-  sim::SweepRunnerOptions sweep;
-  sweep.trials = static_cast<std::size_t>(options.get_int("trials", 100));
-  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
-  sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
+  sim::ExperimentOptions run;
+  run.trials = static_cast<std::size_t>(options.get_int("trials", 100));
+  run.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  run.threads = static_cast<std::size_t>(options.get_int("threads", 0));
   const auto n = static_cast<std::size_t>(options.get_int("n", 100));
   const double churn_duration = options.get_double("churn-duration", 400.0);
   const bool serial_check = options.get_bool("serial-check", false);
+  const std::vector<std::string> strategies =
+      bench::string_list_from(options, "strategies", {"minim", "cp", "bbb"});
 
   std::cout << "=== Scenario sweep engine ===\n"
-            << sweep.trials << " trials per cell, seed " << sweep.seed << "\n\n";
+            << run.trials << " trials per scenario, seed " << run.seed << "\n\n";
 
   util::TextTable table("Per-scenario totals (mean +- stddev over trials)");
-  table.set_header({"scenario", "strategy", "events", "recodings", "max color",
-                    "wall s", "serial s"});
+  table.set_header({"scenario", "strategy", "events", "recodings", "max color"});
+  util::TextTable timing("Per-scenario wall clock (all strategies, one engine run)");
+  timing.set_header({"scenario", "wall s", "serial s"});
 
   double parallel_total = 0.0;
   double serial_total = 0.0;
@@ -87,43 +94,46 @@ int main(int argc, char** argv) {
   for (const sim::ScenarioKind kind :
        {sim::ScenarioKind::kJoin, sim::ScenarioKind::kPower,
         sim::ScenarioKind::kMove, sim::ScenarioKind::kChurn}) {
-    for (const char* strategy : {"minim", "cp", "bbb"}) {
-      sim::ScenarioSpec spec;
-      spec.kind = kind;
-      spec.strategy = strategy;
-      spec.workload.n = n;
-      spec.move_rounds = 3;
-      spec.churn.duration = churn_duration;
+    sim::ExperimentGrid grid;
+    grid.base.kind = kind;
+    grid.base.workload.n = n;
+    grid.base.move_rounds = 3;
+    grid.base.churn.duration = churn_duration;
+    grid.strategies = strategies;
+    const sim::Experiment experiment(std::move(grid));
 
-      const auto start = std::chrono::steady_clock::now();
-      const sim::SweepReport report = sim::run_scenario_sweep(spec, sweep);
-      const double elapsed = seconds_since(start);
-      parallel_total += elapsed;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::ExperimentResult result = experiment.run(run);
+    const double elapsed = seconds_since(start);
+    parallel_total += elapsed;
 
-      std::string serial_cell = "-";
-      if (serial_check) {
-        sim::SweepRunnerOptions serial = sweep;
-        serial.threads = 1;
-        const auto serial_start = std::chrono::steady_clock::now();
-        const sim::SweepReport reference = sim::run_scenario_sweep(spec, serial);
-        const double serial_elapsed = seconds_since(serial_start);
-        serial_total += serial_elapsed;
-        serial_cell = util::fmt_fixed(serial_elapsed, 2);
-        if (!summaries_equal(report.summary, reference.summary)) {
+    std::string serial_cell = "-";
+    if (serial_check) {
+      sim::ExperimentOptions serial = run;
+      serial.threads = 1;
+      const auto serial_start = std::chrono::steady_clock::now();
+      const sim::ExperimentResult reference = experiment.run(serial);
+      const double serial_elapsed = seconds_since(serial_start);
+      serial_total += serial_elapsed;
+      serial_cell = util::fmt_fixed(serial_elapsed, 2);
+      for (std::size_t s = 0; s < strategies.size(); ++s)
+        if (!summaries_equal(summarize(result.cell(0, s)),
+                             summarize(reference.cell(0, s)))) {
           all_match = false;
-          std::cerr << "MISMATCH: " << kind_name(kind) << "/" << strategy
+          std::cerr << "MISMATCH: " << kind_name(kind) << "/" << strategies[s]
                     << " parallel summary differs from serial\n";
         }
-      }
-
-      table.add_row({kind_name(kind), strategy, fmt_stat(report.summary.events),
-                     fmt_stat(report.summary.recodings),
-                     fmt_stat(report.summary.max_color),
-                     util::fmt_fixed(elapsed, 2), serial_cell});
     }
+
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      const sim::TotalsSummary summary = summarize(result.cell(0, s));
+      table.add_row({kind_name(kind), strategies[s], fmt_stat(summary.events),
+                     fmt_stat(summary.recodings), fmt_stat(summary.max_color)});
+    }
+    timing.add_row({kind_name(kind), util::fmt_fixed(elapsed, 2), serial_cell});
   }
 
-  std::cout << table.render() << "\n"
+  std::cout << table.render() << "\n" << timing.render() << "\n"
             << "parallel wall time: " << util::fmt_fixed(parallel_total, 2) << " s\n";
   if (serial_check) {
     std::cout << "serial wall time:   " << util::fmt_fixed(serial_total, 2)

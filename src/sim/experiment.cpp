@@ -1,0 +1,257 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/replay.hpp"
+#include "util/map_reduce.hpp"
+#include "util/require.hpp"
+
+namespace minim::sim {
+
+Workload make_scenario_workload(const ScenarioSpec& spec, util::Rng& rng) {
+  switch (spec.kind) {
+    case ScenarioKind::kJoin:
+      return make_join_workload(spec.workload, rng);
+    case ScenarioKind::kPower:
+      return make_power_workload(spec.workload, spec.raise_factor, rng);
+    case ScenarioKind::kMove:
+      return make_move_workload(spec.workload, spec.max_displacement,
+                                spec.move_rounds, rng);
+    case ScenarioKind::kChurn:
+      break;  // churn does not use a phased workload
+  }
+  throw std::logic_error("make_scenario_workload: no phased workload for this kind");
+}
+
+void accumulate(TotalsSummary& summary, const Totals& totals,
+                net::Color final_max_color) {
+  summary.events.add(static_cast<double>(totals.events));
+  summary.recodings.add(static_cast<double>(totals.recodings));
+  summary.messages.add(static_cast<double>(totals.messages));
+  summary.max_color.add(static_cast<double>(final_max_color));
+  for (std::size_t t = 0; t < totals.events_by_type.size(); ++t) {
+    summary.events_by_type[t].add(static_cast<double>(totals.events_by_type[t]));
+    summary.recodings_by_type[t].add(
+        static_cast<double>(totals.recodings_by_type[t]));
+  }
+}
+
+TotalsSummary summarize(const ExperimentCell& cell) {
+  TotalsSummary summary;
+  for (const ExperimentTrial& trial : cell.trials)
+    accumulate(summary, trial.totals, trial.final_max_color);
+  return summary;
+}
+
+const ExperimentCell& ExperimentResult::cell(std::size_t point,
+                                             std::size_t strategy) const {
+  MINIM_REQUIRE(point < point_count() && strategy < strategy_count(),
+                "experiment cell index out of range");
+  return cells[point * strategy_count() + strategy];
+}
+
+namespace {
+
+/// Axis-0-major cartesian product of the axis values; one empty point when
+/// there are no axes.
+std::vector<std::vector<double>> enumerate_points(
+    const std::vector<GridAxis>& axes) {
+  for (const GridAxis& axis : axes) {
+    MINIM_REQUIRE(!axis.values.empty(), "grid axis needs at least one value");
+    MINIM_REQUIRE(static_cast<bool>(axis.apply), "grid axis needs an apply fn");
+  }
+  std::size_t count = 1;
+  for (const GridAxis& axis : axes) count *= axis.values.size();
+
+  std::vector<std::vector<double>> points;
+  points.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::vector<double> coords(axes.size());
+    std::size_t rem = p;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      coords[a] = axes[a].values[rem % axes[a].values.size()];
+      rem /= axes[a].values.size();
+    }
+    points.push_back(std::move(coords));
+  }
+  return points;
+}
+
+/// Runs one (point, trial) item: generates the workload once and replays it
+/// across every strategy (paired comparison).  Churn has no phased workload;
+/// pairing is achieved by handing every strategy a *copy* of the same stream
+/// — the event sequence is a pure function of the rng, so all strategies see
+/// the identical churn.
+std::vector<ExperimentTrial> run_point_trial(
+    const ScenarioSpec& spec, const std::vector<std::string>& strategies,
+    const strategies::StrategyFactory& factory, std::uint64_t trial,
+    util::Rng& rng) {
+  std::vector<ExperimentTrial> out;
+  out.reserve(strategies.size());
+
+  if (spec.kind == ScenarioKind::kChurn) {
+    ChurnParams params = spec.churn;
+    params.validate = params.validate || spec.validate;
+    for (const std::string& name : strategies) {
+      const auto strategy = factory(name);
+      util::Rng stream = rng;
+      const ChurnResult churn = run_churn(params, *strategy, stream);
+      ExperimentTrial result;
+      result.trial = trial;
+      result.totals = churn.totals;
+      result.final_max_color = churn.final_max_color;
+      out.push_back(result);
+    }
+    return out;
+  }
+
+  const Workload workload = make_scenario_workload(spec, rng);
+  for (const std::string& name : strategies) {
+    const auto strategy = factory(name);
+    const RunOutcome outcome = replay(workload, *strategy, spec.validate);
+    ExperimentTrial result;
+    result.trial = trial;
+    result.totals = outcome.totals;
+    result.final_max_color = outcome.max_color;
+    result.setup_max_color = outcome.setup_max_color;
+    result.setup_recodings = outcome.setup_recodings;
+    out.push_back(result);
+  }
+  return out;
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentGrid grid)
+    : grid_(std::move(grid)), points_(enumerate_points(grid_.axes)) {
+  MINIM_REQUIRE(!grid_.strategies.empty(),
+                "experiment needs at least one strategy");
+}
+
+ScenarioSpec Experiment::spec_for_point(std::size_t point_index) const {
+  MINIM_REQUIRE(point_index < points_.size(), "grid point index out of range");
+  ScenarioSpec spec = grid_.base;
+  const std::vector<double>& coords = points_[point_index];
+  for (std::size_t a = 0; a < grid_.axes.size(); ++a)
+    grid_.axes[a].apply(spec, coords[a]);
+  return spec;
+}
+
+ExperimentResult Experiment::run(const ExperimentOptions& options) const {
+  MINIM_REQUIRE(options.trial_begin <= options.trials,
+                "trial_begin past the trial space");
+  const std::size_t shard_trials =
+      std::min(options.trial_count, options.trials - options.trial_begin);
+  const std::size_t n_points = points_.size();
+  const std::size_t n_strategies = grid_.strategies.size();
+
+  ExperimentResult result;
+  result.axis_names.reserve(grid_.axes.size());
+  for (const GridAxis& axis : grid_.axes) result.axis_names.push_back(axis.name);
+  result.points = points_;
+  result.strategies = grid_.strategies;
+  result.total_trials = options.trials;
+  result.seed = options.seed;
+  result.trial_begin = options.trial_begin;
+  result.trial_count = shard_trials;
+  result.cells.resize(n_points * n_strategies);
+  for (std::size_t p = 0; p < n_points; ++p)
+    for (std::size_t s = 0; s < n_strategies; ++s) {
+      ExperimentCell& cell = result.cells[p * n_strategies + s];
+      cell.point_index = p;
+      cell.strategy_index = s;
+      cell.trials.reserve(shard_trials);
+    }
+  if (shard_trials == 0) return result;
+
+  // Axis application is cheap but runs once per point, not once per item.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(n_points);
+  for (std::size_t p = 0; p < n_points; ++p) specs.push_back(spec_for_point(p));
+
+  const strategies::StrategyFactory factory =
+      grid_.strategy_factory
+          ? grid_.strategy_factory
+          : [](const std::string& name) { return strategies::make_strategy(name); };
+
+  util::MapReduceOptions mr;
+  mr.seed = options.seed;
+  mr.threads = options.threads;
+  // Global stream = point * total_trials + global trial, independent of the
+  // shard's range — the invariant that makes sharding bit-safe.
+  mr.stream_of = [shard_trials, total = options.trials,
+                  begin = options.trial_begin](std::size_t item) {
+    const std::size_t point = item / shard_trials;
+    const std::size_t trial = begin + item % shard_trials;
+    return static_cast<std::uint64_t>(point) * total + trial;
+  };
+
+  util::map_reduce(
+      n_points * shard_trials, mr,
+      [&](std::size_t item, util::Rng& rng) {
+        const std::size_t point = item / shard_trials;
+        const std::uint64_t trial = options.trial_begin + item % shard_trials;
+        return run_point_trial(specs[point], grid_.strategies, factory, trial, rng);
+      },
+      [&](std::size_t item, std::vector<ExperimentTrial>&& per_strategy) {
+        const std::size_t point = item / shard_trials;
+        for (std::size_t s = 0; s < n_strategies; ++s)
+          result.cells[point * n_strategies + s].trials.push_back(
+              std::move(per_strategy[s]));
+      });
+  return result;
+}
+
+ExperimentResult merge_shards(std::vector<ExperimentResult> shards) {
+  if (shards.empty())
+    throw std::invalid_argument("merge_shards: no shards to merge");
+
+  std::sort(shards.begin(), shards.end(),
+            [](const ExperimentResult& a, const ExperimentResult& b) {
+              return a.trial_begin < b.trial_begin;
+            });
+
+  const ExperimentResult& first = shards.front();
+  std::size_t next_trial = 0;
+  for (const ExperimentResult& shard : shards) {
+    const bool compatible = shard.axis_names == first.axis_names &&
+                            shard.points == first.points &&
+                            shard.strategies == first.strategies &&
+                            shard.total_trials == first.total_trials &&
+                            shard.seed == first.seed;
+    if (!compatible)
+      throw std::invalid_argument(
+          "merge_shards: shards describe different experiments");
+    if (shard.trial_begin != next_trial)
+      throw std::invalid_argument(
+          "merge_shards: trial ranges leave a gap or overlap");
+    next_trial = shard.trial_begin + shard.trial_count;
+  }
+  if (next_trial != first.total_trials)
+    throw std::invalid_argument(
+        "merge_shards: trial ranges do not cover [0, total_trials)");
+
+  ExperimentResult merged;
+  merged.axis_names = first.axis_names;
+  merged.points = first.points;
+  merged.strategies = first.strategies;
+  merged.total_trials = first.total_trials;
+  merged.seed = first.seed;
+  merged.trial_begin = 0;
+  merged.trial_count = first.total_trials;
+  merged.cells.resize(first.cells.size());
+  for (std::size_t c = 0; c < merged.cells.size(); ++c) {
+    ExperimentCell& cell = merged.cells[c];
+    cell.point_index = first.cells[c].point_index;
+    cell.strategy_index = first.cells[c].strategy_index;
+    cell.trials.reserve(first.total_trials);
+    for (const ExperimentResult& shard : shards)
+      cell.trials.insert(cell.trials.end(), shard.cells[c].trials.begin(),
+                         shard.cells[c].trials.end());
+  }
+  return merged;
+}
+
+}  // namespace minim::sim

@@ -25,9 +25,8 @@ RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
   for (const auto& round : workload.move_rounds)
     for (const auto& mv : round) simulation.move(ids[mv.join_index], mv.position);
 
-  outcome.final_max_color = simulation.max_color();
-  outcome.total_recodings = static_cast<double>(simulation.totals().recodings);
-  outcome.messages = static_cast<double>(simulation.totals().messages);
+  outcome.totals = simulation.totals();
+  outcome.max_color = simulation.max_color();
   return outcome;
 }
 

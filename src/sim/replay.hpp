@@ -18,14 +18,21 @@ struct RunOutcome {
   double setup_recodings = 0;
   // After phase 2 (power raises or movement rounds; equal to setup when the
   // workload has no phase 2):
-  double final_max_color = 0;
-  double total_recodings = 0;
-  double messages = 0;
+  /// Full engine counters of the replay (per-type event/recoding breakdown).
+  Totals totals;
+  /// Network-wide max color at the end of the replay.
+  net::Color max_color = net::kNoColor;
+
+  // The paper's plot metrics, derived from the counters above (single
+  // source of truth — there is no second stored copy to drift).
+  double final_max_color() const { return static_cast<double>(max_color); }
+  double total_recodings() const { return static_cast<double>(totals.recodings); }
+  double messages() const { return static_cast<double>(totals.messages); }
 
   /// Fig 11/12's Δ(max color index assigned).
-  double delta_max_color() const { return final_max_color - setup_max_color; }
+  double delta_max_color() const { return final_max_color() - setup_max_color; }
   /// Fig 11/12's Δ(total number of recodings).
-  double delta_recodings() const { return total_recodings - setup_recodings; }
+  double delta_recodings() const { return total_recodings() - setup_recodings; }
 };
 
 /// Replays `workload` from an empty network.  `validate` asserts CA1/CA2

@@ -1,109 +1,53 @@
 #include "sim/sweep_runner.hpp"
 
-#include <stdexcept>
-#include <vector>
-
+#include "sim/replay.hpp"
 #include "strategies/factory.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace minim::sim {
 
-namespace {
-
-/// Builds the phased workload for one trial.  All randomness comes from
-/// `rng`, so the trial is a pure function of its RNG stream.
-Workload make_trial_workload(const ScenarioSpec& spec, util::Rng& rng) {
-  switch (spec.kind) {
-    case ScenarioKind::kJoin:
-      return make_join_workload(spec.workload, rng);
-    case ScenarioKind::kPower:
-      return make_power_workload(spec.workload, spec.raise_factor, rng);
-    case ScenarioKind::kMove:
-      return make_move_workload(spec.workload, spec.max_displacement,
-                                spec.move_rounds, rng);
-    case ScenarioKind::kChurn:
-      break;  // churn does not use a phased workload
-  }
-  throw std::logic_error("make_trial_workload: unreachable scenario kind");
-}
-
-TrialResult run_workload_trial(const ScenarioSpec& spec, util::Rng& rng) {
-  const Workload workload = make_trial_workload(spec, rng);
-
-  const auto strategy = strategies::make_strategy(spec.strategy);
-  Simulation::Params params;
-  params.width = workload.width;
-  params.height = workload.height;
-  params.validate_after_each = spec.validate;
-  Simulation simulation(*strategy, params);
-
-  std::vector<net::NodeId> ids;
-  ids.reserve(workload.joins.size());
-  for (const auto& config : workload.joins) ids.push_back(simulation.join(config));
-  for (const auto& raise : workload.power_raises)
-    simulation.change_power(ids[raise.join_index], raise.new_range);
-  for (const auto& round : workload.move_rounds)
-    for (const auto& mv : round) simulation.move(ids[mv.join_index], mv.position);
-
-  TrialResult result;
-  result.totals = simulation.totals();
-  result.final_max_color = simulation.max_color();
-  return result;
-}
-
-TrialResult run_churn_trial(const ScenarioSpec& spec, util::Rng& rng) {
-  ChurnParams params = spec.churn;
-  params.validate = params.validate || spec.validate;
-  const auto strategy = strategies::make_strategy(spec.strategy);
-  const ChurnResult churn = run_churn(params, *strategy, rng);
-
-  TrialResult result;
-  result.totals = churn.totals;
-  result.final_max_color = churn.final_max_color;
-  return result;
-}
-
-void accumulate(TotalsSummary& summary, const TrialResult& trial) {
-  summary.events.add(static_cast<double>(trial.totals.events));
-  summary.recodings.add(static_cast<double>(trial.totals.recodings));
-  summary.messages.add(static_cast<double>(trial.totals.messages));
-  summary.max_color.add(static_cast<double>(trial.final_max_color));
-  for (std::size_t t = 0; t < trial.totals.events_by_type.size(); ++t) {
-    summary.events_by_type[t].add(
-        static_cast<double>(trial.totals.events_by_type[t]));
-    summary.recodings_by_type[t].add(
-        static_cast<double>(trial.totals.recodings_by_type[t]));
-  }
-}
-
-}  // namespace
-
 TrialResult run_scenario_trial(const ScenarioSpec& spec, util::Rng& rng) {
-  if (spec.kind == ScenarioKind::kChurn) return run_churn_trial(spec, rng);
-  return run_workload_trial(spec, rng);
+  TrialResult result;
+  if (spec.kind == ScenarioKind::kChurn) {
+    ChurnParams params = spec.churn;
+    params.validate = params.validate || spec.validate;
+    const auto strategy = strategies::make_strategy(spec.strategy);
+    const ChurnResult churn = run_churn(params, *strategy, rng);
+    result.totals = churn.totals;
+    result.final_max_color = churn.final_max_color;
+    return result;
+  }
+  const Workload workload = make_scenario_workload(spec, rng);
+  const auto strategy = strategies::make_strategy(spec.strategy);
+  const RunOutcome outcome = replay(workload, *strategy, spec.validate);
+  result.totals = outcome.totals;
+  result.final_max_color = outcome.max_color;
+  return result;
 }
 
 SweepReport run_scenario_sweep(const ScenarioSpec& spec,
                                const SweepRunnerOptions& options) {
-  // Trials land in a trial-indexed slot vector, so the reduction below walks
-  // them in trial order no matter how the pool scheduled them.
-  std::vector<TrialResult> results(options.trials);
-  auto run_one = [&](std::size_t trial) {
-    util::Rng rng = util::Rng::for_stream(options.seed, trial);
-    results[trial] = run_scenario_trial(spec, rng);
-  };
+  // A single-point, single-strategy grid: trial i's stream index is
+  // 0 * trials + i = i, exactly the streams this engine always used.
+  ExperimentGrid grid;
+  grid.base = spec;
+  grid.strategies = {spec.strategy};
+  const Experiment experiment(std::move(grid));
 
-  if (options.threads == 1) {
-    for (std::size_t i = 0; i < options.trials; ++i) run_one(i);
-  } else {
-    util::ThreadPool pool(options.threads);
-    pool.parallel_for(options.trials, run_one);
-  }
+  ExperimentOptions run;
+  run.trials = options.trials;
+  run.seed = options.seed;
+  run.threads = options.threads;
+  const ExperimentResult result = experiment.run(run);
 
+  const ExperimentCell& cell = result.cell(0, 0);
   SweepReport report;
-  for (const TrialResult& trial : results) accumulate(report.summary, trial);
-  if (options.keep_trials) report.trials = std::move(results);
+  report.summary = summarize(cell);
+  if (options.keep_trials) {
+    report.trials.reserve(cell.trials.size());
+    for (const ExperimentTrial& trial : cell.trials)
+      report.trials.push_back(TrialResult{trial.totals, trial.final_max_color});
+  }
   return report;
 }
 

@@ -1,51 +1,30 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <string>
 #include <vector>
 
-#include "sim/churn.hpp"
-#include "sim/simulation.hpp"
-#include "sim/workload.hpp"
-#include "util/stats.hpp"
+#include "sim/experiment.hpp"
 
 /// \file sweep_runner.hpp
-/// \brief Batched Monte-Carlo engine: N independent scenario trials fanned
-/// over the thread pool, reduced into deterministic summary statistics.
+/// \brief Batched Monte-Carlo adapter: N independent trials of one scenario,
+/// reduced into deterministic summary statistics.
 ///
 /// `sweeps.hpp` reproduces the paper's figures (x-axis sweeps of the two
-/// plot metrics).  This engine answers a different question — "run this one
-/// scenario many times and summarize *everything* the engine counts" — which
-/// is the workload shape of the large Monte-Carlo studies in the follow-on
+/// plot metrics).  This entry point answers a different question — "run this
+/// one scenario many times and summarize *everything* the engine counts" —
+/// the workload shape of the large Monte-Carlo studies in the follow-on
 /// power-control literature (Meshkati et al., Liu et al.).
 ///
-/// Determinism contract: trial `i` draws all of its randomness from
+/// Since the experiment-API redesign this is a thin adapter over
+/// `sim::Experiment` (a single-point, single-strategy grid), which itself
+/// runs on `util::map_reduce`.  The determinism contract is unchanged:
+/// trial `i` draws all of its randomness from
 /// `util::Rng::for_stream(options.seed, i)` and results are reduced in trial
-/// order on the calling thread, so the report is bit-identical for any
-/// thread count, including 1 (serial).
+/// order, so the report is bit-identical for any thread count, including 1.
+/// The scenario vocabulary (`ScenarioKind`, `ScenarioSpec`, `TotalsSummary`)
+/// lives in experiment.hpp and is re-exported through this header.
 
 namespace minim::sim {
-
-/// Which scenario shape each trial runs.
-enum class ScenarioKind {
-  kJoin,   ///< N consecutive joins (Fig 10's setup phase)
-  kPower,  ///< joins, then half the nodes raise their range (Fig 11)
-  kMove,   ///< joins, then movement rounds (Fig 12)
-  kChurn,  ///< continuous-time open network (sim/churn.hpp)
-};
-
-/// Everything one trial needs besides its RNG stream.
-struct ScenarioSpec {
-  ScenarioKind kind = ScenarioKind::kJoin;
-  std::string strategy = "minim";  ///< a strategies::make_strategy name
-  WorkloadParams workload{};       ///< join/power/move scenarios
-  double raise_factor = 2.0;       ///< kPower: range multiplier
-  double max_displacement = 40.0;  ///< kMove: per-move displacement bound
-  std::size_t move_rounds = 1;     ///< kMove: rounds of everyone-moves-once
-  ChurnParams churn{};             ///< kChurn parameters
-  bool validate = false;           ///< CA1/CA2 check after every event (slow)
-};
 
 struct SweepRunnerOptions {
   std::size_t trials = 100;   ///< paper: every point averages 100 runs
@@ -58,16 +37,6 @@ struct SweepRunnerOptions {
 struct TrialResult {
   Totals totals;
   net::Color final_max_color = net::kNoColor;
-};
-
-/// Mean/stddev (and min/max) of every engine counter across trials.
-struct TotalsSummary {
-  util::RunningStats events;
-  util::RunningStats recodings;
-  util::RunningStats messages;
-  util::RunningStats max_color;
-  std::array<util::RunningStats, 5> events_by_type{};     ///< by core::EventType
-  std::array<util::RunningStats, 5> recodings_by_type{};  ///< by core::EventType
 };
 
 struct SweepReport {

@@ -1,10 +1,72 @@
 #include "sim/sweeps.hpp"
 
-#include "strategies/factory.hpp"
+#include <utility>
+
+#include "sim/experiment.hpp"
+#include "util/map_reduce.hpp"
 #include "util/require.hpp"
-#include "util/thread_pool.hpp"
 
 namespace minim::sim {
+
+namespace {
+
+/// One run's (color, recoding) metric per strategy, strategy-ordered.
+struct RunMetrics {
+  std::vector<double> colors;
+  std::vector<double> recodes;
+};
+
+strategies::StrategyFactory factory_or_default(const SweepOptions& options) {
+  if (options.strategy_factory) return options.strategy_factory;
+  return [](const std::string& name) { return strategies::make_strategy(name); };
+}
+
+/// Converts an experiment over one axis into the figure-sweep point list
+/// (x-major, strategy-minor; per-run accumulation in trial order).
+std::vector<SweepPoint> sweep_points_from(const ExperimentResult& result,
+                                          bool delta_metrics) {
+  std::vector<SweepPoint> points;
+  points.reserve(result.point_count() * result.strategy_count());
+  for (std::size_t p = 0; p < result.point_count(); ++p)
+    for (std::size_t s = 0; s < result.strategy_count(); ++s) {
+      SweepPoint point;
+      point.x = result.points[p].front();
+      point.strategy = result.strategies[s];
+      for (const ExperimentTrial& trial : result.cell(p, s).trials) {
+        if (delta_metrics) {
+          point.color_metric.add(trial.delta_max_color());
+          point.recoding_metric.add(trial.delta_recodings());
+        } else {
+          point.color_metric.add(static_cast<double>(trial.final_max_color));
+          point.recoding_metric.add(static_cast<double>(trial.totals.recodings));
+        }
+      }
+      points.push_back(std::move(point));
+    }
+  return points;
+}
+
+/// Runs a one-axis grid with the options every figure sweep shares.
+std::vector<SweepPoint> run_grid_sweep(GridAxis axis, ScenarioSpec base,
+                                       bool delta_metrics,
+                                       const SweepOptions& options) {
+  ExperimentGrid grid;
+  grid.base = std::move(base);
+  grid.base.validate = options.validate;
+  grid.axes.push_back(std::move(axis));
+  grid.strategies = options.strategies;
+  grid.strategy_factory = options.strategy_factory;
+  const Experiment experiment(std::move(grid));
+
+  ExperimentOptions run;
+  run.trials = options.runs;
+  run.seed = options.seed;
+  run.threads = options.threads;
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  return sweep_points_from(experiment.run(run), delta_metrics);
+}
+
+}  // namespace
 
 std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
                                   const WorkloadFactory& factory, bool delta_metrics,
@@ -16,127 +78,122 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
   const std::size_t n_x = xs.size();
   const std::size_t n_s = options.strategies.size();
   const std::size_t runs = options.runs;
+  const strategies::StrategyFactory make = factory_or_default(options);
 
-  // Per-(x, strategy, run) metric storage, filled in parallel and reduced
-  // sequentially afterwards so results never depend on thread scheduling.
-  std::vector<double> colors(n_x * n_s * runs, 0.0);
-  std::vector<double> recodes(n_x * n_s * runs, 0.0);
-  auto slot = [n_s, runs](std::size_t xi, std::size_t si, std::size_t run) {
-    return (xi * n_s + si) * runs + run;
-  };
-
-  util::ThreadPool pool(options.threads);
-  pool.parallel_for(n_x * runs, [&](std::size_t task) {
-    const std::size_t xi = task / runs;
-    const std::size_t run = task % runs;
-    // One independent stream per (x, run); strategies share the workload.
-    util::Rng rng = util::Rng::for_stream(options.seed, task);
-    const Workload workload = factory(xs[xi], rng);
-    for (std::size_t si = 0; si < n_s; ++si) {
-      const auto strategy = strategies::make_strategy(options.strategies[si]);
-      const RunOutcome outcome = replay(workload, *strategy, options.validate);
-      const std::size_t at = slot(xi, si, run);
-      if (delta_metrics) {
-        colors[at] = outcome.delta_max_color();
-        recodes[at] = outcome.delta_recodings();
-      } else {
-        colors[at] = outcome.final_max_color;
-        recodes[at] = outcome.total_recodings;
-      }
-    }
-  });
-
-  std::vector<SweepPoint> points;
-  points.reserve(n_x * n_s);
+  // Points pre-built x-major, strategy-minor; map_reduce's in-order reduce
+  // then appends run metrics per point in ascending run order.
+  std::vector<SweepPoint> points(n_x * n_s);
   for (std::size_t xi = 0; xi < n_x; ++xi)
     for (std::size_t si = 0; si < n_s; ++si) {
-      SweepPoint point;
-      point.x = xs[xi];
-      point.strategy = options.strategies[si];
-      for (std::size_t run = 0; run < runs; ++run) {
-        point.color_metric.add(colors[slot(xi, si, run)]);
-        point.recoding_metric.add(recodes[slot(xi, si, run)]);
-      }
-      points.push_back(std::move(point));
+      points[xi * n_s + si].x = xs[xi];
+      points[xi * n_s + si].strategy = options.strategies[si];
     }
+
+  util::MapReduceOptions mr;
+  mr.seed = options.seed;
+  mr.threads = options.threads;
+  util::map_reduce(
+      n_x * runs, mr,
+      [&](std::size_t task, util::Rng& rng) {
+        const std::size_t xi = task / runs;
+        // One independent stream per (x, run); strategies share the workload.
+        const Workload workload = factory(xs[xi], rng);
+        RunMetrics metrics;
+        metrics.colors.reserve(n_s);
+        metrics.recodes.reserve(n_s);
+        for (std::size_t si = 0; si < n_s; ++si) {
+          const auto strategy = make(options.strategies[si]);
+          const RunOutcome outcome = replay(workload, *strategy, options.validate);
+          metrics.colors.push_back(delta_metrics ? outcome.delta_max_color()
+                                                 : outcome.final_max_color());
+          metrics.recodes.push_back(delta_metrics ? outcome.delta_recodings()
+                                                  : outcome.total_recodings());
+        }
+        return metrics;
+      },
+      [&](std::size_t task, RunMetrics&& metrics) {
+        const std::size_t xi = task / runs;
+        for (std::size_t si = 0; si < n_s; ++si) {
+          points[xi * n_s + si].color_metric.add(metrics.colors[si]);
+          points[xi * n_s + si].recoding_metric.add(metrics.recodes[si]);
+        }
+      });
   return points;
 }
 
 std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
                                         const SweepOptions& options, double min_range,
                                         double max_range) {
-  return run_sweep(
-      ns,
-      [min_range, max_range](double x, util::Rng& rng) {
-        WorkloadParams params;
-        params.n = static_cast<std::size_t>(x);
-        params.min_range = min_range;
-        params.max_range = max_range;
-        return make_join_workload(params, rng);
-      },
-      /*delta_metrics=*/false, options);
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kJoin;
+  base.workload.min_range = min_range;
+  base.workload.max_range = max_range;
+  GridAxis axis{"n", ns, [](ScenarioSpec& spec, double x) {
+                  spec.workload.n = static_cast<std::size_t>(x);
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/false, options);
 }
 
 std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_ranges,
                                                 const SweepOptions& options,
                                                 std::size_t n, double spread) {
-  return run_sweep(
-      avg_ranges,
-      [n, spread](double x, util::Rng& rng) {
-        WorkloadParams params;
-        params.n = n;
-        params.min_range = x - spread / 2.0;
-        params.max_range = x + spread / 2.0;
-        return make_join_workload(params, rng);
-      },
-      /*delta_metrics=*/false, options);
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kJoin;
+  base.workload.n = n;
+  GridAxis axis{"avg_range", avg_ranges, [spread](ScenarioSpec& spec, double x) {
+                  spec.workload.min_range = x - spread / 2.0;
+                  spec.workload.max_range = x + spread / 2.0;
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/false, options);
 }
 
 std::vector<SweepPoint> sweep_power_vs_raise_factor(
     const std::vector<double>& raise_factors, const SweepOptions& options,
     std::size_t n, double min_range, double max_range) {
-  return run_sweep(
-      raise_factors,
-      [n, min_range, max_range](double x, util::Rng& rng) {
-        WorkloadParams params;
-        params.n = n;
-        params.min_range = min_range;
-        params.max_range = max_range;
-        return make_power_workload(params, x, rng);
-      },
-      /*delta_metrics=*/true, options);
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kPower;
+  base.workload.n = n;
+  base.workload.min_range = min_range;
+  base.workload.max_range = max_range;
+  GridAxis axis{"raise_factor", raise_factors, [](ScenarioSpec& spec, double x) {
+                  spec.raise_factor = x;
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/true, options);
 }
 
 std::vector<SweepPoint> sweep_move_vs_max_displacement(
     const std::vector<double>& max_displacements, const SweepOptions& options,
     std::size_t n, double min_range, double max_range) {
-  return run_sweep(
-      max_displacements,
-      [n, min_range, max_range](double x, util::Rng& rng) {
-        WorkloadParams params;
-        params.n = n;
-        params.min_range = min_range;
-        params.max_range = max_range;
-        return make_move_workload(params, x, /*rounds=*/1, rng);
-      },
-      /*delta_metrics=*/true, options);
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kMove;
+  base.workload.n = n;
+  base.workload.min_range = min_range;
+  base.workload.max_range = max_range;
+  base.move_rounds = 1;
+  GridAxis axis{"max_displacement", max_displacements,
+                [](ScenarioSpec& spec, double x) { spec.max_displacement = x; }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/true, options);
 }
 
 std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
                                              const SweepOptions& options, std::size_t n,
                                              double max_displacement, double min_range,
                                              double max_range) {
-  return run_sweep(
-      rounds,
-      [n, max_displacement, min_range, max_range](double x, util::Rng& rng) {
-        WorkloadParams params;
-        params.n = n;
-        params.min_range = min_range;
-        params.max_range = max_range;
-        return make_move_workload(params, max_displacement,
-                                  static_cast<std::size_t>(x), rng);
-      },
-      /*delta_metrics=*/true, options);
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kMove;
+  base.workload.n = n;
+  base.workload.min_range = min_range;
+  base.workload.max_range = max_range;
+  base.max_displacement = max_displacement;
+  GridAxis axis{"rounds", rounds, [](ScenarioSpec& spec, double x) {
+                  spec.move_rounds = static_cast<std::size_t>(x);
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/true, options);
 }
 
 }  // namespace minim::sim

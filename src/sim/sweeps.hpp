@@ -6,6 +6,7 @@
 
 #include "sim/replay.hpp"
 #include "sim/workload.hpp"
+#include "strategies/factory.hpp"
 #include "util/stats.hpp"
 
 /// \file sweeps.hpp
@@ -13,11 +14,13 @@
 ///
 /// Every figure in the paper is a sweep: an x-axis parameter, one curve per
 /// strategy, each point "the average of the metric measured over 100 runs of
-/// randomly generated ad-hoc networks".  `run_sweep` is the shared engine:
-/// it fans (x, run) pairs over a thread pool, replays each generated
-/// workload once per strategy (paired comparison — all strategies see the
-/// same random networks), and reduces per-run metrics deterministically
-/// (accumulation order is by run index, independent of thread scheduling).
+/// randomly generated ad-hoc networks".  `run_sweep` fans (x, run) pairs
+/// over `util::map_reduce` (item (xi, run) draws stream xi*runs+run),
+/// replays each generated workload once per strategy (paired comparison —
+/// all strategies see the same random networks), and reduces per-run metrics
+/// deterministically.  The figure-specific sweeps below are one-axis
+/// `sim::Experiment` grids with identical stream assignment, converted back
+/// to `SweepPoint`s.
 
 namespace minim::sim {
 
@@ -37,6 +40,8 @@ struct SweepOptions {
   std::uint64_t seed = 2001;  ///< master seed; runs derive independent streams
   std::size_t threads = 0;    ///< 0 = hardware concurrency
   bool validate = false;      ///< CA1/CA2 check after every event (slow)
+  /// Custom named-strategy constructor; empty = `strategies::make_strategy`.
+  strategies::StrategyFactory strategy_factory;
 };
 
 /// Builds the workload for parameter value `x` using the supplied run-local

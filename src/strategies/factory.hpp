@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "core/strategy.hpp"
@@ -17,5 +18,11 @@ core::StrategyPtr make_strategy(const std::string& name);
 
 /// All names accepted by `make_strategy`, for help text.
 std::string known_strategy_names();
+
+/// Pluggable named-strategy constructor used by the experiment engines.
+/// An empty (default-constructed) factory means `make_strategy`.  Tests
+/// inject custom factories — e.g. deliberately invalid strategies to prove
+/// the validate flag really runs the CA1/CA2 checks.
+using StrategyFactory = std::function<core::StrategyPtr(const std::string&)>;
 
 }  // namespace minim::strategies

@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<int> g_level{-1};  // -1 = not yet initialized
 std::mutex g_output_mutex;
+std::ostream* g_sink = nullptr;  // nullptr = stderr; guarded by g_output_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -57,7 +58,15 @@ void set_log_level(LogLevel level) {
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::lock_guard<std::mutex> lock(g_output_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  std::ostream& out = g_sink ? *g_sink : std::cerr;
+  out << "[" << level_name(level) << "] " << message << "\n";
+}
+
+std::ostream* set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::ostream* previous = g_sink;
+  g_sink = sink;
+  return previous;
 }
 
 }  // namespace minim::util

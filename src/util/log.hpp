@@ -27,6 +27,12 @@ LogLevel parse_log_level(const std::string& name);
 /// Emits one line (`[level] message`) if `level` >= the global level.
 void log_line(LogLevel level, const std::string& message);
 
+/// Redirects log output to `sink` (tests, log capture); nullptr restores the
+/// default, stderr.  Returns the previous sink (nullptr = stderr).  The sink
+/// must outlive all logging; lines are written under the same mutex that
+/// serializes stderr output, so redirection is thread-safe.
+std::ostream* set_log_sink(std::ostream* sink);
+
 namespace detail {
 
 /// RAII line builder used by the MINIM_LOG_* macros.

@@ -1,0 +1,57 @@
+// End-to-end test of a bench harness's --csv-dir output path: runs the
+// actual bench_grid_study binary (path injected by CMake via
+// MINIM_BENCH_GRID_STUDY) against a temp directory and checks the emitted
+// CSV header and row counts.  This is the only test that exercises the
+// harness-side CSV plumbing the way a user does.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> read_lines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(BenchCsv, GridStudyWritesTheSeriesCsv) {
+  const fs::path dir = fs::temp_directory_path() / "minim_bench_csv_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // 2 x 2 grid x 2 strategies, tiny trial count: 8 data rows expected.
+  const std::string command = std::string(MINIM_BENCH_GRID_STUDY) +
+                              " --trials=2 --ns=20,30 --factors=2.0,3.0"
+                              " --strategies=minim,cp --threads=1"
+                              " --csv-dir=" +
+                              dir.string() + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const fs::path csv = dir / "grid_study.csv";
+  ASSERT_TRUE(fs::exists(csv)) << csv;
+  const std::vector<std::string> lines = read_lines(csv);
+  ASSERT_EQ(lines.size(), 1u + 2u * 2u * 2u);  // header + points x strategies
+  EXPECT_EQ(lines.front(),
+            "n,raise_factor,strategy,trials,d_color_mean,d_color_ci95,"
+            "d_recodings_mean,d_recodings_ci95");
+  // Every data row carries the full column set and the right trial count.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 7) << lines[i];
+    EXPECT_NE(lines[i].find(",2,"), std::string::npos) << lines[i];
+  }
+
+  fs::remove_all(dir);
+}
+
+}  // namespace

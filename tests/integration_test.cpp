@@ -82,8 +82,8 @@ TEST(HeadlineRelations, MinimRecodesLessThanCpOnJoinsOnAverage) {
     const auto workload = minim::sim::make_join_workload(params, rng);
     const auto minim_strategy = minim::strategies::make_strategy("minim");
     const auto cp_strategy = minim::strategies::make_strategy("cp");
-    minim_total += minim::sim::replay(workload, *minim_strategy).total_recodings;
-    cp_total += minim::sim::replay(workload, *cp_strategy).total_recodings;
+    minim_total += minim::sim::replay(workload, *minim_strategy).total_recodings();
+    cp_total += minim::sim::replay(workload, *cp_strategy).total_recodings();
   }
   EXPECT_LE(minim_total, cp_total);
 }
@@ -125,7 +125,7 @@ TEST(HeadlineRelations, BbbRecodesVastlyMoreThanDistributed) {
   const auto bbb_strategy = minim::strategies::make_strategy("bbb");
   const auto minim_outcome = minim::sim::replay(workload, *minim_strategy);
   const auto bbb_outcome = minim::sim::replay(workload, *bbb_strategy);
-  EXPECT_GT(bbb_outcome.total_recodings, 2 * minim_outcome.total_recodings);
+  EXPECT_GT(bbb_outcome.total_recodings(), 2 * minim_outcome.total_recodings());
 }
 
 TEST(HeadlineRelations, BbbUsesFewestColorsOnJoins) {
@@ -138,7 +138,7 @@ TEST(HeadlineRelations, BbbUsesFewestColorsOnJoins) {
     const auto minim_s = minim::strategies::make_strategy("minim");
     const auto bbb_outcome = minim::sim::replay(workload, *bbb);
     const auto minim_outcome = minim::sim::replay(workload, *minim_s);
-    EXPECT_LE(bbb_outcome.final_max_color, minim_outcome.final_max_color)
+    EXPECT_LE(bbb_outcome.final_max_color(), minim_outcome.final_max_color())
         << "seed " << seed;
   }
 }

@@ -1,0 +1,271 @@
+// Tests for the unified experiment API (sim/experiment.hpp):
+//  * grid enumeration (axis-0-major) and per-point spec application;
+//  * the two headline determinism contracts — (a) grid results bit-identical
+//    for any thread count, (b) trial ranges run as k shards and merged are
+//    bit-identical to the unsharded run, including through the CSV
+//    persistence round-trip;
+//  * paired workloads across strategies;
+//  * merge validation (gaps, overlaps, mismatched experiments).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/experiment_io.hpp"
+
+namespace {
+
+using namespace minim;
+
+sim::ExperimentGrid small_power_grid() {
+  sim::ExperimentGrid grid;
+  grid.base.kind = sim::ScenarioKind::kPower;
+  grid.axes.push_back(sim::GridAxis{
+      "n", {12, 20}, [](sim::ScenarioSpec& spec, double x) {
+        spec.workload.n = static_cast<std::size_t>(x);
+      }});
+  grid.axes.push_back(sim::GridAxis{
+      "raise_factor", {2.0, 3.5},
+      [](sim::ScenarioSpec& spec, double x) { spec.raise_factor = x; }});
+  grid.strategies = {"minim", "cp"};
+  return grid;
+}
+
+void expect_identical(const sim::ExperimentResult& a,
+                      const sim::ExperimentResult& b) {
+  ASSERT_EQ(a.axis_names, b.axis_names);
+  ASSERT_EQ(a.points, b.points);
+  ASSERT_EQ(a.strategies, b.strategies);
+  EXPECT_EQ(a.total_trials, b.total_trials);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.trial_begin, b.trial_begin);
+  EXPECT_EQ(a.trial_count, b.trial_count);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const auto& ca = a.cells[c];
+    const auto& cb = b.cells[c];
+    EXPECT_EQ(ca.point_index, cb.point_index);
+    EXPECT_EQ(ca.strategy_index, cb.strategy_index);
+    ASSERT_EQ(ca.trials.size(), cb.trials.size()) << "cell " << c;
+    for (std::size_t i = 0; i < ca.trials.size(); ++i) {
+      const auto& ta = ca.trials[i];
+      const auto& tb = cb.trials[i];
+      EXPECT_EQ(ta.trial, tb.trial);
+      EXPECT_EQ(ta.totals.events, tb.totals.events);
+      EXPECT_EQ(ta.totals.recodings, tb.totals.recodings);
+      EXPECT_EQ(ta.totals.messages, tb.totals.messages);
+      EXPECT_EQ(ta.totals.events_by_type, tb.totals.events_by_type);
+      EXPECT_EQ(ta.totals.recodings_by_type, tb.totals.recodings_by_type);
+      EXPECT_EQ(ta.final_max_color, tb.final_max_color);
+      EXPECT_EQ(ta.setup_max_color, tb.setup_max_color);  // EQ: bit-identical
+      EXPECT_EQ(ta.setup_recodings, tb.setup_recodings);
+    }
+    // Summaries accumulate in trial order, so they must match bitwise too.
+    const sim::TotalsSummary sa = sim::summarize(ca);
+    const sim::TotalsSummary sb = sim::summarize(cb);
+    EXPECT_EQ(sa.events.mean(), sb.events.mean());
+    EXPECT_EQ(sa.events.variance(), sb.events.variance());
+    EXPECT_EQ(sa.recodings.mean(), sb.recodings.mean());
+    EXPECT_EQ(sa.recodings.variance(), sb.recodings.variance());
+    EXPECT_EQ(sa.max_color.mean(), sb.max_color.mean());
+    EXPECT_EQ(sa.max_color.min(), sb.max_color.min());
+    EXPECT_EQ(sa.max_color.max(), sb.max_color.max());
+  }
+}
+
+TEST(Experiment, EnumeratesGridAxis0Major) {
+  const sim::Experiment experiment(small_power_grid());
+  const std::vector<std::vector<double>> expected{
+      {12, 2.0}, {12, 3.5}, {20, 2.0}, {20, 3.5}};
+  EXPECT_EQ(experiment.points(), expected);
+
+  const sim::ScenarioSpec spec = experiment.spec_for_point(2);
+  EXPECT_EQ(spec.workload.n, 20u);
+  EXPECT_DOUBLE_EQ(spec.raise_factor, 2.0);
+}
+
+TEST(Experiment, NoAxesMeansOneGridPoint) {
+  sim::ExperimentGrid grid;
+  grid.strategies = {"minim"};
+  const sim::Experiment experiment(grid);
+  ASSERT_EQ(experiment.points().size(), 1u);
+  EXPECT_TRUE(experiment.points()[0].empty());
+
+  sim::ExperimentOptions options;
+  options.trials = 3;
+  options.threads = 1;
+  const sim::ExperimentResult result = experiment.run(options);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cell(0, 0).trials.size(), 3u);
+}
+
+TEST(Experiment, GridResultsBitIdenticalForAnyThreadCount) {
+  // Acceptance criterion (a): the full grid, run serially and with a pool,
+  // must agree on every per-trial counter and every summary bit.
+  for (const auto kind :
+       {sim::ScenarioKind::kPower, sim::ScenarioKind::kChurn}) {
+    sim::ExperimentGrid grid = small_power_grid();
+    grid.base.kind = kind;
+    grid.base.churn.duration = 80.0;
+    grid.base.churn.max_nodes = 40;
+    const sim::Experiment experiment(std::move(grid));
+
+    sim::ExperimentOptions serial;
+    serial.trials = 6;
+    serial.seed = 42;
+    serial.threads = 1;
+    sim::ExperimentOptions parallel = serial;
+    parallel.threads = 4;
+
+    expect_identical(experiment.run(serial), experiment.run(parallel));
+  }
+}
+
+TEST(Experiment, ShardedTrialRangesMergeBitIdenticalToUnsharded) {
+  // Acceptance criterion (b): trials [0,3), [3,5), [5,7) run as separate
+  // shards (uneven on purpose) and merged equal the unsharded run.
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 7;
+  options.seed = 2001;
+  options.threads = 2;
+  const sim::ExperimentResult full = experiment.run(options);
+
+  std::vector<sim::ExperimentResult> shards;
+  for (const auto& [begin, count] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{0, 3}, {3, 2}, {5, 2}}) {
+    sim::ExperimentOptions slice = options;
+    slice.trial_begin = begin;
+    slice.trial_count = count;
+    shards.push_back(experiment.run(slice));
+    EXPECT_EQ(shards.back().trial_begin, begin);
+    EXPECT_EQ(shards.back().trial_count, count);
+  }
+  // Shards may arrive in any order.
+  std::swap(shards[0], shards[2]);
+  const sim::ExperimentResult merged = sim::merge_shards(std::move(shards));
+  expect_identical(full, merged);
+}
+
+TEST(Experiment, CsvRoundTripIsExact) {
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 4;
+  options.threads = 2;
+  options.trial_begin = 1;
+  options.trial_count = 2;
+  const sim::ExperimentResult shard = experiment.run(options);
+
+  std::stringstream io;
+  sim::write_experiment_csv(shard, io);
+  const sim::ExperimentResult parsed = sim::read_experiment_csv(io);
+  expect_identical(shard, parsed);
+}
+
+TEST(Experiment, CsvReaderRejectsTruncatedShards) {
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 4;
+  options.threads = 1;
+  std::stringstream io;
+  sim::write_experiment_csv(experiment.run(options), io);
+
+  // Drop the last data row, keeping the metadata intact — the exact failure
+  // a cut-short file transfer produces.
+  std::string text = io.str();
+  text.erase(text.find_last_of('\n', text.size() - 2) + 1);
+  std::stringstream truncated(text);
+  EXPECT_THROW(sim::read_experiment_csv(truncated), std::runtime_error);
+
+  // Malformed metadata must also surface as runtime_error, per the header.
+  std::stringstream corrupt("#minim-experiment v1\n#seed\n");
+  EXPECT_THROW(sim::read_experiment_csv(corrupt), std::runtime_error);
+}
+
+TEST(Experiment, StrategiesShareTheTrialWorkload) {
+  // Paired comparison: two copies of the same strategy in one grid must
+  // produce identical cells, because the workload is generated once per
+  // (point, trial) and replayed.
+  sim::ExperimentGrid grid = small_power_grid();
+  grid.strategies = {"minim", "minim"};
+  const sim::Experiment experiment(std::move(grid));
+  sim::ExperimentOptions options;
+  options.trials = 4;
+  options.threads = 2;
+  const sim::ExperimentResult result = experiment.run(options);
+  for (std::size_t p = 0; p < result.point_count(); ++p) {
+    const auto& a = result.cell(p, 0).trials;
+    const auto& b = result.cell(p, 1).trials;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].totals.recodings, b[i].totals.recodings);
+      EXPECT_EQ(a[i].final_max_color, b[i].final_max_color);
+    }
+  }
+}
+
+TEST(Experiment, StreamsDependOnGlobalTrialNotShardPosition) {
+  // The same global trial run from two different shard framings must agree.
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions narrow;
+  narrow.trials = 6;
+  narrow.threads = 1;
+  narrow.trial_begin = 4;
+  narrow.trial_count = 1;
+  sim::ExperimentOptions wide = narrow;
+  wide.trial_begin = 3;
+  wide.trial_count = 3;
+
+  const sim::ExperimentResult a = experiment.run(narrow);
+  const sim::ExperimentResult b = experiment.run(wide);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const sim::ExperimentTrial& lone = a.cells[c].trials.at(0);
+    const sim::ExperimentTrial& same = b.cells[c].trials.at(1);  // global 4
+    EXPECT_EQ(lone.trial, 4u);
+    EXPECT_EQ(same.trial, 4u);
+    EXPECT_EQ(lone.totals.recodings, same.totals.recodings);
+    EXPECT_EQ(lone.final_max_color, same.final_max_color);
+  }
+}
+
+TEST(Experiment, MergeRejectsGapsOverlapsAndMismatches) {
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 6;
+  options.threads = 1;
+
+  auto slice = [&](std::size_t begin, std::size_t count) {
+    sim::ExperimentOptions s = options;
+    s.trial_begin = begin;
+    s.trial_count = count;
+    return experiment.run(s);
+  };
+
+  EXPECT_THROW(sim::merge_shards({}), std::invalid_argument);
+  // Gap: [0,2) + [4,6).
+  EXPECT_THROW(sim::merge_shards({slice(0, 2), slice(4, 2)}),
+               std::invalid_argument);
+  // Overlap: [0,4) + [2,4).
+  EXPECT_THROW(sim::merge_shards({slice(0, 4), slice(2, 4)}),
+               std::invalid_argument);
+  // Incomplete coverage: [0,4) alone.
+  EXPECT_THROW(sim::merge_shards({slice(0, 4)}), std::invalid_argument);
+  // Different seed = a different experiment.
+  sim::ExperimentOptions other = options;
+  other.seed = 999;
+  other.trial_begin = 3;
+  other.trial_count = 3;
+  EXPECT_THROW(sim::merge_shards({slice(0, 3), experiment.run(other)}),
+               std::invalid_argument);
+  // And the happy path still works.
+  const sim::ExperimentResult merged =
+      sim::merge_shards({slice(0, 3), slice(3, 3)});
+  EXPECT_EQ(merged.trial_begin, 0u);
+  EXPECT_EQ(merged.trial_count, 6u);
+}
+
+}  // namespace

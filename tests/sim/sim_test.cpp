@@ -180,8 +180,8 @@ TEST(Replay, JoinOnlyWorkloadHasEqualSetupAndFinal) {
   const Workload w = make_join_workload(params, rng);
   const auto strategy = minim::strategies::make_strategy("minim");
   const auto outcome = replay(w, *strategy, /*validate=*/true);
-  EXPECT_EQ(outcome.setup_max_color, outcome.final_max_color);
-  EXPECT_EQ(outcome.setup_recodings, outcome.total_recodings);
+  EXPECT_EQ(outcome.setup_max_color, outcome.final_max_color());
+  EXPECT_EQ(outcome.setup_recodings, outcome.total_recodings());
   EXPECT_EQ(outcome.delta_recodings(), 0.0);
 }
 
@@ -207,8 +207,8 @@ TEST(Replay, SameWorkloadSameStrategyIsDeterministic) {
   const auto s2 = minim::strategies::make_strategy("minim");
   const auto o1 = replay(w, *s1);
   const auto o2 = replay(w, *s2);
-  EXPECT_EQ(o1.final_max_color, o2.final_max_color);
-  EXPECT_EQ(o1.total_recodings, o2.total_recodings);
+  EXPECT_EQ(o1.final_max_color(), o2.final_max_color());
+  EXPECT_EQ(o1.total_recodings(), o2.total_recodings());
 }
 
 // ---------------------------------------------------------------- sweeps

@@ -96,8 +96,8 @@ TEST(Trace, ApplyMatchesWorkloadReplay) {
   apply_trace(trace_from_workload(workload), simulation);
 
   EXPECT_EQ(static_cast<double>(simulation.totals().recodings),
-            outcome.total_recodings);
-  EXPECT_EQ(static_cast<double>(simulation.max_color()), outcome.final_max_color);
+            outcome.total_recodings());
+  EXPECT_EQ(static_cast<double>(simulation.max_color()), outcome.final_max_color());
 }
 
 TEST(Trace, TextRoundTripPreservesSimulationResult) {

@@ -20,8 +20,8 @@ TEST(Smoke, TinyJoinWorkloadAllStrategies) {
   for (const char* name : {"minim", "cp", "bbb"}) {
     const auto strategy = strategies::make_strategy(name);
     const sim::RunOutcome outcome = sim::replay(workload, *strategy, /*validate=*/true);
-    EXPECT_GT(outcome.final_max_color, 0) << name;
-    EXPECT_GE(outcome.total_recodings, 12.0) << name;  // every join recodes >= 1
+    EXPECT_GT(outcome.final_max_color(), 0) << name;
+    EXPECT_GE(outcome.total_recodings(), 12.0) << name;  // every join recodes >= 1
   }
 }
 

@@ -1,0 +1,149 @@
+// Tests for util/log.hpp (previously zero coverage): level parsing and
+// filtering, sink redirection, the streaming macros, and thread-safe line
+// interleaving (lines may interleave, characters must not).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace {
+
+using namespace minim;
+
+/// Captures log output into a stringstream and restores level + sink on
+/// destruction, so tests don't leak state into each other.
+class LogCapture {
+ public:
+  explicit LogCapture(util::LogLevel level) : previous_level_(util::log_level()) {
+    previous_sink_ = util::set_log_sink(&stream_);
+    util::set_log_level(level);
+  }
+  ~LogCapture() {
+    util::set_log_level(previous_level_);
+    util::set_log_sink(previous_sink_);
+  }
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  std::string text() const { return stream_.str(); }
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(stream_.str());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+ private:
+  std::ostringstream stream_;
+  util::LogLevel previous_level_;
+  std::ostream* previous_sink_;
+};
+
+TEST(Log, ParsesLevelNames) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), util::LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+  // Unknown strings fall back to info, per the header contract.
+  EXPECT_EQ(util::parse_log_level("chatty"), util::LogLevel::kInfo);
+}
+
+TEST(Log, FiltersBelowTheGlobalLevel) {
+  LogCapture capture(util::LogLevel::kWarn);
+  util::log_line(util::LogLevel::kDebug, "too quiet");
+  util::log_line(util::LogLevel::kInfo, "still too quiet");
+  util::log_line(util::LogLevel::kWarn, "loud enough");
+  util::log_line(util::LogLevel::kError, "very loud");
+  EXPECT_EQ(capture.text(), "[warn] loud enough\n[error] very loud\n");
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture capture(util::LogLevel::kOff);
+  util::log_line(util::LogLevel::kError, "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, SetLevelChangesFilteringAtRuntime) {
+  LogCapture capture(util::LogLevel::kError);
+  util::log_line(util::LogLevel::kInfo, "dropped");
+  util::set_log_level(util::LogLevel::kDebug);
+  util::log_line(util::LogLevel::kDebug, "kept");
+  EXPECT_EQ(capture.text(), "[debug] kept\n");
+}
+
+TEST(Log, SinkRedirectionAndRestore) {
+  std::ostringstream first;
+  std::ostringstream second;
+  const util::LogLevel previous_level = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+
+  std::ostream* original = util::set_log_sink(&first);
+  util::log_line(util::LogLevel::kInfo, "to first");
+  // Swapping sinks returns the one being replaced.
+  EXPECT_EQ(util::set_log_sink(&second), &first);
+  util::log_line(util::LogLevel::kInfo, "to second");
+  util::set_log_sink(original);
+  util::set_log_level(previous_level);
+
+  EXPECT_EQ(first.str(), "[info] to first\n");
+  EXPECT_EQ(second.str(), "[info] to second\n");
+}
+
+TEST(Log, MacroBuildsOneLine) {
+  LogCapture capture(util::LogLevel::kDebug);
+  MINIM_LOG_ERROR() << "x=" << 42 << " y=" << 1.5;
+  EXPECT_EQ(capture.text(), "[error] x=42 y=1.5\n");
+}
+
+TEST(Log, MacroRespectsLevelFiltering) {
+  LogCapture capture(util::LogLevel::kError);
+  MINIM_LOG_DEBUG() << "invisible";
+  MINIM_LOG_WARN() << "also invisible";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, ConcurrentWritersNeverTearLines) {
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  LogCapture capture(util::LogLevel::kInfo);
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      writers.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i)
+          MINIM_LOG_INFO() << "writer" << t << " line" << i;
+      });
+    for (auto& writer : writers) writer.join();
+  }
+
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kLines));
+  std::vector<int> per_writer(kThreads, 0);
+  for (const std::string& line : lines) {
+    // Every line must be exactly "[info] writerT lineI" — interleaved
+    // characters from two writers would break the format.
+    int t = -1;
+    int i = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "[info] writer%d line%d", &t, &i), 2)
+        << "torn line: '" << line << "'";
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, kLines);
+    ++per_writer[static_cast<std::size_t>(t)];
+  }
+  EXPECT_TRUE(std::all_of(per_writer.begin(), per_writer.end(),
+                          [](int count) { return count == kLines; }));
+}
+
+}  // namespace
