@@ -4,11 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/minim.hpp"
 #include "matching/hungarian.hpp"
+#include "net/conflict_graph.hpp"
 #include "net/constraints.hpp"
 #include "net/network.hpp"
 #include "radio/phy.hpp"
+#include "strategies/bbb.hpp"
 #include "strategies/coloring.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +107,140 @@ void BM_ConflictPartners(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConflictPartners);
+
+// ---- conflict-graph maintenance: full build vs incremental update ----
+
+void BM_ConflictGraphFullBuild(benchmark::State& state) {
+  // Cost of constructing the CA1/CA2 adjacency from scratch — what every
+  // event used to pay before the incremental cache.
+  util::Rng rng(15);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto network = random_network(n, 20.5, 30.5, rng);
+  for (auto _ : state) {
+    auto cg = net::ConflictGraph::build_from(network.graph());
+    benchmark::DoNotOptimize(cg.pair_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConflictGraphFullBuild)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_ConflictGraphIncrementalMove(benchmark::State& state) {
+  // Cost of one move event's cache deltas (includes digraph + grid upkeep);
+  // compare against BM_ConflictGraphFullBuild at the same N.
+  util::Rng rng(16);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto network = random_network(n, 20.5, 30.5, rng);
+  const auto nodes = network.nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    network.set_position(nodes[i % nodes.size()],
+                         {rng.uniform(0, 100), rng.uniform(0, 100)});
+    benchmark::DoNotOptimize(network.conflict_graph().pair_count());
+    ++i;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConflictGraphIncrementalMove)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+// ---- greedy coloring: scratch-buffer loops vs per-node allocation ----
+
+/// The pre-cache greedy loop, kept verbatim for comparison: enumerate
+/// conflict partners per node (allocating), then collect-sort-unique the
+/// forbidden colors per node (allocating again).
+net::Color greedy_color_legacy_alloc(const net::AdhocNetwork& network,
+                                     net::CodeAssignment& assignment) {
+  std::vector<std::vector<net::NodeId>> adj(network.id_bound());
+  for (net::NodeId v : network.nodes()) {
+    std::vector<net::NodeId> partners;
+    const auto& g = network.graph();
+    const auto& outs = g.out_neighbors(v);
+    const auto& ins = g.in_neighbors(v);
+    partners.insert(partners.end(), outs.begin(), outs.end());
+    partners.insert(partners.end(), ins.begin(), ins.end());
+    for (net::NodeId k : outs) {
+      const auto& co_senders = g.in_neighbors(k);
+      partners.insert(partners.end(), co_senders.begin(), co_senders.end());
+    }
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()), partners.end());
+    const auto self = std::lower_bound(partners.begin(), partners.end(), v);
+    if (self != partners.end() && *self == v) partners.erase(self);
+    adj[v] = std::move(partners);
+  }
+  net::Color used = 0;
+  for (net::NodeId v : network.nodes()) assignment.clear(v);
+  for (net::NodeId v : network.nodes()) {
+    std::vector<net::Color> forbidden;
+    for (net::NodeId w : adj[v]) {
+      const net::Color c = assignment.color(w);
+      if (c != net::kNoColor) forbidden.push_back(c);
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+    const net::Color c = net::lowest_free_color(forbidden);
+    assignment.set_color(v, c);
+    used = std::max(used, c);
+  }
+  return used;
+}
+
+void BM_GreedyColorLegacyAlloc(benchmark::State& state) {
+  util::Rng rng(17);
+  const auto network = random_network(100, 20.5, 30.5, rng);
+  net::CodeAssignment assignment;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedy_color_legacy_alloc(network, assignment));
+}
+BENCHMARK(BM_GreedyColorLegacyAlloc);
+
+void BM_GreedyColorScratch(benchmark::State& state) {
+  // Same identity-order coloring through the cached-adjacency scratch loop.
+  util::Rng rng(17);
+  const auto network = random_network(100, 20.5, 30.5, rng);
+  net::CodeAssignment assignment;
+  for (auto _ : state) {
+    const auto colors = strategies::color_network(
+        network, strategies::ColoringOrder::kIdentity, assignment);
+    benchmark::DoNotOptimize(colors);
+  }
+}
+BENCHMARK(BM_GreedyColorScratch);
+
+// ---- BBB event handling: dirty-region vs from-scratch recolor ----
+
+void bbb_power_toggle_loop(benchmark::State& state, bool incremental) {
+  // Sparser deployment (200 nodes, ranges 10-15) so a power toggle dirties
+  // a genuinely local region; dense fields degrade to the full path by the
+  // fallback threshold and measure identically.
+  util::Rng rng(18);
+  auto network = random_network(200, 10.5, 15.5, rng);
+  net::CodeAssignment assignment;
+  strategies::BbbStrategy::Params params;
+  params.incremental = incremental;
+  strategies::BbbStrategy bbb(strategies::ColoringOrder::kSmallestLast, params);
+  const auto nodes = network.nodes();
+  // Seed the strategy's state with one full recolor.
+  bbb.on_join(network, assignment, nodes.back());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::NodeId v = nodes[i % nodes.size()];
+    const double old_range = network.config(v).range;
+    network.set_range(v, old_range < 13.0 ? old_range * 1.1 : old_range / 1.1);
+    const auto report = bbb.on_power_change(network, assignment, v, old_range);
+    benchmark::DoNotOptimize(report.changes.size());
+    ++i;
+  }
+}
+
+void BM_BbbEventFullRecolor(benchmark::State& state) {
+  bbb_power_toggle_loop(state, /*incremental=*/false);
+}
+BENCHMARK(BM_BbbEventFullRecolor)->Unit(benchmark::kMicrosecond);
+
+void BM_BbbEventDirtyRegion(benchmark::State& state) {
+  bbb_power_toggle_loop(state, /*incremental=*/true);
+}
+BENCHMARK(BM_BbbEventDirtyRegion)->Unit(benchmark::kMicrosecond);
 
 void BM_GridRebuildVsBruteForce(benchmark::State& state) {
   // Cost of one incremental move update (grid-backed) — compare against

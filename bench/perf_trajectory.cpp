@@ -1,21 +1,35 @@
 // Perf-trajectory harness: times the repo's slowest bench workloads — the
 // paper-size x-grids behind the fig10_join / fig11_power_increase smokes,
-// plus the new grid-study engine — and writes the wall clocks as JSON
-// (default BENCH_sweep.json).  The committed BENCH_sweep.json at the repo
-// root is the first recorded baseline; future optimization work (BBB
-// incremental conflict graphs, memoized coloring) re-runs this harness and
-// diffs against it.
+// plus the grid-study engine — and records the wall clocks in
+// BENCH_sweep.json (schema v2: an append-only *trajectory* of labeled
+// entries, so the committed file shows each optimization's before/after).
+//
+// Modes:
+//   default       run the benches and append a labeled entry to --out
+//                 (a v1 file is upgraded in place, its measurement kept as
+//                 the "baseline" entry)
+//   --check[=F]   run the benches and compare against the LAST entry of F
+//                 (default: the --out file); exit 1 when any benchmark's
+//                 wall clock exceeds baseline * --check-factor.  Nothing is
+//                 written.  This is the CI regression gate.
 //
 // Options:
-//   --runs=N      Monte-Carlo runs per figure point (default 2, = CI smoke)
-//   --trials=N    trials per grid-study point (default 2)
-//   --threads=T   pool size (default 0 = hardware concurrency)
-//   --seed=S      master seed (default 2001)
-//   --out=FILE    output path (default BENCH_sweep.json)
+//   --runs=N          Monte-Carlo runs per figure point (default 2, = CI smoke)
+//   --trials=N        trials per grid-study point (default 2)
+//   --threads=T       pool size (default 0 = hardware concurrency)
+//   --seed=S          master seed (default 2001)
+//   --label=NAME      entry label (default "run")
+//   --out=FILE        trajectory path (default BENCH_sweep.json)
+//   --check[=FILE]    compare mode (see above)
+//   --check-factor=X  allowed slowdown factor (default 1.5 — generous,
+//                     CI machines are noisy)
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,20 +44,137 @@ namespace {
 
 using namespace minim;
 
-struct Entry {
+struct Measurement {
   std::string name;
   double wall_s = 0.0;
 };
 
+struct TrajectoryEntry {
+  std::string label;
+  std::string config_json;  ///< the entry's "config" object, verbatim
+  std::vector<Measurement> benchmarks;
+};
+
 template <typename Fn>
-Entry timed(const std::string& name, Fn&& fn) {
+Measurement timed(const std::string& name, Fn&& fn) {
   const auto start = std::chrono::steady_clock::now();
   fn();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   std::cout << "  " << name << ": " << util::fmt_fixed(elapsed, 2) << " s\n";
-  return Entry{name, elapsed};
+  return Measurement{name, elapsed};
+}
+
+// ------------------------------------------------------------ JSON-ish I/O
+//
+// The file is machine-written by this harness only, so a tolerant scan for
+// the keys we emit is enough — no JSON library in the tree.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Value of `"key": "..."` at/after `from`; empty when absent.
+std::string scan_string(const std::string& text, const std::string& key,
+                        std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return "";
+  const std::size_t open = text.find('"', at + needle.size());
+  if (open == std::string::npos) return "";
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// The balanced `{...}` of `"key": {` at/after `from`; empty when absent.
+std::string scan_object(const std::string& text, const std::string& key,
+                        std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return "";
+  const std::size_t open = text.find('{', at + needle.size());
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return text.substr(open, i - open + 1);
+  }
+  return "";
+}
+
+/// Every {"name": ..., "wall_s": ...} pair in [from, until).
+std::vector<Measurement> scan_benchmarks(const std::string& text, std::size_t from,
+                                         std::size_t until) {
+  std::vector<Measurement> out;
+  std::size_t cursor = from;
+  while (true) {
+    const std::size_t at = text.find("\"name\":", cursor);
+    if (at == std::string::npos || at >= until) break;
+    Measurement m;
+    m.name = scan_string(text, "name", at, until);
+    const std::size_t wall = text.find("\"wall_s\":", at);
+    if (wall == std::string::npos || wall >= until) break;
+    m.wall_s = std::strtod(text.c_str() + wall + 9, nullptr);
+    out.push_back(std::move(m));
+    cursor = wall + 9;
+  }
+  return out;
+}
+
+/// Parses a trajectory file (v2) or a single-measurement v1 file (upgraded
+/// to one entry labeled "baseline").  Returns an empty list for missing or
+/// unrecognized files.
+std::vector<TrajectoryEntry> load_trajectory(const std::string& path) {
+  const std::string text = read_file(path);
+  std::vector<TrajectoryEntry> entries;
+  if (text.empty()) return entries;
+  const std::string schema = scan_string(text, "schema", 0, text.size());
+  if (schema == "minim-bench-trajectory-v1") {
+    TrajectoryEntry entry;
+    entry.label = "baseline";
+    entry.config_json = scan_object(text, "config", 0, text.size());
+    entry.benchmarks = scan_benchmarks(text, 0, text.size());
+    entries.push_back(std::move(entry));
+    return entries;
+  }
+  if (schema != "minim-bench-trajectory-v2") return entries;
+  std::size_t cursor = text.find("\"entries\":");
+  while (cursor != std::string::npos) {
+    const std::size_t at = text.find("\"label\":", cursor);
+    if (at == std::string::npos) break;
+    std::size_t until = text.find("\"label\":", at + 1);
+    if (until == std::string::npos) until = text.size();
+    TrajectoryEntry entry;
+    entry.label = scan_string(text, "label", at, until);
+    entry.config_json = scan_object(text, "config", at, until);
+    entry.benchmarks = scan_benchmarks(text, at, until);
+    entries.push_back(std::move(entry));
+    cursor = until == text.size() ? std::string::npos : until;
+  }
+  return entries;
+}
+
+void write_trajectory(std::ostream& out, const std::vector<TrajectoryEntry>& entries) {
+  out << "{\n  \"schema\": \"minim-bench-trajectory-v2\",\n  \"entries\": [\n";
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const TrajectoryEntry& entry = entries[e];
+    out << "    {\n      \"label\": \"" << entry.label << "\",\n"
+        << "      \"config\": " << entry.config_json << ",\n"
+        << "      \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entry.benchmarks.size(); ++i) {
+      out << "        {\"name\": \"" << entry.benchmarks[i].name
+          << "\", \"wall_s\": " << util::fmt_fixed(entry.benchmarks[i].wall_s, 3)
+          << "}" << (i + 1 < entry.benchmarks.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (e + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -56,14 +187,36 @@ int main(int argc, char** argv) {
   sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
   const auto trials = static_cast<std::size_t>(options.get_int("trials", 2));
   const std::string out_path = options.get("out", "BENCH_sweep.json");
+  const bool check = options.has("check");
+  const std::string check_path =
+      options.get("check", "") == "true" || options.get("check", "").empty()
+          ? out_path
+          : options.get("check", out_path);
+  const double check_factor = options.get_double("check-factor", 1.5);
+
+  // Resolve the baseline/trajectory before spending minutes measuring: a
+  // missing baseline in check mode or an unparseable --out file (which an
+  // append would silently overwrite) must fail immediately.
+  std::vector<TrajectoryEntry> trajectory =
+      load_trajectory(check ? check_path : out_path);
+  if (check && trajectory.empty()) {
+    std::cerr << "--check: no baseline entries in " << check_path << "\n";
+    return 1;
+  }
+  if (!check && trajectory.empty() && !read_file(out_path).empty()) {
+    std::cerr << out_path
+              << " exists but is not a recognizable trajectory; refusing to "
+                 "overwrite it\n";
+    return 1;
+  }
 
   std::cout << "=== Perf trajectory (runs=" << sweep.runs
             << ", trials=" << trials << ") ===\n";
 
-  std::vector<Entry> entries;
+  std::vector<Measurement> measurements;
 
   // The exact sweeps bench_fig10_join runs (paper-size x-grids).
-  entries.push_back(timed("bench.fig10_join", [&] {
+  measurements.push_back(timed("bench.fig10_join", [&] {
     const std::vector<double> ns{40, 50, 60, 70, 80, 90, 100, 110, 120};
     const std::vector<double> avg_ranges{7.5, 17.5, 27.5, 37.5, 47.5, 57.5, 67.5};
     sim::SweepOptions all = sweep;
@@ -77,7 +230,7 @@ int main(int argc, char** argv) {
   }));
 
   // The exact sweeps bench_fig11_power_increase runs.
-  entries.push_back(timed("bench.fig11_power_increase", [&] {
+  measurements.push_back(timed("bench.fig11_power_increase", [&] {
     const std::vector<double> factors{1.0, 1.5, 2.0, 2.5, 3.0,  3.5,
                                       4.0, 4.5, 5.0, 5.5, 6.0};
     sim::SweepOptions all = sweep;
@@ -89,7 +242,7 @@ int main(int argc, char** argv) {
   }));
 
   // The grid-study default grid (bench/grid_study.cpp).
-  entries.push_back(timed("bench.grid_study", [&] {
+  measurements.push_back(timed("bench.grid_study", [&] {
     sim::ExperimentGrid grid;
     grid.base.kind = sim::ScenarioKind::kPower;
     grid.axes.push_back(sim::GridAxis{
@@ -106,28 +259,48 @@ int main(int argc, char** argv) {
     sim::Experiment(std::move(grid)).run(run);
   }));
 
+  if (check) {
+    const TrajectoryEntry& baseline = trajectory.back();
+    std::cout << "checking against entry \"" << baseline.label << "\" of "
+              << check_path << " (factor " << util::fmt_fixed(check_factor, 2)
+              << ")\n";
+    bool ok = true;
+    for (const Measurement& m : measurements) {
+      const auto ref = std::find_if(
+          baseline.benchmarks.begin(), baseline.benchmarks.end(),
+          [&m](const Measurement& b) { return b.name == m.name; });
+      if (ref == baseline.benchmarks.end()) {
+        std::cout << "  " << m.name << ": no baseline (skipped)\n";
+        continue;
+      }
+      const bool regressed = m.wall_s > ref->wall_s * check_factor;
+      std::cout << "  " << m.name << ": " << util::fmt_fixed(m.wall_s, 2)
+                << " s vs baseline " << util::fmt_fixed(ref->wall_s, 2) << " s"
+                << (regressed ? "  REGRESSION" : "") << "\n";
+      ok = ok && !regressed;
+    }
+    std::cout << (ok ? "perf check: PASS\n" : "perf check: FAIL\n");
+    return ok ? 0 : 1;
+  }
+
+  std::ostringstream config;
+  config << "{\"runs\": " << sweep.runs << ", \"trials\": " << trials
+         << ", \"threads\": "
+         << (sweep.threads ? sweep.threads : std::thread::hardware_concurrency())
+         << ", \"seed\": " << sweep.seed << "}";
+  TrajectoryEntry entry;
+  entry.label = options.get("label", "run");
+  entry.config_json = config.str();
+  entry.benchmarks = measurements;
+  trajectory.push_back(std::move(entry));
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << " for writing\n";
     return 1;
   }
-  out << "{\n"
-      << "  \"schema\": \"minim-bench-trajectory-v1\",\n"
-      << "  \"config\": {\n"
-      << "    \"runs\": " << sweep.runs << ",\n"
-      << "    \"trials\": " << trials << ",\n"
-      << "    \"threads\": "
-      << (sweep.threads ? sweep.threads : std::thread::hardware_concurrency())
-      << ",\n"
-      << "    \"seed\": " << sweep.seed << "\n"
-      << "  },\n"
-      << "  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    out << "    {\"name\": \"" << entries[i].name << "\", \"wall_s\": "
-        << util::fmt_fixed(entries[i].wall_s, 3) << "}"
-        << (i + 1 < entries.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "[json] wrote " << out_path << "\n";
+  write_trajectory(out, trajectory);
+  std::cout << "[json] wrote " << out_path << " (" << trajectory.size()
+            << (trajectory.size() == 1 ? " entry" : " entries") << ")\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -38,9 +39,57 @@ std::vector<std::vector<NodeId>> undirected_adjacency(const Digraph& g);
 /// Smallest-last (degeneracy) ordering of an undirected adjacency structure
 /// over the given `vertices`.  Returns vertices in the order they should be
 /// *colored* (reverse of elimination), which is the classic degeneracy-greedy
-/// coloring order.  `adj` is indexed by node id; ids absent from `vertices`
-/// are ignored.
-std::vector<NodeId> smallest_last_order(const std::vector<std::vector<NodeId>>& adj,
-                                        const std::vector<NodeId>& vertices);
+/// coloring order.  `adj[v]` is any id-indexed neighbor range — a
+/// `vector<vector<NodeId>>` or a view over `net::ConflictGraph` rows — and
+/// ids absent from `vertices` are ignored.
+template <typename Adj>
+std::vector<NodeId> smallest_last_order(const Adj& adj,
+                                        const std::vector<NodeId>& vertices) {
+  // Bucketed smallest-last elimination: repeatedly remove a vertex of
+  // minimum remaining degree; coloring order is the reverse removal order.
+  std::size_t bound = 0;
+  for (NodeId v : vertices) bound = std::max<std::size_t>(bound, v + 1);
+
+  std::vector<char> in_set(bound, 0);
+  for (NodeId v : vertices) in_set[v] = 1;
+
+  std::vector<std::size_t> degree(bound, 0);
+  std::size_t max_deg = 0;
+  for (NodeId v : vertices) {
+    std::size_t d = 0;
+    for (NodeId w : adj[v])
+      if (w < bound && in_set[w]) ++d;
+    degree[v] = d;
+    max_deg = std::max(max_deg, d);
+  }
+
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v : vertices) buckets[degree[v]].push_back(v);
+
+  std::vector<char> removed(bound, 0);
+  std::vector<NodeId> elimination;
+  elimination.reserve(vertices.size());
+  std::size_t cursor = 0;
+  while (elimination.size() < vertices.size()) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    // Entries may be stale (degree since decreased); skip them.
+    NodeId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || degree[v] != cursor) {
+      if (!removed[v] && degree[v] < cursor) buckets[degree[v]].push_back(v);
+      if (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+      continue;
+    }
+    removed[v] = 1;
+    elimination.push_back(v);
+    for (NodeId w : adj[v]) {
+      if (w >= bound || !in_set[w] || removed[w]) continue;
+      buckets[--degree[w]].push_back(w);
+    }
+    if (cursor > 0) --cursor;
+  }
+  std::reverse(elimination.begin(), elimination.end());
+  return elimination;
+}
 
 }  // namespace minim::graph

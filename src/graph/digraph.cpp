@@ -85,6 +85,19 @@ void Digraph::clear_edges_of(NodeId v) {
   in_[v].clear();
 }
 
+void Digraph::clear() {
+  const auto slots = static_cast<NodeId>(alive_.size());
+  for (NodeId v = 0; v < slots; ++v) {
+    out_[v].clear();
+    in_[v].clear();
+    alive_[v] = false;
+  }
+  free_slots_.resize(slots);
+  for (NodeId v = 0; v < slots; ++v) free_slots_[v] = slots - 1 - v;
+  live_count_ = 0;
+  edge_count_ = 0;
+}
+
 bool Digraph::has_edge(NodeId u, NodeId v) const {
   if (!contains(u) || !contains(v)) return false;
   return sorted_contains(out_[u], v);

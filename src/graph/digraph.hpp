@@ -49,6 +49,12 @@ class Digraph {
   /// Drops every edge incident to `v` (both directions) without removing it.
   void clear_edges_of(NodeId v);
 
+  /// Removes every node and edge while keeping slot capacity (adjacency
+  /// vectors stay allocated).  After clear(), add_node() hands out ids
+  /// 0, 1, 2, ... again, so a cleared graph replays a construction sequence
+  /// with the same ids as a fresh one — the arena-reuse contract.
+  void clear();
+
   bool has_edge(NodeId u, NodeId v) const;
 
   /// Successors of `u` (nodes that hear `u`), ascending by id.

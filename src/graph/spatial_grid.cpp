@@ -52,6 +52,11 @@ void SpatialGrid::move(NodeId id, util::Vec2 old_pos, util::Vec2 new_pos) {
   cells_[to].push_back(id);
 }
 
+void SpatialGrid::clear() {
+  for (auto& cell : cells_) cell.clear();
+  size_ = 0;
+}
+
 void SpatialGrid::query_disc(util::Vec2 center, double radius,
                              std::vector<NodeId>& out) const {
   const util::Vec2 lo = util::clamp_to_box({center.x - radius, center.y - radius},

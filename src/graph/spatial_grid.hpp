@@ -38,6 +38,9 @@ class SpatialGrid {
   /// radius).  Callers must distance-filter; the result is a superset.
   void query_disc(util::Vec2 center, double radius, std::vector<NodeId>& out) const;
 
+  /// Removes every id, keeping cell-bucket capacity (arena reuse).
+  void clear();
+
   std::size_t size() const { return size_; }
   double cell_size() const { return cell_; }
 

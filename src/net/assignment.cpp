@@ -16,6 +16,10 @@ void CodeAssignment::clear(graph::NodeId v) {
   if (v < colors_.size()) colors_[v] = kNoColor;
 }
 
+void CodeAssignment::clear_all() {
+  std::fill(colors_.begin(), colors_.end(), kNoColor);
+}
+
 Color CodeAssignment::max_color(const std::vector<graph::NodeId>& nodes) const {
   Color best = kNoColor;
   for (graph::NodeId v : nodes) best = std::max(best, color(v));

@@ -35,6 +35,9 @@ class CodeAssignment {
   /// Clears v's color (used when a node leaves).
   void clear(graph::NodeId v);
 
+  /// Clears every color, keeping the dense map's capacity (arena reuse).
+  void clear_all();
+
   /// Maximum color over `nodes`; kNoColor when none are colored.
   Color max_color(const std::vector<graph::NodeId>& nodes) const;
 

@@ -1,0 +1,154 @@
+#include "net/conflict_graph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace minim::net {
+
+namespace {
+
+/// Journal size cap: one event's delta on paper-size networks is a few
+/// hundred entries, so this covers many events of slack while bounding
+/// memory on long-lived networks.  When full, the older half is discarded
+/// and consumers past it fall back to a full pass.
+constexpr std::size_t kJournalCap = 1 << 15;
+
+}  // namespace
+
+std::uint32_t ConflictGraph::multiplicity(NodeId u, NodeId v) const {
+  if (u >= rows_.size()) return 0;
+  const Row& row = rows_[u];
+  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
+  if (it == row.ids.end() || *it != v) return 0;
+  return row.counts[static_cast<std::size_t>(it - row.ids.begin())];
+}
+
+bool ConflictGraph::append_dirty_since(std::uint64_t since,
+                                       std::vector<NodeId>& out) const {
+  if (since < trimmed_revision_) return false;
+  if (since >= revision_) return true;  // nothing newer
+  // Entries are revision-ascending; binary search the window start.
+  const auto first = std::upper_bound(
+      journal_.begin(), journal_.end(), since,
+      [](std::uint64_t rev, const JournalEntry& e) { return rev < e.revision; });
+  for (auto it = first; it != journal_.end(); ++it) out.push_back(it->node);
+  return true;
+}
+
+void ConflictGraph::mark_dirty(NodeId v) {
+  if (journal_.size() >= kJournalCap) {
+    // Drop the older half; amortized O(1) per entry.
+    const std::size_t keep = kJournalCap / 2;
+    trimmed_revision_ = journal_[journal_.size() - keep - 1].revision;
+    journal_.erase(journal_.begin(),
+                   journal_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  journal_.push_back(JournalEntry{++revision_, v});
+}
+
+bool ConflictGraph::bump_row(NodeId u, NodeId v) {
+  Row& row = rows_[u];
+  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
+  const auto index = static_cast<std::size_t>(it - row.ids.begin());
+  if (it != row.ids.end() && *it == v) {
+    ++row.counts[index];
+    return false;
+  }
+  row.ids.insert(it, v);
+  row.counts.insert(row.counts.begin() + static_cast<std::ptrdiff_t>(index), 1);
+  return true;
+}
+
+bool ConflictGraph::drop_row(NodeId u, NodeId v) {
+  Row& row = rows_[u];
+  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
+  MINIM_REQUIRE(it != row.ids.end() && *it == v,
+                "conflict graph: retracting an unknown witness");
+  const auto index = static_cast<std::size_t>(it - row.ids.begin());
+  if (--row.counts[index] > 0) return false;
+  row.ids.erase(it);
+  row.counts.erase(row.counts.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
+}
+
+void ConflictGraph::add_witness(NodeId u, NodeId v) {
+  if (bump_row(u, v)) {
+    bump_row(v, u);
+    ++pair_count_;
+    mark_dirty(u);
+    mark_dirty(v);
+  } else {
+    bump_row(v, u);
+  }
+}
+
+void ConflictGraph::retract_witness(NodeId u, NodeId v) {
+  if (drop_row(u, v)) {
+    drop_row(v, u);
+    --pair_count_;
+    mark_dirty(u);
+    mark_dirty(v);
+  } else {
+    drop_row(v, u);
+  }
+}
+
+void ConflictGraph::on_node_added(NodeId v) {
+  if (v >= rows_.size()) rows_.resize(v + 1);
+  MINIM_REQUIRE(rows_[v].ids.empty(), "conflict graph: reused row not empty");
+  mark_dirty(v);
+}
+
+void ConflictGraph::on_node_removed(NodeId v) {
+  MINIM_REQUIRE(v < rows_.size() && rows_[v].ids.empty(),
+                "conflict graph: removing a node with live conflicts");
+  mark_dirty(v);
+}
+
+void ConflictGraph::on_edge_added(const graph::Digraph& g, NodeId u, NodeId v) {
+  MINIM_REQUIRE(!g.has_edge(u, v), "conflict graph: edge delta already applied");
+  const NodeId bound = std::max(u, v);
+  if (bound >= rows_.size()) rows_.resize(bound + 1);
+  add_witness(u, v);  // CA1
+  for (NodeId w : g.in_neighbors(v))
+    if (w != u) add_witness(u, w);  // CA2: co-senders to receiver v
+}
+
+void ConflictGraph::on_edge_removed(const graph::Digraph& g, NodeId u, NodeId v) {
+  MINIM_REQUIRE(g.has_edge(u, v), "conflict graph: retracting an absent edge");
+  retract_witness(u, v);  // CA1
+  for (NodeId w : g.in_neighbors(v))
+    if (w != u) retract_witness(u, w);  // CA2
+}
+
+void ConflictGraph::clear() {
+  for (Row& row : rows_) {
+    row.ids.clear();
+    row.counts.clear();
+  }
+  pair_count_ = 0;
+  journal_.clear();
+  // Any consumer synchronized to a pre-clear revision must full-rebuild:
+  // advance the revision and declare everything at or below it trimmed.
+  trimmed_revision_ = ++revision_;
+}
+
+ConflictGraph ConflictGraph::build_from(const graph::Digraph& g) {
+  ConflictGraph cg;
+  cg.rows_.resize(g.id_bound());
+  const auto nodes = g.nodes();
+  for (NodeId u : nodes) {
+    // CA1: one witness per directed edge.
+    for (NodeId v : g.out_neighbors(u)) cg.add_witness(u, v);
+    // CA2: one witness per (sender pair, common receiver); enumerate each
+    // receiver's sender list once, pairs ordered i < j.
+    const auto& senders = g.in_neighbors(u);
+    for (std::size_t i = 0; i < senders.size(); ++i)
+      for (std::size_t j = i + 1; j < senders.size(); ++j)
+        cg.add_witness(senders[i], senders[j]);
+  }
+  return cg;
+}
+
+}  // namespace minim::net

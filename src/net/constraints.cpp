@@ -1,6 +1,7 @@
 #include "net/constraints.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 namespace minim::net {
@@ -13,54 +14,36 @@ std::string Violation::to_string() const {
 }
 
 bool in_conflict(const AdhocNetwork& net, NodeId u, NodeId v) {
-  const auto& g = net.graph();
-  if (g.has_edge(u, v) || g.has_edge(v, u)) return true;
-  // Common out-neighbor: intersect the two sorted out-lists.
-  const auto& a = g.out_neighbors(u);
-  const auto& b = g.out_neighbors(v);
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) return true;
-    if (a[i] < b[j]) ++i;
-    else ++j;
-  }
-  return false;
+  return net.conflict_graph().in_conflict(u, v);
+}
+
+void conflict_partners(const AdhocNetwork& net, NodeId u, std::vector<NodeId>& out) {
+  const auto partners = net.conflict_graph().neighbors(u);
+  out.assign(partners.begin(), partners.end());
 }
 
 std::vector<NodeId> conflict_partners(const AdhocNetwork& net, NodeId u) {
-  const auto& g = net.graph();
   std::vector<NodeId> partners;
-  const auto& outs = g.out_neighbors(u);
-  const auto& ins = g.in_neighbors(u);
-  partners.insert(partners.end(), outs.begin(), outs.end());
-  partners.insert(partners.end(), ins.begin(), ins.end());
-  for (NodeId k : outs) {
-    const auto& co_senders = g.in_neighbors(k);
-    partners.insert(partners.end(), co_senders.begin(), co_senders.end());
-  }
-  std::sort(partners.begin(), partners.end());
-  partners.erase(std::unique(partners.begin(), partners.end()), partners.end());
-  const auto self = std::lower_bound(partners.begin(), partners.end(), u);
-  if (self != partners.end() && *self == u) partners.erase(self);
+  conflict_partners(net, u, partners);
   return partners;
 }
 
 std::vector<Violation> find_violations(const AdhocNetwork& net,
                                        const CodeAssignment& assignment) {
+  // Deliberately scans the raw digraph instead of the cached conflict
+  // graph: the validator stays an oracle that is independent of the
+  // incremental cache it would otherwise have to trust.
   const auto& g = net.graph();
   std::vector<Violation> out;
   // Collect violating unordered pairs; CA1 scanned first so that a pair that
-  // violates both constraints is reported as primary.
-  std::vector<std::pair<NodeId, NodeId>> seen;
-  auto already = [&seen](NodeId a, NodeId b) {
-    return std::find(seen.begin(), seen.end(), std::make_pair(a, b)) != seen.end();
-  };
+  // violates both constraints is reported as primary.  The dedup set is
+  // keyed on (min, max) with logarithmic lookup, so validation stays
+  // near-linear even when violations are dense (the broken-strategy soaks).
+  std::set<std::pair<NodeId, NodeId>> seen;
   auto report = [&](NodeId x, NodeId y, ConflictKind kind) {
     const NodeId a = std::min(x, y);
     const NodeId b = std::max(x, y);
-    if (already(a, b)) return;
-    seen.emplace_back(a, b);
+    if (!seen.emplace(a, b).second) return;
     out.push_back(Violation{a, b, kind, assignment.color(a)});
   };
 
@@ -93,17 +76,24 @@ bool is_valid(const AdhocNetwork& net, const CodeAssignment& assignment) {
   return all_colored(net, assignment) && find_violations(net, assignment).empty();
 }
 
+void forbidden_colors(const AdhocNetwork& net, const CodeAssignment& assignment,
+                      NodeId u, std::vector<Color>& out,
+                      const std::function<bool(NodeId)>& ignore) {
+  out.clear();
+  for (NodeId v : net.conflict_graph().neighbors(u)) {
+    if (ignore && ignore(v)) continue;
+    const Color c = assignment.color(v);
+    if (c != kNoColor) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
 std::vector<Color> forbidden_colors(const AdhocNetwork& net,
                                     const CodeAssignment& assignment, NodeId u,
                                     const std::function<bool(NodeId)>& ignore) {
   std::vector<Color> forbidden;
-  for (NodeId v : conflict_partners(net, u)) {
-    if (ignore && ignore(v)) continue;
-    const Color c = assignment.color(v);
-    if (c != kNoColor) forbidden.push_back(c);
-  }
-  std::sort(forbidden.begin(), forbidden.end());
-  forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
+  forbidden_colors(net, assignment, u, forbidden, ignore);
   return forbidden;
 }
 

@@ -37,11 +37,17 @@ struct Violation {
   std::string to_string() const;
 };
 
-/// True iff u and v may not share a color (u != v assumed).
+/// True iff u and v may not share a color (u != v assumed).  O(log deg)
+/// against the network's cached conflict graph.
 bool in_conflict(const AdhocNetwork& net, NodeId u, NodeId v);
 
 /// All nodes that conflict with `u`, ascending, excluding `u`.
 std::vector<NodeId> conflict_partners(const AdhocNetwork& net, NodeId u);
+
+/// Allocation-free overload: replaces `out` with u's conflict partners
+/// (ascending).  A straight copy out of the cached conflict graph — hot
+/// loops that call this per node reuse one scratch vector.
+void conflict_partners(const AdhocNetwork& net, NodeId u, std::vector<NodeId>& out);
 
 /// All violated constraints (same color on a conflicting pair).  Each
 /// unordered pair is reported once; CA1 takes precedence over CA2 as the
@@ -62,6 +68,12 @@ bool is_valid(const AdhocNetwork& net, const CodeAssignment& assignment);
 std::vector<Color> forbidden_colors(
     const AdhocNetwork& net, const CodeAssignment& assignment, NodeId u,
     const std::function<bool(NodeId)>& ignore = nullptr);
+
+/// Allocation-free overload: replaces `out` with the forbidden colors of
+/// `u` (sorted, deduplicated), reusing its capacity.
+void forbidden_colors(const AdhocNetwork& net, const CodeAssignment& assignment,
+                      NodeId u, std::vector<Color>& out,
+                      const std::function<bool(NodeId)>& ignore = nullptr);
 
 /// Smallest positive color not present in `forbidden` (which must be sorted
 /// ascending and deduplicated).

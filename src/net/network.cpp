@@ -32,6 +32,7 @@ NodeId AdhocNetwork::add_node(const NodeConfig& config) {
   ranges_sorted_.insert(
       std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(), config.range),
       config.range);
+  conflict_.on_node_added(id);
   refresh_out_edges(id);
   refresh_in_edges(id);
   return id;
@@ -43,7 +44,39 @@ void AdhocNetwork::remove_node(NodeId v) {
   const auto it = std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(),
                                    configs_[v].range);
   ranges_sorted_.erase(it);
+  // Retract edges one by one so the conflict cache sees each delta.
+  stale_ = graph_.out_neighbors(v);
+  for (NodeId w : stale_) unlink(v, w);
+  stale_ = graph_.in_neighbors(v);
+  for (NodeId w : stale_) unlink(w, v);
+  conflict_.on_node_removed(v);
   graph_.remove_node(v);
+}
+
+void AdhocNetwork::reset(double width, double height) {
+  MINIM_REQUIRE(width > 0 && height > 0, "reset: dimensions must be positive");
+  if (width != width_ || height != height_) {
+    width_ = width;
+    height_ = height;
+    grid_ = graph::SpatialGrid(width, height, grid_.cell_size());
+  } else {
+    grid_.clear();
+  }
+  graph_.clear();
+  conflict_.clear();
+  ranges_sorted_.clear();
+}
+
+void AdhocNetwork::link(NodeId u, NodeId v) {
+  if (graph_.has_edge(u, v)) return;
+  conflict_.on_edge_added(graph_, u, v);
+  graph_.add_edge(u, v);
+}
+
+void AdhocNetwork::unlink(NodeId u, NodeId v) {
+  if (!graph_.has_edge(u, v)) return;
+  conflict_.on_edge_removed(graph_, u, v);
+  graph_.remove_edge(u, v);
 }
 
 void AdhocNetwork::set_position(NodeId v, util::Vec2 position) {
@@ -68,32 +101,45 @@ void AdhocNetwork::set_range(NodeId v, double range) {
 }
 
 void AdhocNetwork::refresh_out_edges(NodeId v) {
-  // Drop stale out-edges, then re-add everything inside the disc.
-  const std::vector<NodeId> old_out = graph_.out_neighbors(v);  // copy
-  for (NodeId w : old_out) graph_.remove_edge(v, w);
-
+  // Desired out-neighbor set under the current config, sorted.
   const NodeConfig& cv = configs_[v];
   scratch_.clear();
   grid_.query_disc(cv.position, cv.range, scratch_);
+  desired_.clear();
   for (NodeId w : scratch_) {
     if (w == v) continue;
     if (propagation_->reaches(cv.position, cv.range, configs_[w].position))
-      graph_.add_edge(v, w);
+      desired_.push_back(w);
   }
+  std::sort(desired_.begin(), desired_.end());
+
+  // Diff against the live sorted set: surviving edges generate no deltas.
+  const std::vector<NodeId>& current = graph_.out_neighbors(v);
+  stale_.clear();
+  std::set_difference(current.begin(), current.end(), desired_.begin(),
+                      desired_.end(), std::back_inserter(stale_));
+  for (NodeId w : stale_) unlink(v, w);
+  for (NodeId w : desired_) link(v, w);
 }
 
 void AdhocNetwork::refresh_in_edges(NodeId v) {
-  const std::vector<NodeId> old_in = graph_.in_neighbors(v);  // copy
-  for (NodeId w : old_in) graph_.remove_edge(w, v);
-
   const util::Vec2 p = configs_[v].position;
   scratch_.clear();
   grid_.query_disc(p, max_range(), scratch_);
+  desired_.clear();
   for (NodeId w : scratch_) {
     if (w == v) continue;
     const NodeConfig& cw = configs_[w];
-    if (propagation_->reaches(cw.position, cw.range, p)) graph_.add_edge(w, v);
+    if (propagation_->reaches(cw.position, cw.range, p)) desired_.push_back(w);
   }
+  std::sort(desired_.begin(), desired_.end());
+
+  const std::vector<NodeId>& current = graph_.in_neighbors(v);
+  stale_.clear();
+  std::set_difference(current.begin(), current.end(), desired_.begin(),
+                      desired_.end(), std::back_inserter(stale_));
+  for (NodeId w : stale_) unlink(w, v);
+  for (NodeId w : desired_) link(w, v);
 }
 
 bool AdhocNetwork::minimally_connected(NodeId v) const {

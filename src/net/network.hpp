@@ -5,6 +5,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/spatial_grid.hpp"
+#include "net/conflict_graph.hpp"
 #include "net/propagation.hpp"
 #include "util/geometry.hpp"
 
@@ -65,6 +66,17 @@ class AdhocNetwork {
   /// The induced communication digraph (authoritative edge set).
   const graph::Digraph& graph() const { return graph_; }
 
+  /// The cached CA1 ∪ CA2 conflict adjacency, maintained incrementally from
+  /// the digraph's edge deltas (see conflict_graph.hpp for the protocol).
+  const ConflictGraph& conflict_graph() const { return conflict_; }
+
+  /// Removes every node, retaining allocated capacity (graph slots, grid
+  /// cells, conflict rows) — the arena-reuse path of `sim::replay`.  Node
+  /// ids restart from 0, so a reset network replays a workload
+  /// bit-identically to a freshly constructed one.  Changing the field
+  /// dimensions rebuilds the spatial index.
+  void reset(double width, double height);
+
   std::size_t node_count() const { return graph_.node_count(); }
   std::vector<NodeId> nodes() const { return graph_.nodes(); }
   NodeId id_bound() const { return graph_.id_bound(); }
@@ -84,7 +96,14 @@ class AdhocNetwork {
   graph::Digraph rebuild_graph_brute_force() const;
 
  private:
-  /// Replaces v's out-edge set based on current config.
+  /// Adds edge u -> v to the digraph, accounting the conflict-graph delta
+  /// first.  No-op when present.
+  void link(NodeId u, NodeId v);
+  /// Removes edge u -> v, retracting the conflict-graph delta.  No-op when
+  /// absent.
+  void unlink(NodeId u, NodeId v);
+  /// Replaces v's out-edge set based on current config (diff against the
+  /// live set, so unchanged edges generate no conflict-graph churn).
   void refresh_out_edges(NodeId v);
   /// Replaces v's in-edge set by probing nodes whose range could reach v.
   void refresh_in_edges(NodeId v);
@@ -95,9 +114,12 @@ class AdhocNetwork {
   std::shared_ptr<const PropagationModel> propagation_;
   graph::Digraph graph_;
   graph::SpatialGrid grid_;
+  ConflictGraph conflict_;
   std::vector<NodeConfig> configs_;   // indexed by NodeId
   std::vector<double> ranges_sorted_; // multiset of live ranges (ascending)
   mutable std::vector<NodeId> scratch_;
+  std::vector<NodeId> desired_;  // refresh scratch: target neighbor set
+  std::vector<NodeId> stale_;    // refresh scratch: edges to drop
 };
 
 }  // namespace minim::net

@@ -108,9 +108,13 @@ std::vector<ExperimentTrial> run_point_trial(
   }
 
   const Workload workload = make_scenario_workload(spec, rng);
+  // One arena per worker thread: the per-strategy replays of every trial
+  // this worker runs reuse a single network/assignment instead of
+  // reconstructing them (bit-identical by ReplayArena's contract).
+  thread_local ReplayArena arena;
   for (const std::string& name : strategies) {
     const auto strategy = factory(name);
-    const RunOutcome outcome = replay(workload, *strategy, spec.validate);
+    const RunOutcome outcome = replay(workload, *strategy, spec.validate, &arena);
     ExperimentTrial result;
     result.trial = trial;
     result.totals = outcome.totals;

@@ -5,28 +5,44 @@
 namespace minim::sim {
 
 RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
-                  bool validate) {
+                  bool validate, ReplayArena* arena) {
   Simulation::Params params;
   params.width = workload.width;
   params.height = workload.height;
   params.validate_after_each = validate;
-  Simulation simulation(strategy, params);
 
-  std::vector<net::NodeId> ids;
-  ids.reserve(workload.joins.size());
-  for (const auto& config : workload.joins) ids.push_back(simulation.join(config));
+  std::optional<Simulation> local;
+  std::vector<net::NodeId> local_ids;
+  Simulation* simulation;
+  std::vector<net::NodeId>* ids;
+  if (arena != nullptr) {
+    if (arena->simulation_)
+      arena->simulation_->rebind(strategy, params);
+    else
+      arena->simulation_.emplace(strategy, params);
+    simulation = &*arena->simulation_;
+    ids = &arena->ids_;
+  } else {
+    local.emplace(strategy, params);
+    simulation = &*local;
+    ids = &local_ids;
+  }
+
+  ids->clear();
+  ids->reserve(workload.joins.size());
+  for (const auto& config : workload.joins) ids->push_back(simulation->join(config));
 
   RunOutcome outcome;
-  outcome.setup_max_color = simulation.max_color();
-  outcome.setup_recodings = static_cast<double>(simulation.totals().recodings);
+  outcome.setup_max_color = simulation->max_color();
+  outcome.setup_recodings = static_cast<double>(simulation->totals().recodings);
 
   for (const auto& raise : workload.power_raises)
-    simulation.change_power(ids[raise.join_index], raise.new_range);
+    simulation->change_power((*ids)[raise.join_index], raise.new_range);
   for (const auto& round : workload.move_rounds)
-    for (const auto& mv : round) simulation.move(ids[mv.join_index], mv.position);
+    for (const auto& mv : round) simulation->move((*ids)[mv.join_index], mv.position);
 
-  outcome.totals = simulation.totals();
-  outcome.max_color = simulation.max_color();
+  outcome.totals = simulation->totals();
+  outcome.max_color = simulation->max_color();
   return outcome;
 }
 

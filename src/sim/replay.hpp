@@ -1,5 +1,8 @@
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "core/strategy.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
@@ -10,6 +13,8 @@
 /// (power raises / movement rounds) so Δ-metrics can be computed.
 
 namespace minim::sim {
+
+class ReplayArena;
 
 /// Metrics of one (workload, strategy) replay.
 struct RunOutcome {
@@ -36,8 +41,28 @@ struct RunOutcome {
 };
 
 /// Replays `workload` from an empty network.  `validate` asserts CA1/CA2
-/// after every event (slower; tests only).
+/// after every event (slower; tests only).  Passing an arena reuses its
+/// engine state (network slots, grid cells, conflict rows, id buffer)
+/// instead of reconstructing them — the outcome is bit-identical either
+/// way, so per-trial strategy replays can share one arena.
 RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
-                  bool validate = false);
+                  bool validate = false, ReplayArena* arena = nullptr);
+
+/// Reusable engine state for `replay`.  One arena serves any sequence of
+/// replays (any workload sizes, strategies, field dimensions) from a single
+/// thread; the experiment engine keeps one per worker so the per-strategy
+/// replays of a trial stop rebuilding the network from scratch.
+class ReplayArena {
+ public:
+  ReplayArena() = default;
+  ReplayArena(const ReplayArena&) = delete;
+  ReplayArena& operator=(const ReplayArena&) = delete;
+
+ private:
+  friend RunOutcome replay(const Workload&, core::RecodingStrategy&, bool,
+                           ReplayArena*);
+  std::optional<Simulation> simulation_;
+  std::vector<net::NodeId> ids_;
+};
 
 }  // namespace minim::sim

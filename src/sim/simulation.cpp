@@ -10,9 +10,18 @@ Simulation::Simulation(core::RecodingStrategy& strategy)
     : Simulation(strategy, Params{}) {}
 
 Simulation::Simulation(core::RecodingStrategy& strategy, const Params& params)
-    : strategy_(strategy),
+    : strategy_(&strategy),
       params_(params),
       network_(params.width, params.height) {}
+
+void Simulation::rebind(core::RecodingStrategy& strategy, const Params& params) {
+  strategy_ = &strategy;
+  params_ = params;
+  network_.reset(params.width, params.height);
+  assignment_.clear_all();
+  totals_ = Totals{};
+  history_.clear();
+}
 
 void Simulation::account(const core::RecodeReport& report) {
   ++totals_.events;
@@ -36,25 +45,25 @@ void Simulation::validate() const {
 
 net::NodeId Simulation::join(const net::NodeConfig& config) {
   const net::NodeId id = network_.add_node(config);
-  account(strategy_.on_join(network_, assignment_, id));
+  account(strategy_->on_join(network_, assignment_, id));
   return id;
 }
 
 void Simulation::leave(net::NodeId v) {
   network_.remove_node(v);
   assignment_.clear(v);
-  account(strategy_.on_leave(network_, assignment_, v));
+  account(strategy_->on_leave(network_, assignment_, v));
 }
 
 void Simulation::move(net::NodeId v, util::Vec2 new_position) {
   network_.set_position(v, new_position);
-  account(strategy_.on_move(network_, assignment_, v));
+  account(strategy_->on_move(network_, assignment_, v));
 }
 
 void Simulation::change_power(net::NodeId v, double new_range) {
   const double old_range = network_.config(v).range;
   network_.set_range(v, new_range);
-  account(strategy_.on_power_change(network_, assignment_, v, old_range));
+  account(strategy_->on_power_change(network_, assignment_, v, old_range));
 }
 
 }  // namespace minim::sim

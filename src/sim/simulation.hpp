@@ -45,6 +45,12 @@ class Simulation {
   explicit Simulation(core::RecodingStrategy& strategy);
   Simulation(core::RecodingStrategy& strategy, const Params& params);
 
+  /// Rebinds to a new strategy and resets all engine state in place,
+  /// retaining allocated capacity (network slots, grid cells, conflict
+  /// rows, color map) — the arena path of `sim::replay`.  Behaviour after
+  /// rebind is bit-identical to a freshly constructed simulation.
+  void rebind(core::RecodingStrategy& strategy, const Params& params);
+
   /// Applies a join and returns the new node's id.
   net::NodeId join(const net::NodeConfig& config);
 
@@ -58,13 +64,13 @@ class Simulation {
 
   const Totals& totals() const { return totals_; }
   const std::vector<core::RecodeReport>& history() const { return history_; }
-  core::RecodingStrategy& strategy() { return strategy_; }
+  core::RecodingStrategy& strategy() { return *strategy_; }
 
  private:
   void account(const core::RecodeReport& report);
   void validate() const;
 
-  core::RecodingStrategy& strategy_;
+  core::RecodingStrategy* strategy_;  // borrowed, never null
   Params params_;
   net::AdhocNetwork network_;
   net::CodeAssignment assignment_;

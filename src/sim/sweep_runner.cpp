@@ -19,7 +19,8 @@ TrialResult run_scenario_trial(const ScenarioSpec& spec, util::Rng& rng) {
   }
   const Workload workload = make_scenario_workload(spec, rng);
   const auto strategy = strategies::make_strategy(spec.strategy);
-  const RunOutcome outcome = replay(workload, *strategy, spec.validate);
+  thread_local ReplayArena arena;  // reused across this worker's trials
+  const RunOutcome outcome = replay(workload, *strategy, spec.validate, &arena);
   result.totals = outcome.totals;
   result.final_max_color = outcome.max_color;
   return result;

@@ -101,9 +101,11 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
         RunMetrics metrics;
         metrics.colors.reserve(n_s);
         metrics.recodes.reserve(n_s);
+        thread_local ReplayArena arena;  // reused across this worker's runs
         for (std::size_t si = 0; si < n_s; ++si) {
           const auto strategy = make(options.strategies[si]);
-          const RunOutcome outcome = replay(workload, *strategy, options.validate);
+          const RunOutcome outcome =
+              replay(workload, *strategy, options.validate, &arena);
           metrics.colors.push_back(delta_metrics ? outcome.delta_max_color()
                                                  : outcome.final_max_color());
           metrics.recodes.push_back(delta_metrics ? outcome.delta_recodings()

@@ -1,5 +1,9 @@
 #include "strategies/bbb.hpp"
 
+#include <algorithm>
+
+#include "net/conflict_graph.hpp"
+
 namespace minim::strategies {
 
 std::string BbbStrategy::name() const {
@@ -7,21 +11,138 @@ std::string BbbStrategy::name() const {
   return std::string("BBB/") + to_string(order_);
 }
 
+void BbbStrategy::snapshot(const net::AdhocNetwork& net,
+                           const std::vector<net::NodeId>& sequence,
+                           const net::CodeAssignment& assignment) {
+  last_net_ = &net;
+  last_revision_ = net.conflict_graph().revision();
+  const std::size_t bound = net.id_bound();
+  last_colors_.assign(bound, net::kNoColor);
+  last_pos_.assign(bound, kNoPos);
+  for (std::uint32_t i = 0; i < sequence.size(); ++i) {
+    const net::NodeId v = sequence[i];
+    last_colors_[v] = assignment.color(v);
+    last_pos_[v] = i;
+  }
+}
+
+bool BbbStrategy::incremental_recolor(const net::AdhocNetwork& net,
+                                      net::CodeAssignment& assignment,
+                                      const std::vector<net::NodeId>& nodes,
+                                      core::RecodeReport& report) {
+  const net::ConflictGraph& cg = net.conflict_graph();
+  if (last_net_ != &net) return false;
+  dirty_.clear();
+  if (!cg.append_dirty_since(last_revision_, dirty_)) return false;
+
+  // The snapshot must describe this assignment: every live node's color has
+  // to match (the engine only clears departed ids in between).  An
+  // out-of-band mutation — tests driving several strategies over one
+  // network — falls back to the from-scratch path.
+  for (net::NodeId v : nodes)
+    if (snapshot_color(v) != assignment.color(v)) return false;
+
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  std::erase_if(dirty_, [&net](net::NodeId v) { return !net.contains(v); });
+  if (static_cast<double>(dirty_.size()) >
+      params_.full_recolor_fraction * static_cast<double>(nodes.size()))
+    return false;
+
+  // The from-scratch greedy's coloring order on the *new* graph.
+  const std::vector<net::NodeId> sequence = coloring_sequence(net, nodes, order_);
+  const std::size_t bound = net.id_bound();
+  pos_.assign(bound, kNoPos);
+  for (std::uint32_t i = 0; i < sequence.size(); ++i) pos_[sequence[i]] = i;
+
+  adj_dirty_.assign(bound, 0);
+  for (net::NodeId v : dirty_) adj_dirty_[v] = 1;
+  changed_.assign(bound, 0);
+  new_colors_.assign(bound, net::kNoColor);
+  for (net::NodeId v : nodes) new_colors_[v] = assignment.color(v);
+
+  // Change propagation in coloring order.  A node keeps its color unless
+  // (a) its conflict neighborhood changed, (b) its relative order with a
+  // neighbor flipped, or (c) an earlier-ordered neighbor changed color —
+  // otherwise its lowest-free computation would see the exact inputs of the
+  // previous run, so the from-scratch greedy provably reassigns the same
+  // color.
+  for (std::uint32_t idx = 0; idx < sequence.size(); ++idx) {
+    const net::NodeId u = sequence[idx];
+    const auto neighbors = cg.neighbors(u);
+    bool recompute = adj_dirty_[u] != 0;
+    if (!recompute && (u >= last_pos_.size() || last_pos_[u] == kNoPos))
+      recompute = true;  // unseen node: defensive, implies adj_dirty anyway
+    if (!recompute) {
+      const std::uint32_t pu_old = last_pos_[u];
+      for (net::NodeId w : neighbors) {
+        const std::uint32_t pw_old = w < last_pos_.size() ? last_pos_[w] : kNoPos;
+        if (pw_old == kNoPos) {
+          recompute = true;  // new neighbor (implies adj_dirty; defensive)
+          break;
+        }
+        const bool now_before = pos_[w] < idx;
+        if (now_before != (pw_old < pu_old) || (now_before && changed_[w])) {
+          recompute = true;
+          break;
+        }
+      }
+    }
+    if (!recompute) continue;
+
+    // Lowest color free of the earlier-ordered neighbors' (final) colors.
+    scratch_.reset();
+    for (net::NodeId w : neighbors) {
+      if (pos_[w] >= idx) continue;
+      const net::Color c = new_colors_[w];
+      if (c != net::kNoColor) scratch_.mark(c);
+    }
+    const net::Color fresh = scratch_.lowest_free();
+
+    new_colors_[u] = fresh;
+    changed_[u] = fresh != snapshot_color(u) ? 1 : 0;
+  }
+
+  // Apply and report in ascending node order — the order the from-scratch
+  // path emits its changes in.
+  for (net::NodeId v : nodes) {
+    if (!changed_[v]) continue;
+    assignment.set_color(v, new_colors_[v]);
+    report.changes.push_back(core::Recode{v, snapshot_color(v), new_colors_[v]});
+  }
+  snapshot(net, sequence, assignment);
+  return true;
+}
+
 core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
                                                net::CodeAssignment& assignment,
                                                core::EventType event,
-                                               net::NodeId subject) const {
+                                               net::NodeId subject) {
   core::RecodeReport report;
   report.event = event;
   report.subject = subject;
 
-  // Remember the previous assignment to count changes.
   const auto nodes = net.nodes();
+  if (params_.incremental && order_ != ColoringOrder::kDSatur &&
+      incremental_recolor(net, assignment, nodes, report)) {
+    finalize_report(net, assignment, report);
+    return report;
+  }
+
+  // From-scratch recolor; remember the previous assignment to count changes.
   std::vector<net::Color> old_colors;
   old_colors.reserve(nodes.size());
   for (net::NodeId v : nodes) old_colors.push_back(assignment.color(v));
 
-  color_network(net, order_, assignment);
+  if (order_ == ColoringOrder::kDSatur) {
+    color_network(net, order_, assignment);
+    last_net_ = nullptr;  // DSATUR's dynamic order seeds no incremental state
+  } else {
+    for (net::NodeId v : nodes) assignment.clear(v);
+    const std::vector<net::NodeId> sequence = coloring_sequence(net, nodes, order_);
+    greedy_color_in_sequence(net, sequence, assignment);
+    snapshot(net, sequence, assignment);
+  }
 
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const net::Color fresh = assignment.color(nodes[i]);

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/strategy.hpp"
 #include "strategies/coloring.hpp"
 
@@ -11,13 +14,44 @@
 /// recolor the entire network at every event".  BBB is near-optimal in max
 /// color index (it ignores history and colors from scratch) but pathological
 /// in #recodings, which is exactly the contrast Figures 10-12 show.
+///
+/// ## Dirty-region recoloring
+///
+/// Recoloring from scratch per event made BBB dominate every wall-clock
+/// profile.  This implementation instead *replays* the from-scratch greedy
+/// incrementally: it keeps the previous output (colors + ordering
+/// positions), asks the network's cached conflict graph which nodes'
+/// conflict neighborhoods changed since, and recomputes a node's color only
+/// when its
+/// adjacency changed, its relative order with a neighbor flipped, or an
+/// earlier-ordered neighbor's color changed — classic change propagation
+/// over the greedy's dependency order.  Every kept color provably equals
+/// what the from-scratch greedy would assign, so reports and max colors are
+/// bit-identical to the full recolor (the equivalence is soaked in
+/// tests/strategies/bbb_incremental_test.cpp).  When the dirty set exceeds
+/// `Params::full_recolor_fraction` of the network — or the journal window
+/// is gone, or the order is DSATUR (whose dynamic ordering has no static
+/// dependency structure) — it falls back to the from-scratch path.
 
 namespace minim::strategies {
 
 class BbbStrategy final : public core::RecodingStrategy {
  public:
+  /// Recoloring engine knobs; the defaults are the production behavior.
+  struct Params {
+    /// Dirty-region change propagation (bit-identical to full recolor).
+    /// Disable to force the from-scratch path on every event — the
+    /// reference the equivalence tests compare against.
+    bool incremental = true;
+    /// Fall back to a full recolor when more than this fraction of the
+    /// live nodes had conflict-neighborhood changes.
+    double full_recolor_fraction = 0.5;
+  };
+
   explicit BbbStrategy(ColoringOrder order = ColoringOrder::kSmallestLast)
       : order_(order) {}
+  BbbStrategy(ColoringOrder order, Params params)
+      : order_(order), params_(params) {}
 
   std::string name() const override;
 
@@ -33,13 +67,52 @@ class BbbStrategy final : public core::RecodingStrategy {
                                      double old_range) override;
 
   ColoringOrder order() const { return order_; }
+  const Params& params() const { return params_; }
 
  private:
+  static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+
   core::RecodeReport global_recolor(const net::AdhocNetwork& net,
                                     net::CodeAssignment& assignment,
-                                    core::EventType event, net::NodeId subject) const;
+                                    core::EventType event, net::NodeId subject);
+
+  /// The dirty-region path.  Returns false — without touching `assignment`
+  /// — when the cached state cannot prove equivalence (unknown network,
+  /// trimmed journal, externally mutated assignment, dirty set too large);
+  /// the caller then runs the from-scratch path.
+  bool incremental_recolor(const net::AdhocNetwork& net,
+                           net::CodeAssignment& assignment,
+                           const std::vector<net::NodeId>& nodes,
+                           core::RecodeReport& report);
+
+  /// Records this event's output (colors + ordering positions + journal
+  /// revision) as the base of the next event's change propagation.
+  void snapshot(const net::AdhocNetwork& net,
+                const std::vector<net::NodeId>& sequence,
+                const net::CodeAssignment& assignment);
+
+  net::Color snapshot_color(net::NodeId v) const {
+    return v < last_colors_.size() ? last_colors_[v] : net::kNoColor;
+  }
 
   ColoringOrder order_;
+  Params params_;
+
+  // Previous output (valid when last_net_ != nullptr): id-indexed colors
+  // and greedy-order positions, plus the conflict-journal revision they
+  // correspond to.
+  const net::AdhocNetwork* last_net_ = nullptr;
+  std::uint64_t last_revision_ = 0;
+  std::vector<net::Color> last_colors_;
+  std::vector<std::uint32_t> last_pos_;
+
+  // Per-event scratch (reused across events; no per-node allocation).
+  std::vector<net::NodeId> dirty_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<net::Color> new_colors_;
+  std::vector<std::uint8_t> adj_dirty_;
+  std::vector<std::uint8_t> changed_;
+  ColorScratch scratch_;
 };
 
 }  // namespace minim::strategies

@@ -1,10 +1,10 @@
 #include "strategies/coloring.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <cstdint>
 
 #include "graph/algorithms.hpp"
-#include "net/constraints.hpp"
+#include "net/conflict_graph.hpp"
 
 namespace minim::strategies {
 
@@ -20,28 +20,46 @@ const char* to_string(ColoringOrder order) {
 
 std::vector<std::vector<net::NodeId>> conflict_adjacency(const net::AdhocNetwork& net) {
   std::vector<std::vector<net::NodeId>> adj(net.id_bound());
-  for (net::NodeId v : net.nodes()) adj[v] = net::conflict_partners(net, v);
+  for (net::NodeId v : net.nodes()) {
+    const auto row = net.conflict_graph().neighbors(v);
+    adj[v].assign(row.begin(), row.end());
+  }
   return adj;
 }
 
 namespace {
 
-/// Colors `vertices` in the given sequence; each takes the lowest color not
-/// used by an already-colored conflict neighbor.
-net::Color greedy_in_sequence(const std::vector<std::vector<net::NodeId>>& adj,
+/// Id-indexed adjacency view over the cached conflict graph — the shape
+/// `graph::smallest_last_order` and the greedy loops expect, without
+/// copying rows.
+struct CachedAdjacency {
+  const net::ConflictGraph* conflict;
+  std::span<const net::NodeId> operator[](net::NodeId v) const {
+    return conflict->neighbors(v);
+  }
+};
+
+/// Marks the colors of v's colored conflict neighbors into `scratch`.
+void mark_neighbor_colors(const CachedAdjacency& adj, net::NodeId v,
+                          const net::CodeAssignment& assignment,
+                          ColorScratch& scratch) {
+  scratch.reset();
+  for (net::NodeId w : adj[v]) {
+    const net::Color c = assignment.color(w);
+    if (c != net::kNoColor) scratch.mark(c);
+  }
+}
+
+/// Colors `sequence` in order; each node takes the lowest color not used by
+/// an already-colored conflict neighbor.
+net::Color greedy_in_sequence(const CachedAdjacency& adj,
                               const std::vector<net::NodeId>& sequence,
                               net::CodeAssignment& assignment) {
   net::Color used = 0;
-  std::vector<net::Color> forbidden;
+  ColorScratch scratch;
   for (net::NodeId v : sequence) {
-    forbidden.clear();
-    for (net::NodeId w : adj[v]) {
-      const net::Color c = assignment.color(w);
-      if (c != net::kNoColor) forbidden.push_back(c);
-    }
-    std::sort(forbidden.begin(), forbidden.end());
-    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
-    const net::Color c = net::lowest_free_color(forbidden);
+    mark_neighbor_colors(adj, v, assignment, scratch);
+    const net::Color c = scratch.lowest_free();
     assignment.set_color(v, c);
     used = std::max(used, c);
   }
@@ -49,14 +67,16 @@ net::Color greedy_in_sequence(const std::vector<std::vector<net::NodeId>>& adj,
 }
 
 /// DSATUR needs interleaved ordering and coloring, so it gets its own loop.
-net::Color dsatur(const std::vector<std::vector<net::NodeId>>& adj,
+net::Color dsatur(const CachedAdjacency& adj,
                   const std::vector<net::NodeId>& vertices,
                   net::CodeAssignment& assignment) {
-  std::vector<char> pending(adj.size(), 0);
+  std::size_t bound = 0;
+  for (net::NodeId v : vertices) bound = std::max<std::size_t>(bound, v + 1);
+  std::vector<char> pending(bound, 0);
   for (net::NodeId v : vertices) pending[v] = 1;
 
   net::Color used = 0;
-  std::vector<net::Color> forbidden;
+  ColorScratch scratch;
   for (std::size_t step = 0; step < vertices.size(); ++step) {
     // Pick the pending vertex with maximum saturation (distinct colors among
     // its conflict neighbors), ties by degree then by lowest id.
@@ -65,14 +85,8 @@ net::Color dsatur(const std::vector<std::vector<net::NodeId>>& adj,
     std::size_t best_deg = 0;
     for (net::NodeId v : vertices) {
       if (!pending[v]) continue;
-      forbidden.clear();
-      for (net::NodeId w : adj[v]) {
-        const net::Color c = assignment.color(w);
-        if (c != net::kNoColor) forbidden.push_back(c);
-      }
-      std::sort(forbidden.begin(), forbidden.end());
-      forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
-      const std::size_t sat = forbidden.size();
+      mark_neighbor_colors(adj, v, assignment, scratch);
+      const std::size_t sat = scratch.saturation();
       const std::size_t deg = adj[v].size();
       if (best == graph::kInvalidNode || sat > best_sat ||
           (sat == best_sat && deg > best_deg)) {
@@ -81,14 +95,8 @@ net::Color dsatur(const std::vector<std::vector<net::NodeId>>& adj,
         best_deg = deg;
       }
     }
-    forbidden.clear();
-    for (net::NodeId w : adj[best]) {
-      const net::Color c = assignment.color(w);
-      if (c != net::kNoColor) forbidden.push_back(c);
-    }
-    std::sort(forbidden.begin(), forbidden.end());
-    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
-    const net::Color c = net::lowest_free_color(forbidden);
+    mark_neighbor_colors(adj, best, assignment, scratch);
+    const net::Color c = scratch.lowest_free();
     assignment.set_color(best, c);
     used = std::max(used, c);
     pending[best] = 0;
@@ -96,9 +104,12 @@ net::Color dsatur(const std::vector<std::vector<net::NodeId>>& adj,
   return used;
 }
 
-std::vector<net::NodeId> order_vertices(const std::vector<std::vector<net::NodeId>>& adj,
-                                        std::vector<net::NodeId> vertices,
-                                        ColoringOrder order) {
+}  // namespace
+
+std::vector<net::NodeId> coloring_sequence(const net::AdhocNetwork& net,
+                                           std::vector<net::NodeId> vertices,
+                                           ColoringOrder order) {
+  const CachedAdjacency adj{&net.conflict_graph()};
   switch (order) {
     case ColoringOrder::kSmallestLast:
       return graph::smallest_last_order(adj, vertices);
@@ -117,15 +128,20 @@ std::vector<net::NodeId> order_vertices(const std::vector<std::vector<net::NodeI
   return vertices;
 }
 
-}  // namespace
+net::Color greedy_color_in_sequence(const net::AdhocNetwork& net,
+                                    const std::vector<net::NodeId>& sequence,
+                                    net::CodeAssignment& assignment) {
+  return greedy_in_sequence(CachedAdjacency{&net.conflict_graph()}, sequence,
+                            assignment);
+}
 
 net::Color greedy_color_subset(const net::AdhocNetwork& net,
                                const std::vector<net::NodeId>& vertices,
                                ColoringOrder order, net::CodeAssignment& assignment) {
-  const auto adj = conflict_adjacency(net);
-  if (order == ColoringOrder::kDSatur) return dsatur(adj, vertices, assignment);
-  const auto sequence = order_vertices(adj, vertices, order);
-  return greedy_in_sequence(adj, sequence, assignment);
+  if (order == ColoringOrder::kDSatur)
+    return dsatur(CachedAdjacency{&net.conflict_graph()}, vertices, assignment);
+  return greedy_color_in_sequence(net, coloring_sequence(net, vertices, order),
+                                  assignment);
 }
 
 net::Color color_network(const net::AdhocNetwork& net, ColoringOrder order,

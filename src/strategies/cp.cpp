@@ -107,7 +107,7 @@ core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
       } else {
         // Exact variant: avoid only true CA1/CA2 conflict partners (pending
         // candidates are uncolored and contribute nothing yet).
-        for (net::NodeId w : net::conflict_partners(net, u)) {
+        for (net::NodeId w : net.conflict_graph().neighbors(u)) {
           const net::Color c = assignment.color(w);
           if (c != net::kNoColor) forbidden.push_back(c);
         }

@@ -12,6 +12,7 @@ GossipResult gossip_compact(const net::AdhocNetwork& net,
   result.max_color_before = assignment.max_color(nodes);
 
   std::vector<net::NodeId> order(nodes);
+  std::vector<net::Color> forbidden;  // scratch reused across nodes
   for (std::size_t round = 0; round < params.max_rounds; ++round) {
     ++result.rounds;
     if (params.rng != nullptr) params.rng->shuffle(order);
@@ -19,7 +20,7 @@ GossipResult gossip_compact(const net::AdhocNetwork& net,
     for (net::NodeId v : order) {
       const net::Color current = assignment.color(v);
       if (current == net::kNoColor) continue;
-      const auto forbidden = net::forbidden_colors(net, assignment, v);
+      net::forbidden_colors(net, assignment, v, forbidden);
       const net::Color lowest = net::lowest_free_color(forbidden);
       if (lowest < current) {
         assignment.set_color(v, lowest);

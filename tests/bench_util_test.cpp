@@ -1,0 +1,115 @@
+// The bench-side selection logic the ablation/figure harnesses rely on:
+// list parsing, the --runs/--fast precedence of sweep_options_from, metric
+// selection in print_series' CSV output — plus an end-to-end run of the
+// real bench_ablations binary (path injected via MINIM_BENCH_ABLATIONS)
+// asserting every ablation section and variant row is selected and printed.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using minim::bench::double_list_from;
+using minim::bench::Metric;
+using minim::bench::split_list;
+using minim::bench::string_list_from;
+using minim::bench::sweep_options_from;
+using minim::util::Options;
+
+Options options_from(std::vector<std::string> args) {
+  std::vector<const char*> argv{"test"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchUtil, SplitListDropsEmptyFields) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list(",a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_list("").empty());
+  EXPECT_EQ(split_list("solo"), (std::vector<std::string>{"solo"}));
+}
+
+TEST(BenchUtil, ListOptionsFallBackWhenAbsent) {
+  const Options options = options_from({"--strategies=minim,bbb"});
+  EXPECT_EQ(string_list_from(options, "strategies", {"cp"}),
+            (std::vector<std::string>{"minim", "bbb"}));
+  EXPECT_EQ(string_list_from(options, "missing", {"cp"}),
+            (std::vector<std::string>{"cp"}));
+  EXPECT_EQ(double_list_from(options, "missing", {1.5}), (std::vector<double>{1.5}));
+  const Options with_ns = options_from({"--ns=40,60"});
+  EXPECT_EQ(double_list_from(with_ns, "ns", {}), (std::vector<double>{40, 60}));
+}
+
+TEST(BenchUtil, SweepOptionsRunsDefaultsAndFastPrecedence) {
+  EXPECT_EQ(sweep_options_from(options_from({}), {"minim"}).runs, 100u);
+  EXPECT_EQ(sweep_options_from(options_from({"--runs=7"}), {"minim"}).runs, 7u);
+  // --fast is the CI smoke switch: it wins even over an explicit --runs.
+  EXPECT_EQ(sweep_options_from(options_from({"--fast"}), {"minim"}).runs, 10u);
+  EXPECT_EQ(sweep_options_from(options_from({"--runs=7", "--fast"}), {"minim"}).runs,
+            10u);
+  const auto sweep = sweep_options_from(options_from({"--seed=5", "--threads=2"}),
+                                        {"minim", "cp"});
+  EXPECT_EQ(sweep.seed, 5u);
+  EXPECT_EQ(sweep.threads, 2u);
+  EXPECT_EQ(sweep.strategies, (std::vector<std::string>{"minim", "cp"}));
+}
+
+TEST(BenchUtil, PrintSeriesSelectsTheRequestedMetric) {
+  // Two distinguishable metrics; the CSV written for kRecodings must carry
+  // the recoding stat, not the color stat.
+  minim::sim::SweepPoint point;
+  point.x = 80.0;
+  point.strategy = "minim";
+  point.color_metric.add(3.0);
+  point.recoding_metric.add(42.0);
+
+  const fs::path dir = fs::temp_directory_path() / "minim_bench_util_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const Options options = options_from({"--csv-dir=" + dir.string()});
+
+  testing::internal::CaptureStdout();
+  print_series("title", "N", {point}, Metric::kRecodings, options, "series");
+  const std::string stdout_text = testing::internal::GetCapturedStdout();
+  EXPECT_NE(stdout_text.find("42.00"), std::string::npos);
+
+  std::ifstream csv(dir / "series.csv");
+  std::stringstream contents;
+  contents << csv.rdbuf();
+  EXPECT_NE(contents.str().find("42.000000"), std::string::npos);
+  EXPECT_EQ(contents.str().find("3.000000"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(BenchAblations, EveryAblationSectionIsSelectedAndPrinted) {
+  const fs::path out = fs::temp_directory_path() / "minim_ablations_out.txt";
+  const std::string command = std::string(MINIM_BENCH_ABLATIONS) +
+                              " --runs=1 --threads=1 > " + out.string() +
+                              " 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  std::ifstream in(out);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string text = contents.str();
+  for (const char* needle :
+       {"A. Matching engine", "hungarian (paper)", "greedy 1/2-approx",
+        "max-cardinality", "B. Old-color edge weight", "weight 3 (paper)",
+        "C. CP variants", "D. BBB coloring order",
+        "E. Minim move semantics", "mover keeps preference",
+        "mover rejoins uncolored"})
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+  fs::remove(out);
+}
+
+}  // namespace

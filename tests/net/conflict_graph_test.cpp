@@ -1,0 +1,227 @@
+// The incremental ConflictGraph cache: delta maintenance cross-checked
+// against from-scratch construction on brute-force-rebuilt digraphs after
+// randomized join/leave/move/power event sequences, plus the dirty-journal
+// protocol dirty-region consumers rely on.
+
+#include "net/conflict_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/constraints.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::Digraph;
+using minim::graph::NodeId;
+using minim::net::AdhocNetwork;
+using minim::net::ConflictGraph;
+using minim::util::Rng;
+
+/// Asserts the two conflict graphs agree on every pair and multiplicity.
+void expect_same(const ConflictGraph& actual, const ConflictGraph& expected) {
+  ASSERT_EQ(actual.pair_count(), expected.pair_count());
+  const NodeId bound = std::max(actual.id_bound(), expected.id_bound());
+  for (NodeId v = 0; v < bound; ++v) {
+    const auto a = actual.neighbors(v);
+    const auto e = expected.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), e.begin(), e.end()))
+        << "partner lists of node " << v << " differ";
+    for (NodeId w : e)
+      ASSERT_EQ(actual.multiplicity(v, w), expected.multiplicity(v, w))
+          << "multiplicity of pair " << v << "," << w;
+  }
+}
+
+/// The acceptance-criterion oracle: the incrementally maintained cache must
+/// equal the conflict graph built from scratch on the brute-force-rebuilt
+/// edge set.
+void expect_matches_brute_force(const AdhocNetwork& net) {
+  const Digraph fresh = net.rebuild_graph_brute_force();
+  expect_same(net.conflict_graph(), ConflictGraph::build_from(fresh));
+}
+
+// ------------------------------------------------------------ hand geometry
+
+TEST(ConflictGraphDeltas, PrimaryPairHasOneWitnessPerDirection) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{5, 0}, 1.0});  // hears a, cannot answer
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, b), 1u);
+  net.set_range(b, 10.0);  // now mutual
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, b), 2u);
+  EXPECT_EQ(net.conflict_graph().pair_count(), 1u);
+}
+
+TEST(ConflictGraphDeltas, HiddenPairCountsCommonReceivers) {
+  // a and c are out of range of each other but both reach b (and later d).
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  const NodeId b = net.add_node({{10, 0}, 1.0});
+  const NodeId c = net.add_node({{20, 0}, 12.0});
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, c), 1u);  // via b
+  const NodeId d = net.add_node({{10, 5}, 1.0});
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, c), 2u);  // via b and d
+  net.remove_node(b);
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, c), 1u);
+  net.remove_node(d);
+  EXPECT_EQ(net.conflict_graph().multiplicity(a, c), 0u);
+  EXPECT_FALSE(net.conflict_graph().in_conflict(a, c));
+}
+
+TEST(ConflictGraphDeltas, PowerDecreaseRetractsWitnesses) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 30.0});
+  const NodeId b = net.add_node({{20, 0}, 30.0});
+  ASSERT_TRUE(net.conflict_graph().in_conflict(a, b));
+  net.set_range(a, 1.0);
+  net.set_range(b, 1.0);
+  EXPECT_FALSE(net.conflict_graph().in_conflict(a, b));
+  EXPECT_EQ(net.conflict_graph().pair_count(), 0u);
+  expect_matches_brute_force(net);
+}
+
+TEST(ConflictGraphDeltas, PartnersMatchConstraintEnumeration) {
+  Rng rng(7);
+  AdhocNetwork net;
+  for (int i = 0; i < 25; ++i)
+    net.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(15, 35)});
+  for (NodeId v : net.nodes()) {
+    const auto row = net.conflict_graph().neighbors(v);
+    const std::vector<NodeId> partners(row.begin(), row.end());
+    EXPECT_EQ(partners, minim::net::conflict_partners(net, v));
+  }
+}
+
+// --------------------------------------------------- randomized event soak
+
+class ConflictGraphSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConflictGraphSoak, IncrementalEqualsBruteForceRebuild) {
+  Rng rng(GetParam());
+  AdhocNetwork net;
+  std::vector<NodeId> live;
+
+  for (int event = 0; event < 120; ++event) {
+    const double roll = rng.uniform(0, 1);
+    if (live.size() < 5 || roll < 0.35) {  // join
+      live.push_back(net.add_node(
+          {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(10, 35)}));
+    } else if (roll < 0.55) {  // move
+      const NodeId v = live[rng.below(live.size())];
+      net.set_position(v, {rng.uniform(0, 100), rng.uniform(0, 100)});
+    } else if (roll < 0.85) {  // power change (raise or cut)
+      const NodeId v = live[rng.below(live.size())];
+      net.set_range(v, rng.uniform(0, 40));
+    } else {  // leave
+      const std::size_t index = rng.below(live.size());
+      net.remove_node(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_matches_brute_force(net)) << "event " << event;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictGraphSoak,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ------------------------------------------------------------- the journal
+
+TEST(ConflictGraphJournal, ReportsNodesTouchedSinceARevision) {
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 15.0});
+  const NodeId b = net.add_node({{10, 0}, 15.0});
+  const std::uint64_t synced = net.conflict_graph().revision();
+
+  const NodeId c = net.add_node({{12, 0}, 15.0});
+  std::vector<NodeId> dirty;
+  ASSERT_TRUE(net.conflict_graph().append_dirty_since(synced, dirty));
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  // The join links c to b (primary) and to a (hidden via b): all three are
+  // dirty.
+  EXPECT_EQ(dirty, (std::vector<NodeId>{a, b, c}));
+
+  // Nothing since the head revision.
+  dirty.clear();
+  ASSERT_TRUE(net.conflict_graph().append_dirty_since(
+      net.conflict_graph().revision(), dirty));
+  EXPECT_TRUE(dirty.empty());
+}
+
+TEST(ConflictGraphJournal, QuietEventTouchesNothing) {
+  AdhocNetwork net;
+  net.add_node({{0, 0}, 10.0});
+  const NodeId b = net.add_node({{5, 0}, 10.0});
+  const std::uint64_t synced = net.conflict_graph().revision();
+  net.set_range(b, 10.5);  // still reaches exactly {a}: no existence change
+  std::vector<NodeId> dirty;
+  ASSERT_TRUE(net.conflict_graph().append_dirty_since(synced, dirty));
+  EXPECT_TRUE(dirty.empty());
+}
+
+TEST(ConflictGraphJournal, TrimmingInvalidatesOldWindows) {
+  // Force far more than the journal cap of existence transitions: toggling
+  // a's range flips the single-witness pairs (a, b) and (a, c) each time
+  // (b's range reaches nobody, so every witness involves a's out-edge).
+  AdhocNetwork net;
+  const NodeId a = net.add_node({{0, 0}, 12.0});
+  net.add_node({{10, 0}, 1.0});  // b: the common receiver
+  const NodeId c = net.add_node({{20, 0}, 12.0});
+  const std::uint64_t ancient = 0;
+  for (int i = 0; i < (1 << 14); ++i) {
+    net.set_range(a, 1.0);
+    net.set_range(a, 12.0);
+  }
+  std::vector<NodeId> dirty;
+  EXPECT_FALSE(net.conflict_graph().append_dirty_since(ancient, dirty));
+  // A recent window still answers.
+  const std::uint64_t synced = net.conflict_graph().revision();
+  net.set_range(c, 1.0);  // retracts (c, b) and the hidden (a, c)
+  dirty.clear();
+  EXPECT_TRUE(net.conflict_graph().append_dirty_since(synced, dirty));
+  EXPECT_FALSE(dirty.empty());
+}
+
+TEST(ConflictGraphJournal, ClearInvalidatesEveryWindow) {
+  AdhocNetwork net;
+  net.add_node({{0, 0}, 15.0});
+  net.add_node({{10, 0}, 15.0});
+  const std::uint64_t synced = net.conflict_graph().revision();
+  net.reset(100.0, 100.0);
+  std::vector<NodeId> dirty;
+  EXPECT_FALSE(net.conflict_graph().append_dirty_since(synced, dirty));
+  EXPECT_EQ(net.conflict_graph().pair_count(), 0u);
+}
+
+// --------------------------------------------------------------- the arena
+
+TEST(NetworkReset, ReplaysIdenticallyToAFreshNetwork) {
+  Rng seed_rng(55);
+  std::vector<minim::net::NodeConfig> configs;
+  for (int i = 0; i < 30; ++i)
+    configs.push_back({{seed_rng.uniform(0, 100), seed_rng.uniform(0, 100)},
+                       seed_rng.uniform(10, 35)});
+
+  AdhocNetwork reused;
+  for (int i = 0; i < 12; ++i)  // occupy, then reset
+    reused.add_node(configs[static_cast<std::size_t>(i)]);
+  reused.remove_node(3);
+  reused.reset(100.0, 100.0);
+  ASSERT_EQ(reused.node_count(), 0u);
+
+  AdhocNetwork fresh;
+  for (const auto& config : configs) {
+    const NodeId a = reused.add_node(config);
+    const NodeId b = fresh.add_node(config);
+    ASSERT_EQ(a, b);  // same id sequence
+  }
+  ASSERT_EQ(reused.graph().edge_count(), fresh.graph().edge_count());
+  expect_same(reused.conflict_graph(), ConflictGraph::build_from(fresh.graph()));
+}
+
+}  // namespace

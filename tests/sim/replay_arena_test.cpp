@@ -1,0 +1,95 @@
+// ReplayArena contract: replays through a reused arena are bit-identical to
+// replays through freshly constructed simulations, for every scenario shape,
+// across strategy switches, size changes, and field-dimension changes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+#include "strategies/factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::sim::ReplayArena;
+using minim::sim::RunOutcome;
+using minim::sim::ScenarioKind;
+using minim::sim::ScenarioSpec;
+using minim::sim::Workload;
+using minim::util::Rng;
+
+void expect_same_outcome(const RunOutcome& a, const RunOutcome& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.setup_max_color, b.setup_max_color) << label;
+  EXPECT_EQ(a.setup_recodings, b.setup_recodings) << label;
+  EXPECT_EQ(a.max_color, b.max_color) << label;
+  EXPECT_EQ(a.totals.events, b.totals.events) << label;
+  EXPECT_EQ(a.totals.recodings, b.totals.recodings) << label;
+  EXPECT_EQ(a.totals.messages, b.totals.messages) << label;
+  EXPECT_EQ(a.totals.events_by_type, b.totals.events_by_type) << label;
+  EXPECT_EQ(a.totals.recodings_by_type, b.totals.recodings_by_type) << label;
+}
+
+Workload workload_for(ScenarioKind kind, std::size_t n, double width,
+                      std::uint64_t stream) {
+  ScenarioSpec spec;
+  spec.kind = kind;
+  spec.workload.n = n;
+  spec.workload.width = width;
+  Rng rng = Rng::for_stream(4242, stream);
+  return make_scenario_workload(spec, rng);
+}
+
+TEST(ReplayArena, MatchesFreshReplayAcrossShapesStrategiesAndSizes) {
+  // One arena serves a mixed sequence: kinds x strategies x sizes, in the
+  // order a sweep worker would see them.
+  ReplayArena arena;
+  const std::vector<ScenarioKind> kinds{ScenarioKind::kJoin, ScenarioKind::kPower,
+                                        ScenarioKind::kMove};
+  const std::vector<std::string> strategies{"minim", "cp", "bbb"};
+  const std::vector<std::size_t> sizes{40, 25, 60};
+
+  std::uint64_t stream = 0;
+  for (const ScenarioKind kind : kinds)
+    for (const std::size_t n : sizes) {
+      const Workload workload = workload_for(kind, n, 100.0, stream++);
+      for (const std::string& name : strategies) {
+        const auto arena_strategy = minim::strategies::make_strategy(name);
+        const auto fresh_strategy = minim::strategies::make_strategy(name);
+        const RunOutcome with_arena =
+            replay(workload, *arena_strategy, /*validate=*/true, &arena);
+        const RunOutcome fresh = replay(workload, *fresh_strategy, /*validate=*/true);
+        expect_same_outcome(with_arena, fresh,
+                            name + "/n=" + std::to_string(n));
+      }
+    }
+}
+
+TEST(ReplayArena, SurvivesFieldDimensionChanges) {
+  ReplayArena arena;
+  for (const double width : {100.0, 60.0, 100.0}) {
+    const Workload workload =
+        workload_for(ScenarioKind::kPower, 30, width, 77 + static_cast<int>(width));
+    const auto a = minim::strategies::make_strategy("minim");
+    const auto b = minim::strategies::make_strategy("minim");
+    const RunOutcome with_arena = replay(workload, *a, true, &arena);
+    const RunOutcome fresh = replay(workload, *b, true);
+    expect_same_outcome(with_arena, fresh, "width=" + std::to_string(width));
+  }
+}
+
+TEST(ReplayArena, RepeatedIdenticalReplaysAreDeterministic) {
+  ReplayArena arena;
+  const Workload workload = workload_for(ScenarioKind::kMove, 35, 100.0, 9);
+  const auto first_strategy = minim::strategies::make_strategy("bbb");
+  const RunOutcome first = replay(workload, *first_strategy, true, &arena);
+  for (int i = 0; i < 3; ++i) {
+    const auto strategy = minim::strategies::make_strategy("bbb");
+    const RunOutcome again = replay(workload, *strategy, true, &arena);
+    expect_same_outcome(again, first, "iteration " + std::to_string(i));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// TextTable rendering edge cases: empty tables, title/header interaction,
+// ragged rows, column sizing driven by later rows, and numeric formatting.
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using minim::util::fmt_fixed;
+using minim::util::TextTable;
+
+std::vector<std::string> lines_of(const std::string& rendered) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < rendered.size()) {
+    const std::size_t pos = rendered.find('\n', start);
+    lines.push_back(rendered.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return lines;
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  EXPECT_EQ(TextTable().render(), "");
+  EXPECT_EQ(TextTable().row_count(), 0u);
+}
+
+TEST(TextTable, TitleOnlyRendersTheTitleLine) {
+  EXPECT_EQ(TextTable("just a title").render(), "just a title\n");
+}
+
+TEST(TextTable, HeaderOnlyRendersHeaderAndRule) {
+  TextTable table;
+  table.set_header({"ab", "c"});
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ab  c");
+  EXPECT_EQ(lines[1], "-----");  // widths 2 + gap 2 + 1
+}
+
+TEST(TextTable, ColumnsWidenToTheLargestCellAnywhere) {
+  TextTable table("t");
+  table.set_header({"x", "y"});
+  table.add_row({"1", "2"});
+  table.add_row({"wide-cell", "3"});
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 5u);  // title, header, rule, 2 rows
+  EXPECT_EQ(lines[1], "x          y");  // header padded to the wide cell
+  EXPECT_EQ(lines[3], "1          2");
+  EXPECT_EQ(lines[4], "wide-cell  3");
+}
+
+TEST(TextTable, RaggedRowsRenderTheirOwnCells) {
+  // A row longer than the header grows the width table; a shorter row just
+  // stops early — neither crashes nor disturbs other rows.
+  TextTable table;
+  table.set_header({"a", "b"});
+  table.add_row({"1"});
+  table.add_row({"1", "2", "3"});
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], "1");
+  EXPECT_EQ(lines[3], "1  2  3");
+}
+
+TEST(TextTable, NumericRowsHonourPrecision) {
+  TextTable table;
+  table.add_row_numeric({1.0, 2.345, -0.5}, 1);
+  table.add_row_numeric({10.0}, 0);
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "1.0  2.3  -0.5");
+  EXPECT_EQ(lines[1], "10 ");  // padded to the 3-wide first column
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FmtFixed, RoundsAndPadsLikeTheFigureTables) {
+  EXPECT_EQ(fmt_fixed(1.0, 2), "1.00");
+  EXPECT_EQ(fmt_fixed(2.675, 2), "2.67");  // binary 2.675 is just below .675
+  EXPECT_EQ(fmt_fixed(-3.14159, 3), "-3.142");
+  EXPECT_EQ(fmt_fixed(0.0, 0), "0");
+}
+
+}  // namespace
