@@ -11,17 +11,64 @@
 //   --csv-dir=DIR  write <name>.csv series files into DIR
 //   --fast         shorthand for --runs=10 (CI smoke)
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "net/network.hpp"
 #include "sim/sweeps.hpp"
 #include "util/csv.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace minim::bench {
+
+// --------------------------------------------------------- memory profiling
+
+/// Peak resident set size of this process in bytes (Linux VmHWM); 0 when the
+/// platform does not expose it.  Monotone over the process lifetime, so
+/// harnesses that scale a size axis should run it ascending and snapshot
+/// after each stage.
+inline std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+/// Engine-footprint report for the large-N benches: heap bytes reachable
+/// from the network's hot structures, normalized per live node.
+struct MemoryProfile {
+  std::size_t engine_bytes = 0;
+  std::size_t nodes = 0;
+  double bytes_per_node = 0.0;
+};
+
+inline MemoryProfile memory_profile(const net::AdhocNetwork& network) {
+  MemoryProfile profile;
+  profile.engine_bytes = network.memory_bytes();
+  profile.nodes = network.node_count();
+  if (profile.nodes > 0)
+    profile.bytes_per_node = static_cast<double>(profile.engine_bytes) /
+                             static_cast<double>(profile.nodes);
+  return profile;
+}
 
 /// Splits a comma-separated value on commas, dropping empty fields.
 inline std::vector<std::string> split_list(const std::string& raw) {
@@ -71,6 +118,21 @@ inline sim::SweepOptions sweep_options_from(const util::Options& options,
 
 /// Which of the two metrics a sub-figure plots.
 enum class Metric { kColor, kRecodings };
+
+/// The sub-series of `points` whose strategy is in `keep` (original order).
+/// Strategy lanes of a sweep are independent, so the distributed-only
+/// sub-figures (Fig 10c/f, 11c) are exact subsets of the all-strategies
+/// sweep — filtering replaces what used to be a second full sweep over the
+/// identical workloads, at byte-identical CSV output.
+inline std::vector<sim::SweepPoint> filter_strategies(
+    const std::vector<sim::SweepPoint>& points,
+    const std::vector<std::string>& keep) {
+  std::vector<sim::SweepPoint> subset;
+  for (const auto& point : points)
+    if (std::find(keep.begin(), keep.end(), point.strategy) != keep.end())
+      subset.push_back(point);
+  return subset;
+}
 
 /// Prints one sub-figure as a table: rows = x values, columns = strategies,
 /// cells = "mean +- ci95".

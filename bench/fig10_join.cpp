@@ -40,12 +40,11 @@ int main(int argc, char** argv) {
                         "N", points, bench::Metric::kColor, options, "fig10a");
     bench::print_series("Fig 10(b): total recodings vs N", "N", points,
                         bench::Metric::kRecodings, options, "fig10b");
-  }
-  {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp"});
-    const auto points = sim::sweep_join_vs_n(ns, sweep);
+    // (c) is the minim/cp sub-series of the same sweep (strategy lanes are
+    // independent) — filtered, not re-simulated.
+    const auto distributed = bench::filter_strategies(points, {"minim", "cp"});
     bench::print_series("Fig 10(c): total recodings vs N (distributed only)", "N",
-                        points, bench::Metric::kRecodings, options, "fig10c");
+                        distributed, bench::Metric::kRecodings, options, "fig10c");
   }
   {
     auto sweep = bench::sweep_options_from(options, {"minim", "cp", "bbb"});
@@ -55,12 +54,10 @@ int main(int argc, char** argv) {
         points, bench::Metric::kColor, options, "fig10d");
     bench::print_series("Fig 10(e): total recodings vs avg range", "avgR", points,
                         bench::Metric::kRecodings, options, "fig10e");
-  }
-  {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp"});
-    const auto points = sim::sweep_join_vs_avg_range(avg_ranges, sweep);
+    const auto distributed = bench::filter_strategies(points, {"minim", "cp"});
     bench::print_series("Fig 10(f): total recodings vs avg range (distributed only)",
-                        "avgR", points, bench::Metric::kRecodings, options, "fig10f");
+                        "avgR", distributed, bench::Metric::kRecodings, options,
+                        "fig10f");
   }
   return 0;
 }

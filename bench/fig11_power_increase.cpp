@@ -41,13 +41,12 @@ int main(int argc, char** argv) {
     bench::print_series("Fig 11(b): delta total recodings vs raisefactor",
                         "raisefactor", points, bench::Metric::kRecodings, options,
                         "fig11b");
-  }
-  {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp"});
-    const auto points = sim::sweep_power_vs_raise_factor(factors, sweep);
+    // (c) is the minim/cp sub-series of the same sweep (strategy lanes are
+    // independent) — filtered, not re-simulated.
+    const auto distributed = bench::filter_strategies(points, {"minim", "cp"});
     bench::print_series(
         "Fig 11(c): delta total recodings vs raisefactor (distributed only)",
-        "raisefactor", points, bench::Metric::kRecodings, options, "fig11c");
+        "raisefactor", distributed, bench::Metric::kRecodings, options, "fig11c");
   }
   return 0;
 }

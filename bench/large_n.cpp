@@ -1,0 +1,233 @@
+// Large-N harness: proves the per-event hot path at 10³→10⁶ nodes.
+//
+// Each stage builds an n-node network by replaying a constant-density join
+// workload (field scaled so the mean degree stays fixed; placement uniform,
+// clustered, or poisson-disk — see sim::make_large_n_params) through a
+// *local* strategy, and records
+//   * wall-clock and events/s for the join phase,
+//   * the engine's heap footprint in bytes/node (bench::memory_profile),
+//   * the process peak RSS (VmHWM) after the stage.
+// Stages run in ascending n, so the monotone RSS high-water mark after each
+// stage is attributable to it.
+//
+// Modes:
+//   default            run --ns stages and print the table
+//   --append           also append a labeled entry (one measurement per
+//                      stage, "bench.large_n.<placement>.<n>") to --out
+//   --smoke            single capped stage (--smoke-n, default 10000) — the
+//                      CI-sized run
+//   --check-rss[=F]    compare each stage's peak RSS against the most
+//                      recent trajectory entry covering it; exit 1 when any
+//                      exceeds baseline * --rss-factor.  The CI memory gate
+//                      (Release only, alongside perf_trajectory --check).
+//
+// Options:
+//   --ns=...           stage sizes (default 1000,10000,100000)
+//   --strategy=NAME    recoding strategy (default minim; BBB's global
+//                      recolor is O(V+E) per event — not a large-N citizen)
+//   --placement=P      uniform | clustered | poisson-disk (default clustered)
+//   --mean-degree=D    target mean out-degree (default 12)
+//   --seed=S           master seed (default 2001)
+//   --label=NAME       entry label for --append (default "large-n")
+//   --out=FILE         trajectory path (default BENCH_sweep.json)
+//   --rss-factor=X     allowed RSS growth factor for --check-rss (default 1.5)
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+#include "../bench/trajectory.hpp"
+#include "sim/replay.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+#include "strategies/factory.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minim;
+
+sim::Placement placement_from(const std::string& name) {
+  if (name == "uniform") return sim::Placement::kUniform;
+  if (name == "clustered") return sim::Placement::kClustered;
+  if (name == "poisson-disk") return sim::Placement::kPoissonDisk;
+  std::cerr << "unknown placement \"" << name
+            << "\" (expected uniform|clustered|poisson-disk)\n";
+  std::exit(2);
+}
+
+struct StageResult {
+  std::size_t n = 0;
+  double gen_s = 0.0;     ///< workload generation
+  double join_s = 0.0;    ///< event replay (the hot path under test)
+  double events_per_s = 0.0;
+  double bytes_per_node = 0.0;
+  double peak_rss_mb = 0.0;
+  net::Color max_color = 0;
+};
+
+StageResult run_stage(std::size_t n, sim::Placement placement, double mean_degree,
+                      const std::string& strategy_name, std::uint64_t seed) {
+  using clock = std::chrono::steady_clock;
+  StageResult result;
+  result.n = n;
+
+  const sim::WorkloadParams params =
+      sim::make_large_n_params(n, mean_degree, placement);
+  // Stream keyed by n (not stage index): a --smoke run of one stage
+  // reproduces exactly the workload the full run used for that n, so RSS
+  // baselines compare like for like.
+  util::Rng rng = util::Rng::for_stream(seed, n);
+  const auto gen_start = clock::now();
+  const sim::Workload workload = sim::make_join_workload(params, rng);
+  result.gen_s =
+      std::chrono::duration<double>(clock::now() - gen_start).count();
+
+  const auto strategy = strategies::make_strategy(strategy_name);
+  sim::Simulation::Params sim_params;
+  sim_params.width = workload.width;
+  sim_params.height = workload.height;
+  sim::Simulation simulation(*strategy, sim_params);
+
+  const auto join_start = clock::now();
+  for (const auto& config : workload.joins) simulation.join(config);
+  result.join_s =
+      std::chrono::duration<double>(clock::now() - join_start).count();
+  result.events_per_s =
+      result.join_s > 0 ? static_cast<double>(n) / result.join_s : 0.0;
+
+  const bench::MemoryProfile memory = bench::memory_profile(simulation.network());
+  result.bytes_per_node = memory.bytes_per_node;
+  result.peak_rss_mb =
+      static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+  result.max_color = simulation.max_color();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  const bool smoke = options.get_bool("smoke", false);
+  std::vector<double> ns =
+      bench::double_list_from(options, "ns", {1000, 10000, 100000});
+  if (smoke)
+    ns = {static_cast<double>(options.get_int("smoke-n", 10000))};
+  const std::string strategy = options.get("strategy", "minim");
+  const sim::Placement placement =
+      placement_from(options.get("placement", "clustered"));
+  const double mean_degree = options.get_double("mean-degree", 12.0);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  const std::string out_path = options.get("out", "BENCH_sweep.json");
+  const bool append = options.get_bool("append", false);
+  const bool check_rss = options.has("check-rss");
+  const std::string check_path =
+      options.get("check-rss", "") == "true" || options.get("check-rss", "").empty()
+          ? out_path
+          : options.get("check-rss", out_path);
+  const double rss_factor = options.get_double("rss-factor", 1.5);
+
+  std::vector<bench::TrajectoryEntry> trajectory =
+      bench::load_trajectory(check_rss ? check_path : out_path);
+  if (check_rss && trajectory.empty()) {
+    std::cerr << "--check-rss: no baseline entries in " << check_path << "\n";
+    return 1;
+  }
+  if (append && trajectory.empty() && !bench::read_file(out_path).empty()) {
+    std::cerr << out_path
+              << " exists but is not a recognizable trajectory; refusing to "
+                 "overwrite it\n";
+    return 1;
+  }
+
+  std::cout << "=== Large-N join hot path (strategy=" << strategy
+            << ", placement=" << sim::to_string(placement)
+            << ", mean degree ~" << util::fmt_fixed(mean_degree, 1) << ") ===\n";
+
+  util::TextTable table("stages");
+  table.set_header({"n", "gen s", "join s", "events/s", "bytes/node",
+                    "peak RSS MB", "max color"});
+  std::vector<bench::Measurement> measurements;
+  std::vector<StageResult> stages;
+  for (const double stage_n : ns) {
+    const auto n = static_cast<std::size_t>(stage_n);
+    const StageResult stage = run_stage(n, placement, mean_degree, strategy, seed);
+    stages.push_back(stage);
+    table.add_row({std::to_string(stage.n), util::fmt_fixed(stage.gen_s, 2),
+                   util::fmt_fixed(stage.join_s, 2),
+                   util::fmt_fixed(stage.events_per_s, 0),
+                   util::fmt_fixed(stage.bytes_per_node, 1),
+                   util::fmt_fixed(stage.peak_rss_mb, 1),
+                   std::to_string(stage.max_color)});
+    bench::Measurement m;
+    m.name = "bench.large_n." + std::string(sim::to_string(placement)) + "." +
+             std::to_string(stage.n);
+    m.wall_s = stage.join_s;
+    m.peak_rss_mb = stage.peak_rss_mb;
+    m.bytes_per_node = stage.bytes_per_node;
+    measurements.push_back(std::move(m));
+  }
+  std::cout << table.render() << "\n";
+
+  if (check_rss) {
+    bool ok = true;
+    std::size_t compared = 0;
+    for (const bench::Measurement& m : measurements) {
+      const bench::TrajectoryEntry* entry =
+          bench::baseline_for(trajectory, m.name);
+      if (entry == nullptr) {
+        std::cout << "  " << m.name << ": no RSS baseline (skipped)\n";
+        continue;
+      }
+      double baseline = 0.0;
+      for (const bench::Measurement& b : entry->benchmarks)
+        if (b.name == m.name) baseline = b.peak_rss_mb;
+      if (baseline <= 0.0) {
+        std::cout << "  " << m.name << ": baseline has no RSS (skipped)\n";
+        continue;
+      }
+      ++compared;
+      const bool regressed = m.peak_rss_mb > baseline * rss_factor;
+      std::cout << "  " << m.name << ": " << util::fmt_fixed(m.peak_rss_mb, 1)
+                << " MB vs baseline \"" << entry->label << "\" "
+                << util::fmt_fixed(baseline, 1) << " MB"
+                << (regressed ? "  REGRESSION" : "") << "\n";
+      ok = ok && !regressed;
+    }
+    // Refuse a vacuous pass: a stage/placement absent from the trajectory
+    // must be recorded (--append), not waved through.
+    if (compared == 0) {
+      std::cout << "rss check: FAIL (no stage had an RSS baseline)\n";
+      return 1;
+    }
+    std::cout << (ok ? "rss check: PASS\n" : "rss check: FAIL\n");
+    return ok ? 0 : 1;
+  }
+
+  if (append) {
+    std::ostringstream config;
+    config << "{\"strategy\": \"" << strategy << "\", \"placement\": \""
+           << sim::to_string(placement)
+           << "\", \"mean_degree\": " << util::fmt_fixed(mean_degree, 1)
+           << ", \"seed\": " << seed << "}";
+    bench::TrajectoryEntry entry;
+    entry.label = options.get("label", "large-n");
+    entry.config_json = config.str();
+    entry.benchmarks = measurements;
+    trajectory.push_back(std::move(entry));
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    bench::write_trajectory(out, trajectory);
+    std::cout << "[json] wrote " << out_path << " (" << trajectory.size()
+              << " entries)\n";
+  }
+  return 0;
+}

@@ -7,8 +7,12 @@
 // Modes:
 //   default       run the benches and append a labeled entry to --out
 //                 (a v1 file is upgraded in place, its measurement kept as
-//                 the "baseline" entry)
-//   --check[=F]   run the benches and compare against the LAST entry of F
+//                 the "baseline" entry).  Unless --threads pins a single
+//                 pool size, every benchmark is measured at 1 thread AND at
+//                 hardware concurrency (suffix "@tN"), so the trajectory
+//                 tracks parallel scaling alongside serial wall-clock.
+//   --check[=F]   run the benches (at --threads, default 1) and compare
+//                 against the most recent entry of F that covers them
 //                 (default: the --out file); exit 1 when any benchmark's
 //                 wall clock exceeds baseline * --check-factor.  Nothing is
 //                 written.  This is the CI regression gate.
@@ -16,7 +20,7 @@
 // Options:
 //   --runs=N          Monte-Carlo runs per figure point (default 2, = CI smoke)
 //   --trials=N        trials per grid-study point (default 2)
-//   --threads=T       pool size (default 0 = hardware concurrency)
+//   --threads=T       pool size (record mode default: sweep {1, hardware})
 //   --seed=S          master seed (default 2001)
 //   --label=NAME      entry label (default "run")
 //   --out=FILE        trajectory path (default BENCH_sweep.json)
@@ -26,7 +30,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "../bench/bench_util.hpp"
+#include "../bench/trajectory.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweeps.hpp"
 #include "util/options.hpp"
@@ -43,17 +47,8 @@
 namespace {
 
 using namespace minim;
-
-struct Measurement {
-  std::string name;
-  double wall_s = 0.0;
-};
-
-struct TrajectoryEntry {
-  std::string label;
-  std::string config_json;  ///< the entry's "config" object, verbatim
-  std::vector<Measurement> benchmarks;
-};
+using bench::Measurement;
+using bench::TrajectoryEntry;
 
 template <typename Fn>
 Measurement timed(const std::string& name, Fn&& fn) {
@@ -63,186 +58,41 @@ Measurement timed(const std::string& name, Fn&& fn) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   std::cout << "  " << name << ": " << util::fmt_fixed(elapsed, 2) << " s\n";
-  return Measurement{name, elapsed};
+  Measurement m;
+  m.name = name;
+  m.wall_s = elapsed;
+  return m;
 }
 
-// ------------------------------------------------------------ JSON-ish I/O
-//
-// The file is machine-written by this harness only, so a tolerant scan for
-// the keys we emit is enough — no JSON library in the tree.
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return "";
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// Value of `"key": "..."` at/after `from`; empty when absent.
-std::string scan_string(const std::string& text, const std::string& key,
-                        std::size_t from, std::size_t until) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle, from);
-  if (at == std::string::npos || at >= until) return "";
-  const std::size_t open = text.find('"', at + needle.size());
-  if (open == std::string::npos) return "";
-  const std::size_t close = text.find('"', open + 1);
-  if (close == std::string::npos) return "";
-  return text.substr(open + 1, close - open - 1);
-}
-
-/// The balanced `{...}` of `"key": {` at/after `from`; empty when absent.
-std::string scan_object(const std::string& text, const std::string& key,
-                        std::size_t from, std::size_t until) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle, from);
-  if (at == std::string::npos || at >= until) return "";
-  const std::size_t open = text.find('{', at + needle.size());
-  if (open == std::string::npos) return "";
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}' && --depth == 0) return text.substr(open, i - open + 1);
-  }
-  return "";
-}
-
-/// Every {"name": ..., "wall_s": ...} pair in [from, until).
-std::vector<Measurement> scan_benchmarks(const std::string& text, std::size_t from,
-                                         std::size_t until) {
-  std::vector<Measurement> out;
-  std::size_t cursor = from;
-  while (true) {
-    const std::size_t at = text.find("\"name\":", cursor);
-    if (at == std::string::npos || at >= until) break;
-    Measurement m;
-    m.name = scan_string(text, "name", at, until);
-    const std::size_t wall = text.find("\"wall_s\":", at);
-    if (wall == std::string::npos || wall >= until) break;
-    m.wall_s = std::strtod(text.c_str() + wall + 9, nullptr);
-    out.push_back(std::move(m));
-    cursor = wall + 9;
-  }
-  return out;
-}
-
-/// Parses a trajectory file (v2) or a single-measurement v1 file (upgraded
-/// to one entry labeled "baseline").  Returns an empty list for missing or
-/// unrecognized files.
-std::vector<TrajectoryEntry> load_trajectory(const std::string& path) {
-  const std::string text = read_file(path);
-  std::vector<TrajectoryEntry> entries;
-  if (text.empty()) return entries;
-  const std::string schema = scan_string(text, "schema", 0, text.size());
-  if (schema == "minim-bench-trajectory-v1") {
-    TrajectoryEntry entry;
-    entry.label = "baseline";
-    entry.config_json = scan_object(text, "config", 0, text.size());
-    entry.benchmarks = scan_benchmarks(text, 0, text.size());
-    entries.push_back(std::move(entry));
-    return entries;
-  }
-  if (schema != "minim-bench-trajectory-v2") return entries;
-  std::size_t cursor = text.find("\"entries\":");
-  while (cursor != std::string::npos) {
-    const std::size_t at = text.find("\"label\":", cursor);
-    if (at == std::string::npos) break;
-    std::size_t until = text.find("\"label\":", at + 1);
-    if (until == std::string::npos) until = text.size();
-    TrajectoryEntry entry;
-    entry.label = scan_string(text, "label", at, until);
-    entry.config_json = scan_object(text, "config", at, until);
-    entry.benchmarks = scan_benchmarks(text, at, until);
-    entries.push_back(std::move(entry));
-    cursor = until == text.size() ? std::string::npos : until;
-  }
-  return entries;
-}
-
-void write_trajectory(std::ostream& out, const std::vector<TrajectoryEntry>& entries) {
-  out << "{\n  \"schema\": \"minim-bench-trajectory-v2\",\n  \"entries\": [\n";
-  for (std::size_t e = 0; e < entries.size(); ++e) {
-    const TrajectoryEntry& entry = entries[e];
-    out << "    {\n      \"label\": \"" << entry.label << "\",\n"
-        << "      \"config\": " << entry.config_json << ",\n"
-        << "      \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < entry.benchmarks.size(); ++i) {
-      out << "        {\"name\": \"" << entry.benchmarks[i].name
-          << "\", \"wall_s\": " << util::fmt_fixed(entry.benchmarks[i].wall_s, 3)
-          << "}" << (i + 1 < entry.benchmarks.size() ? "," : "") << "\n";
-    }
-    out << "      ]\n    }" << (e + 1 < entries.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const util::Options options(argc, argv);
-  sim::SweepOptions sweep;
-  sweep.runs = static_cast<std::size_t>(options.get_int("runs", 2));
-  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
-  sweep.threads = static_cast<std::size_t>(options.get_int("threads", 0));
-  const auto trials = static_cast<std::size_t>(options.get_int("trials", 2));
-  const std::string out_path = options.get("out", "BENCH_sweep.json");
-  const bool check = options.has("check");
-  const std::string check_path =
-      options.get("check", "") == "true" || options.get("check", "").empty()
-          ? out_path
-          : options.get("check", out_path);
-  const double check_factor = options.get_double("check-factor", 1.5);
-
-  // Resolve the baseline/trajectory before spending minutes measuring: a
-  // missing baseline in check mode or an unparseable --out file (which an
-  // append would silently overwrite) must fail immediately.
-  std::vector<TrajectoryEntry> trajectory =
-      load_trajectory(check ? check_path : out_path);
-  if (check && trajectory.empty()) {
-    std::cerr << "--check: no baseline entries in " << check_path << "\n";
-    return 1;
-  }
-  if (!check && trajectory.empty() && !read_file(out_path).empty()) {
-    std::cerr << out_path
-              << " exists but is not a recognizable trajectory; refusing to "
-                 "overwrite it\n";
-    return 1;
-  }
-
-  std::cout << "=== Perf trajectory (runs=" << sweep.runs
-            << ", trials=" << trials << ") ===\n";
-
+/// The three benchmark workloads at one pool size.  `suffix` is "" for the
+/// canonical single-thread measurements and "@tN" for the scaling ones.
+std::vector<Measurement> run_benchmarks(const sim::SweepOptions& sweep,
+                                        std::size_t trials,
+                                        const std::string& suffix) {
   std::vector<Measurement> measurements;
 
-  // The exact sweeps bench_fig10_join runs (paper-size x-grids).
-  measurements.push_back(timed("bench.fig10_join", [&] {
+  // The exact sweeps bench_fig10_join runs (paper-size x-grids; the
+  // distributed-only sub-figures are filtered, not re-simulated).
+  measurements.push_back(timed("bench.fig10_join" + suffix, [&] {
     const std::vector<double> ns{40, 50, 60, 70, 80, 90, 100, 110, 120};
     const std::vector<double> avg_ranges{7.5, 17.5, 27.5, 37.5, 47.5, 57.5, 67.5};
     sim::SweepOptions all = sweep;
     all.strategies = {"minim", "cp", "bbb"};
-    sim::SweepOptions distributed = sweep;
-    distributed.strategies = {"minim", "cp"};
     sim::sweep_join_vs_n(ns, all);
-    sim::sweep_join_vs_n(ns, distributed);
     sim::sweep_join_vs_avg_range(avg_ranges, all);
-    sim::sweep_join_vs_avg_range(avg_ranges, distributed);
   }));
 
-  // The exact sweeps bench_fig11_power_increase runs.
-  measurements.push_back(timed("bench.fig11_power_increase", [&] {
+  // The exact sweep bench_fig11_power_increase runs.
+  measurements.push_back(timed("bench.fig11_power_increase" + suffix, [&] {
     const std::vector<double> factors{1.0, 1.5, 2.0, 2.5, 3.0,  3.5,
                                       4.0, 4.5, 5.0, 5.5, 6.0};
     sim::SweepOptions all = sweep;
     all.strategies = {"minim", "cp", "cp-exact", "bbb"};
-    sim::SweepOptions distributed = sweep;
-    distributed.strategies = {"minim", "cp"};
     sim::sweep_power_vs_raise_factor(factors, all);
-    sim::sweep_power_vs_raise_factor(factors, distributed);
   }));
 
   // The grid-study default grid (bench/grid_study.cpp).
-  measurements.push_back(timed("bench.grid_study", [&] {
+  measurements.push_back(timed("bench.grid_study" + suffix, [&] {
     sim::ExperimentGrid grid;
     grid.base.kind = sim::ScenarioKind::kPower;
     grid.axes.push_back(sim::GridAxis{
@@ -259,25 +109,103 @@ int main(int argc, char** argv) {
     sim::Experiment(std::move(grid)).run(run);
   }));
 
+  return measurements;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  sim::SweepOptions sweep;
+  sweep.runs = static_cast<std::size_t>(options.get_int("runs", 2));
+  sweep.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  const auto trials = static_cast<std::size_t>(options.get_int("trials", 2));
+  const bool threads_pinned = options.has("threads");
+  const auto pinned_threads =
+      static_cast<std::size_t>(options.get_int("threads", 0));
+  const std::string out_path = options.get("out", "BENCH_sweep.json");
+  const bool check = options.has("check");
+  const std::string check_path =
+      options.get("check", "") == "true" || options.get("check", "").empty()
+          ? out_path
+          : options.get("check", out_path);
+  const double check_factor = options.get_double("check-factor", 1.5);
+
+  // Resolve the baseline/trajectory before spending minutes measuring: a
+  // missing baseline in check mode or an unparseable --out file (which an
+  // append would silently overwrite) must fail immediately.
+  std::vector<TrajectoryEntry> trajectory =
+      bench::load_trajectory(check ? check_path : out_path);
+  if (check && trajectory.empty()) {
+    std::cerr << "--check: no baseline entries in " << check_path << "\n";
+    return 1;
+  }
+  if (!check && trajectory.empty() && !bench::read_file(out_path).empty()) {
+    std::cerr << out_path
+              << " exists but is not a recognizable trajectory; refusing to "
+                 "overwrite it\n";
+    return 1;
+  }
+
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts;
   if (check) {
-    const TrajectoryEntry& baseline = trajectory.back();
-    std::cout << "checking against entry \"" << baseline.label << "\" of "
-              << check_path << " (factor " << util::fmt_fixed(check_factor, 2)
-              << ")\n";
+    // The canonical (unsuffixed) baselines are serial; default the gate to
+    // 1 thread so a multi-core machine cannot mask a serial regression.
+    thread_counts.push_back(threads_pinned ? pinned_threads : 1);
+  } else if (threads_pinned) {
+    thread_counts.push_back(pinned_threads);
+  } else {
+    // Record mode sweeps serial and full-parallel so the trajectory also
+    // tracks parallel scaling.
+    thread_counts.push_back(1);
+    if (hardware > 1) thread_counts.push_back(hardware);
+  }
+
+  std::cout << "=== Perf trajectory (runs=" << sweep.runs
+            << ", trials=" << trials << ") ===\n";
+
+  std::vector<Measurement> measurements;
+  for (const std::size_t threads : thread_counts) {
+    sim::SweepOptions pool = sweep;
+    pool.threads = threads;
+    // Measurement names carry the resolved pool size: canonical names are
+    // serial-only, so a --threads=8 run can never poison a serial baseline.
+    const std::size_t resolved = threads ? threads : hardware;
+    const std::string suffix =
+        resolved == 1 ? "" : "@t" + std::to_string(resolved);
+    auto batch = run_benchmarks(pool, trials, suffix);
+    measurements.insert(measurements.end(), batch.begin(), batch.end());
+  }
+
+  if (check) {
+    std::cout << "checking against " << check_path << " (factor "
+              << util::fmt_fixed(check_factor, 2) << ")\n";
     bool ok = true;
+    std::size_t compared = 0;
     for (const Measurement& m : measurements) {
-      const auto ref = std::find_if(
-          baseline.benchmarks.begin(), baseline.benchmarks.end(),
-          [&m](const Measurement& b) { return b.name == m.name; });
-      if (ref == baseline.benchmarks.end()) {
+      const TrajectoryEntry* entry = bench::baseline_for(trajectory, m.name);
+      if (entry == nullptr) {
         std::cout << "  " << m.name << ": no baseline (skipped)\n";
         continue;
       }
+      ++compared;
+      const auto ref = std::find_if(
+          entry->benchmarks.begin(), entry->benchmarks.end(),
+          [&m](const Measurement& b) { return b.name == m.name; });
       const bool regressed = m.wall_s > ref->wall_s * check_factor;
       std::cout << "  " << m.name << ": " << util::fmt_fixed(m.wall_s, 2)
-                << " s vs baseline " << util::fmt_fixed(ref->wall_s, 2) << " s"
+                << " s vs baseline \"" << entry->label << "\" "
+                << util::fmt_fixed(ref->wall_s, 2) << " s"
                 << (regressed ? "  REGRESSION" : "") << "\n";
       ok = ok && !regressed;
+    }
+    // A gate that compared nothing gates nothing — refuse to pass
+    // vacuously (e.g. thread-suffixed names with no recorded counterpart).
+    if (compared == 0) {
+      std::cout << "perf check: FAIL (no measurement had a baseline)\n";
+      return 1;
     }
     std::cout << (ok ? "perf check: PASS\n" : "perf check: FAIL\n");
     return ok ? 0 : 1;
@@ -285,9 +213,11 @@ int main(int argc, char** argv) {
 
   std::ostringstream config;
   config << "{\"runs\": " << sweep.runs << ", \"trials\": " << trials
-         << ", \"threads\": "
-         << (sweep.threads ? sweep.threads : std::thread::hardware_concurrency())
-         << ", \"seed\": " << sweep.seed << "}";
+         << ", \"threads\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    config << (i ? ", " : "")
+           << (thread_counts[i] ? thread_counts[i] : hardware);
+  config << "], \"seed\": " << sweep.seed << "}";
   TrajectoryEntry entry;
   entry.label = options.get("label", "run");
   entry.config_json = config.str();
@@ -299,7 +229,7 @@ int main(int argc, char** argv) {
     std::cerr << "cannot open " << out_path << " for writing\n";
     return 1;
   }
-  write_trajectory(out, trajectory);
+  bench::write_trajectory(out, trajectory);
   std::cout << "[json] wrote " << out_path << " (" << trajectory.size()
             << (trajectory.size() == 1 ? " entry" : " entries") << ")\n";
   return 0;

@@ -20,17 +20,31 @@ RecodeProblem build_recode_problem(const net::AdhocNetwork& net,
   problem.v1 = std::move(v1);
   const auto& set = problem.v1;
 
-  auto in_v1 = [&set](net::NodeId v) {
-    return std::binary_search(set.begin(), set.end(), v);
-  };
-
   // Per-member forbidden color sets (colors of conflict partners outside V1)
-  // and the pool bound `max`.
+  // and the pool bound `max`.  Inlined rather than routed through
+  // `net::forbidden_colors`' std::function filter, with V1 membership served
+  // from an epoch-stamped array: this loop runs once per conflict partner of
+  // every V1 member of every join, and both the indirect call and the
+  // per-partner binary search dominated the join profile.  The scratch is
+  // thread_local because strategies run one per worker thread.
+  thread_local std::vector<std::uint64_t> member_epoch;
+  thread_local std::uint64_t epoch = 0;
+  if (member_epoch.size() < net.id_bound()) member_epoch.resize(net.id_bound(), 0);
+  ++epoch;
+  for (net::NodeId v : set) member_epoch[v] = epoch;
+
   std::vector<std::vector<net::Color>> forbidden(set.size());
   net::Color max_color = net::kNoColor;
   for (std::size_t i = 0; i < set.size(); ++i) {
-    forbidden[i] = net::forbidden_colors(net, assignment, set[i], in_v1);
-    if (!forbidden[i].empty()) max_color = std::max(max_color, forbidden[i].back());
+    std::vector<net::Color>& forb = forbidden[i];
+    for (net::NodeId v : net.conflict_graph().neighbors(set[i])) {
+      if (member_epoch[v] == epoch) continue;
+      const net::Color c = assignment.color(v);
+      if (c != net::kNoColor) forb.push_back(c);
+    }
+    std::sort(forb.begin(), forb.end());
+    forb.erase(std::unique(forb.begin(), forb.end()), forb.end());
+    if (!forb.empty()) max_color = std::max(max_color, forb.back());
     max_color = std::max(max_color, assignment.color(set[i]));
   }
   problem.max_color = max_color;

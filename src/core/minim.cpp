@@ -42,7 +42,8 @@ RecodeReport MinimStrategy::recode_via_matching(const net::AdhocNetwork& net,
 
   // Steps 0-2: the recoding set and its constraints.  V1 = 1n ∪ 2n ∪ {n} =
   // in-neighbors(n) ∪ {n} on the post-event graph.
-  std::vector<net::NodeId> v1 = net.heard_by(n);
+  const auto heard = net.heard_by(n);
+  std::vector<net::NodeId> v1(heard.begin(), heard.end());
   v1.push_back(n);
 
   // Steps 3-4: color pool and weighted bipartite graph.

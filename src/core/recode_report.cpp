@@ -32,7 +32,12 @@ std::string RecodeReport::to_string() const {
 
 void finalize_report(const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
                      RecodeReport& report) {
-  report.max_color_after = assignment.max_color(net.nodes());
+  // Served from the assignment's color histogram in O(1): this runs once
+  // per event per strategy, and any per-node scan here turns a 10⁵-node
+  // join sequence quadratic.  The engine clears departed nodes' colors, so
+  // the histogram max equals the live-node max.
+  (void)net;
+  report.max_color_after = assignment.max_color();
 }
 
 }  // namespace minim::core

@@ -36,49 +36,92 @@ std::size_t max_degree(const Digraph& g);
 /// live nodes populated.
 std::vector<std::vector<NodeId>> undirected_adjacency(const Digraph& g);
 
-/// Smallest-last (degeneracy) ordering of an undirected adjacency structure
-/// over the given `vertices`.  Returns vertices in the order they should be
-/// *colored* (reverse of elimination), which is the classic degeneracy-greedy
-/// coloring order.  `adj[v]` is any id-indexed neighbor range — a
-/// `vector<vector<NodeId>>` or a view over `net::ConflictGraph` rows — and
-/// ids absent from `vertices` are ignored.
+/// Which vertex wins when several share the minimum remaining degree during
+/// smallest-last elimination.  `kStack` is the library's historical lazy
+/// bucket-stack order (most-recently-pushed first) — the default everywhere;
+/// the id-canonical variants exist for ablations and for soaking the
+/// maintained orderer against an implementation-independent definition.
+enum class DegeneracyTieBreak {
+  kStack,      ///< most-recently-pushed min-degree vertex (legacy default)
+  kLowestId,   ///< lowest id among minimum remaining degree
+  kHighestId,  ///< highest id among minimum remaining degree
+};
+
+/// Reusable scratch for `smallest_last_eliminate`: persistent buckets and
+/// id-indexed side arrays, so a per-event caller (the BBB orderer) performs
+/// no allocation after warmup.
+struct EliminationArena {
+  std::vector<std::size_t> degree;           ///< working copy; consumed
+  std::vector<char> in_set;                  ///< 1 for members of `vertices`
+  std::vector<char> removed;
+  std::vector<std::vector<NodeId>> buckets;  ///< capacity kept across runs
+  std::vector<NodeId> out;                   ///< the coloring order
+};
+
+/// Core smallest-last elimination over any id-indexed adjacency.  Consumes
+/// `arena.degree` / `arena.in_set` (the caller fills them: degree[v] =
+/// |adj[v] ∩ vertices|, in_set[v] = 1 for v ∈ vertices, both indexed up to
+/// every id adj may name) and writes the *coloring* order (reverse
+/// elimination) into `arena.out`.  The output is a pure function of
+/// (adjacency, vertices, tie) — independent of arena history — which is the
+/// invariant the maintained-orderer soaks rely on.
 template <typename Adj>
-std::vector<NodeId> smallest_last_order(const Adj& adj,
-                                        const std::vector<NodeId>& vertices) {
-  // Bucketed smallest-last elimination: repeatedly remove a vertex of
-  // minimum remaining degree; coloring order is the reverse removal order.
-  std::size_t bound = 0;
-  for (NodeId v : vertices) bound = std::max<std::size_t>(bound, v + 1);
-
-  std::vector<char> in_set(bound, 0);
-  for (NodeId v : vertices) in_set[v] = 1;
-
-  std::vector<std::size_t> degree(bound, 0);
+void smallest_last_eliminate(const Adj& adj, const std::vector<NodeId>& vertices,
+                             DegeneracyTieBreak tie, EliminationArena& arena) {
+  const std::size_t bound = arena.in_set.size();
   std::size_t max_deg = 0;
-  for (NodeId v : vertices) {
-    std::size_t d = 0;
-    for (NodeId w : adj[v])
-      if (w < bound && in_set[w]) ++d;
-    degree[v] = d;
-    max_deg = std::max(max_deg, d);
-  }
+  for (NodeId v : vertices) max_deg = std::max(max_deg, arena.degree[v]);
 
-  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
-  for (NodeId v : vertices) buckets[degree[v]].push_back(v);
+  if (arena.buckets.size() < max_deg + 1) arena.buckets.resize(max_deg + 1);
+  for (auto& bucket : arena.buckets) bucket.clear();
+  for (NodeId v : vertices) arena.buckets[arena.degree[v]].push_back(v);
 
-  std::vector<char> removed(bound, 0);
-  std::vector<NodeId> elimination;
+  arena.removed.assign(bound, 0);
+  std::vector<NodeId>& elimination = arena.out;
+  elimination.clear();
   elimination.reserve(vertices.size());
+  std::vector<std::size_t>& degree = arena.degree;
+  std::vector<char>& in_set = arena.in_set;
+  std::vector<char>& removed = arena.removed;
+  auto& buckets = arena.buckets;
+
   std::size_t cursor = 0;
   while (elimination.size() < vertices.size()) {
     while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
-    // Entries may be stale (degree since decreased); skip them.
-    NodeId v = buckets[cursor].back();
-    buckets[cursor].pop_back();
-    if (removed[v] || degree[v] != cursor) {
-      if (!removed[v] && degree[v] < cursor) buckets[degree[v]].push_back(v);
-      if (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
-      continue;
+    NodeId v;
+    if (tie == DegeneracyTieBreak::kStack) {
+      // Entries may be stale (degree since decreased); skip them lazily.
+      v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[v] || degree[v] != cursor) {
+        if (!removed[v] && degree[v] < cursor) buckets[degree[v]].push_back(v);
+        if (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+        continue;
+      }
+    } else {
+      // Id-canonical: purge stale entries, then take the extreme id.  A
+      // purged entry with a lower current degree is re-filed.
+      auto& bucket = buckets[cursor];
+      std::size_t keep = 0;
+      NodeId best = kInvalidNode;
+      for (NodeId w : bucket) {
+        if (removed[w] || degree[w] != cursor) {
+          if (!removed[w] && degree[w] < cursor) buckets[degree[w]].push_back(w);
+          continue;
+        }
+        bucket[keep++] = w;
+        const bool wins = best == kInvalidNode ||
+                          (tie == DegeneracyTieBreak::kLowestId ? w < best
+                                                                : w > best);
+        if (wins) best = w;
+      }
+      bucket.resize(keep);
+      if (best == kInvalidNode) {
+        if (cursor > 0) --cursor;
+        continue;
+      }
+      bucket.erase(std::find(bucket.begin(), bucket.end(), best));
+      v = best;
     }
     removed[v] = 1;
     elimination.push_back(v);
@@ -89,7 +132,34 @@ std::vector<NodeId> smallest_last_order(const Adj& adj,
     if (cursor > 0) --cursor;
   }
   std::reverse(elimination.begin(), elimination.end());
-  return elimination;
+}
+
+/// Smallest-last (degeneracy) ordering of an undirected adjacency structure
+/// over the given `vertices`.  Returns vertices in the order they should be
+/// *colored* (reverse of elimination), which is the classic degeneracy-greedy
+/// coloring order.  `adj[v]` is any id-indexed neighbor range — a
+/// `vector<vector<NodeId>>` or a view over `net::ConflictGraph` rows — and
+/// ids absent from `vertices` are ignored.  The from-scratch reference the
+/// maintained orderer (`strategies::DegeneracyOrderer`) is soaked against.
+template <typename Adj>
+std::vector<NodeId> smallest_last_order(
+    const Adj& adj, const std::vector<NodeId>& vertices,
+    DegeneracyTieBreak tie = DegeneracyTieBreak::kStack) {
+  std::size_t bound = 0;
+  for (NodeId v : vertices) bound = std::max<std::size_t>(bound, v + 1);
+
+  EliminationArena arena;
+  arena.in_set.assign(bound, 0);
+  for (NodeId v : vertices) arena.in_set[v] = 1;
+  arena.degree.assign(bound, 0);
+  for (NodeId v : vertices) {
+    std::size_t d = 0;
+    for (NodeId w : adj[v])
+      if (w < bound && arena.in_set[w]) ++d;
+    arena.degree[v] = d;
+  }
+  smallest_last_eliminate(adj, vertices, tie, arena);
+  return std::move(arena.out);
 }
 
 }  // namespace minim::graph

@@ -1,29 +1,10 @@
 #include "graph/digraph.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "util/require.hpp"
 
 namespace minim::graph {
-
-bool Digraph::sorted_contains(const std::vector<NodeId>& xs, NodeId v) {
-  return std::binary_search(xs.begin(), xs.end(), v);
-}
-
-bool Digraph::sorted_insert(std::vector<NodeId>& xs, NodeId v) {
-  const auto it = std::lower_bound(xs.begin(), xs.end(), v);
-  if (it != xs.end() && *it == v) return false;
-  xs.insert(it, v);
-  return true;
-}
-
-bool Digraph::sorted_erase(std::vector<NodeId>& xs, NodeId v) {
-  const auto it = std::lower_bound(xs.begin(), xs.end(), v);
-  if (it == xs.end() || *it != v) return false;
-  xs.erase(it);
-  return true;
-}
 
 NodeId Digraph::add_node() {
   NodeId id;
@@ -31,13 +12,13 @@ NodeId Digraph::add_node() {
     id = free_slots_.back();
     free_slots_.pop_back();
     alive_[id] = true;
-    out_[id].clear();
-    in_[id].clear();
+    out_.clear_row(id);
+    in_.clear_row(id);
   } else {
     id = static_cast<NodeId>(alive_.size());
     alive_.push_back(true);
-    out_.emplace_back();
-    in_.emplace_back();
+    out_.ensure_row(id);
+    in_.ensure_row(id);
   }
   ++live_count_;
   return id;
@@ -57,41 +38,41 @@ void Digraph::remove_node(NodeId v) {
 void Digraph::add_edge(NodeId u, NodeId v) {
   MINIM_REQUIRE(contains(u) && contains(v), "add_edge: unknown endpoint");
   MINIM_REQUIRE(u != v, "add_edge: self-loops are not allowed");
-  if (sorted_insert(out_[u], v)) {
-    sorted_insert(in_[v], u);
+  if (out_.insert_sorted(u, v)) {
+    in_.insert_sorted(v, u);
     ++edge_count_;
   }
 }
 
 void Digraph::remove_edge(NodeId u, NodeId v) {
   if (!contains(u) || !contains(v)) return;
-  if (sorted_erase(out_[u], v)) {
-    sorted_erase(in_[v], u);
+  if (out_.erase_sorted(u, v)) {
+    in_.erase_sorted(v, u);
     --edge_count_;
   }
 }
 
 void Digraph::clear_edges_of(NodeId v) {
   MINIM_REQUIRE(contains(v), "clear_edges_of: unknown node");
-  for (NodeId w : out_[v]) {
-    sorted_erase(in_[w], v);
+  // erase_sorted never relocates rows, so the spans stay valid while the
+  // opposite-direction pool is edited.
+  for (NodeId w : out_.row(v)) {
+    in_.erase_sorted(w, v);
     --edge_count_;
   }
-  out_[v].clear();
-  for (NodeId w : in_[v]) {
-    sorted_erase(out_[w], v);
+  out_.clear_row(v);
+  for (NodeId w : in_.row(v)) {
+    out_.erase_sorted(w, v);
     --edge_count_;
   }
-  in_[v].clear();
+  in_.clear_row(v);
 }
 
 void Digraph::clear() {
   const auto slots = static_cast<NodeId>(alive_.size());
-  for (NodeId v = 0; v < slots; ++v) {
-    out_[v].clear();
-    in_[v].clear();
-    alive_[v] = false;
-  }
+  out_.clear();
+  in_.clear();
+  for (NodeId v = 0; v < slots; ++v) alive_[v] = false;
   free_slots_.resize(slots);
   for (NodeId v = 0; v < slots; ++v) free_slots_[v] = slots - 1 - v;
   live_count_ = 0;
@@ -100,25 +81,35 @@ void Digraph::clear() {
 
 bool Digraph::has_edge(NodeId u, NodeId v) const {
   if (!contains(u) || !contains(v)) return false;
-  return sorted_contains(out_[u], v);
+  return out_.contains(u, v);
 }
 
-const std::vector<NodeId>& Digraph::out_neighbors(NodeId u) const {
+std::span<const NodeId> Digraph::out_neighbors(NodeId u) const {
   MINIM_REQUIRE(contains(u), "out_neighbors: unknown node");
-  return out_[u];
+  return out_.row(u);
 }
 
-const std::vector<NodeId>& Digraph::in_neighbors(NodeId u) const {
+std::span<const NodeId> Digraph::in_neighbors(NodeId u) const {
   MINIM_REQUIRE(contains(u), "in_neighbors: unknown node");
-  return in_[u];
+  return in_.row(u);
 }
 
 std::vector<NodeId> Digraph::nodes() const {
   std::vector<NodeId> ids;
-  ids.reserve(live_count_);
-  for (NodeId v = 0; v < alive_.size(); ++v)
-    if (alive_[v]) ids.push_back(v);
+  nodes(ids);
   return ids;
+}
+
+void Digraph::nodes(std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(live_count_);
+  for (NodeId v = 0; v < alive_.size(); ++v)
+    if (alive_[v]) out.push_back(v);
+}
+
+std::size_t Digraph::memory_bytes() const {
+  return out_.memory_bytes() + in_.memory_bytes() + alive_.capacity() / 8 +
+         free_slots_.capacity() * sizeof(NodeId);
 }
 
 }  // namespace minim::graph

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "graph/row_pool.hpp"
 
 /// \file digraph.hpp
 /// \brief Dynamic directed graph with stable node identifiers.
@@ -12,10 +15,14 @@
 /// while keeping node ids stable (slot reuse via a free list), because node
 /// identity matters to the protocols (CP orders recoloring by identity).
 ///
-/// Adjacency is kept as sorted vectors: neighbor sets are small (the paper
-/// argues expected-constant degree in planar deployments), so sorted vectors
-/// beat hash sets on both memory and iteration, and give deterministic
-/// iteration order — important for reproducible simulations.
+/// Adjacency is kept as sorted rows in CSR-style pooled storage
+/// (`graph::RowPool`): neighbor sets are small (the paper argues
+/// expected-constant degree in planar deployments), so sorted rows beat hash
+/// sets on memory and iteration and give deterministic iteration order —
+/// important for reproducible simulations — while the shared pool removes
+/// the per-node heap allocation that dominated the footprint at large N.
+/// Neighbor accessors return spans into the pool; any mutation of the graph
+/// invalidates them.
 
 namespace minim::graph {
 
@@ -57,11 +64,13 @@ class Digraph {
 
   bool has_edge(NodeId u, NodeId v) const;
 
-  /// Successors of `u` (nodes that hear `u`), ascending by id.
-  const std::vector<NodeId>& out_neighbors(NodeId u) const;
+  /// Successors of `u` (nodes that hear `u`), ascending by id.  The span
+  /// points into pooled storage; any graph mutation invalidates it.
+  std::span<const NodeId> out_neighbors(NodeId u) const;
 
-  /// Predecessors of `u` (nodes that `u` hears), ascending by id.
-  const std::vector<NodeId>& in_neighbors(NodeId u) const;
+  /// Predecessors of `u` (nodes that `u` hears), ascending by id.  Same
+  /// invalidation rule as `out_neighbors`.
+  std::span<const NodeId> in_neighbors(NodeId u) const;
 
   std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
   std::size_t in_degree(NodeId u) const { return in_neighbors(u).size(); }
@@ -75,17 +84,19 @@ class Digraph {
   /// All live node ids, ascending.  O(slots).
   std::vector<NodeId> nodes() const;
 
+  /// Allocation-free variant: replaces `out` with all live ids, ascending.
+  void nodes(std::vector<NodeId>& out) const;
+
   /// Upper bound (exclusive) on node ids ever issued; useful for dense
   /// id-indexed side arrays.
   NodeId id_bound() const { return static_cast<NodeId>(alive_.size()); }
 
- private:
-  static bool sorted_contains(const std::vector<NodeId>& xs, NodeId v);
-  static bool sorted_insert(std::vector<NodeId>& xs, NodeId v);
-  static bool sorted_erase(std::vector<NodeId>& xs, NodeId v);
+  /// Heap bytes held by the adjacency pools and slot bookkeeping.
+  std::size_t memory_bytes() const;
 
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+ private:
+  RowPool out_;
+  RowPool in_;
   std::vector<bool> alive_;
   std::vector<NodeId> free_slots_;  // kept sorted descending; pop lowest last
   std::size_t live_count_ = 0;

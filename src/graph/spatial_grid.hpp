@@ -44,6 +44,13 @@ class SpatialGrid {
   std::size_t size() const { return size_; }
   double cell_size() const { return cell_; }
 
+  /// Heap bytes held by the cell buckets (capacities, not sizes).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = cells_.capacity() * sizeof(cells_[0]);
+    for (const auto& cell : cells_) bytes += cell.capacity() * sizeof(NodeId);
+    return bytes;
+  }
+
  private:
   std::size_t cell_index(util::Vec2 pos) const;
 

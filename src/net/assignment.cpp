@@ -9,15 +9,35 @@ namespace minim::net {
 void CodeAssignment::set_color(graph::NodeId v, Color c) {
   MINIM_REQUIRE(c != kNoColor, "set_color: colors are positive integers");
   if (v >= colors_.size()) colors_.resize(v + 1, kNoColor);
+  const Color old = colors_[v];
+  if (old == c) return;
+  if (old != kNoColor) --population_[old];
   colors_[v] = c;
+  if (c >= population_.size()) population_.resize(c + 1, 0);
+  ++population_[c];
+  max_bound_ = std::max(max_bound_, c);
 }
 
 void CodeAssignment::clear(graph::NodeId v) {
-  if (v < colors_.size()) colors_[v] = kNoColor;
+  if (v >= colors_.size()) return;
+  const Color old = colors_[v];
+  if (old != kNoColor) {
+    --population_[old];
+    colors_[v] = kNoColor;
+  }
 }
 
 void CodeAssignment::clear_all() {
   std::fill(colors_.begin(), colors_.end(), kNoColor);
+  std::fill(population_.begin(), population_.end(), 0);
+  max_bound_ = kNoColor;
+}
+
+Color CodeAssignment::max_color() const {
+  // The cursor only rises in set_color; stale zero-population levels are
+  // skipped here, amortized O(1) against the assignments that raised it.
+  while (max_bound_ != kNoColor && population_[max_bound_] == 0) --max_bound_;
+  return max_bound_;
 }
 
 Color CodeAssignment::max_color(const std::vector<graph::NodeId>& nodes) const {

@@ -19,7 +19,9 @@ using Color = std::uint32_t;
 /// "No code assigned" sentinel.
 inline constexpr Color kNoColor = 0;
 
-/// Dense node-id-indexed color map.
+/// Dense node-id-indexed color map, with a color-population histogram so the
+/// network-wide maximum is O(1) — the per-event report fills `max_color_after`
+/// for every strategy at every event, which at 10⁵⁺ nodes must not scan.
 class CodeAssignment {
  public:
   /// Color of `v`; kNoColor when never assigned.
@@ -38,6 +40,11 @@ class CodeAssignment {
   /// Clears every color, keeping the dense map's capacity (arena reuse).
   void clear_all();
 
+  /// Maximum color currently assigned to any node; kNoColor when none.
+  /// Nodes must be cleared when they leave (the engine does), so this equals
+  /// `max_color(live nodes)` at all times, in O(1) amortized.
+  Color max_color() const;
+
   /// Maximum color over `nodes`; kNoColor when none are colored.
   Color max_color(const std::vector<graph::NodeId>& nodes) const;
 
@@ -46,6 +53,8 @@ class CodeAssignment {
 
  private:
   std::vector<Color> colors_;
+  std::vector<std::uint32_t> population_;  ///< nodes per color, indexed by color
+  mutable Color max_bound_ = kNoColor;     ///< lazily-lowered histogram cursor
 };
 
 }  // namespace minim::net

@@ -1,10 +1,16 @@
 #include "net/conflict_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/require.hpp"
 
 namespace minim::net {
+
+ConflictGraph::ConflictGraph() {
+  static std::atomic<std::uint64_t> next_nonce{1};
+  nonce_ = next_nonce.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -17,22 +23,21 @@ constexpr std::size_t kJournalCap = 1 << 15;
 }  // namespace
 
 std::uint32_t ConflictGraph::multiplicity(NodeId u, NodeId v) const {
-  if (u >= rows_.size()) return 0;
-  const Row& row = rows_[u];
-  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
-  if (it == row.ids.end() || *it != v) return 0;
-  return row.counts[static_cast<std::size_t>(it - row.ids.begin())];
+  const std::uint32_t* count = rows_.find(u, v);
+  return count != nullptr ? *count : 0;
 }
 
 bool ConflictGraph::append_dirty_since(std::uint64_t since,
                                        std::vector<NodeId>& out) const {
   if (since < trimmed_revision_) return false;
   if (since >= revision_) return true;  // nothing newer
-  // Entries are revision-ascending; binary search the window start.
-  const auto first = std::upper_bound(
-      journal_.begin(), journal_.end(), since,
-      [](std::uint64_t rev, const JournalEntry& e) { return rev < e.revision; });
-  for (auto it = first; it != journal_.end(); ++it) out.push_back(it->node);
+  // Entry i holds revision journal_base_ + i; the window starts at the first
+  // revision > since.
+  const std::size_t first =
+      since < journal_base_ ? 0
+                            : static_cast<std::size_t>(since - journal_base_ + 1);
+  out.insert(out.end(), journal_.begin() + static_cast<std::ptrdiff_t>(first),
+             journal_.end());
   return true;
 }
 
@@ -40,35 +45,32 @@ void ConflictGraph::mark_dirty(NodeId v) {
   if (journal_.size() >= kJournalCap) {
     // Drop the older half; amortized O(1) per entry.
     const std::size_t keep = kJournalCap / 2;
-    trimmed_revision_ = journal_[journal_.size() - keep - 1].revision;
+    const std::size_t dropped = journal_.size() - keep;
+    trimmed_revision_ = journal_base_ + dropped - 1;
     journal_.erase(journal_.begin(),
-                   journal_.end() - static_cast<std::ptrdiff_t>(keep));
+                   journal_.begin() + static_cast<std::ptrdiff_t>(dropped));
+    journal_base_ += dropped;
   }
-  journal_.push_back(JournalEntry{++revision_, v});
+  ++revision_;
+  journal_.push_back(v);
 }
 
 bool ConflictGraph::bump_row(NodeId u, NodeId v) {
-  Row& row = rows_[u];
-  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
-  const auto index = static_cast<std::size_t>(it - row.ids.begin());
-  if (it != row.ids.end() && *it == v) {
-    ++row.counts[index];
+  rows_.ensure_row(u);
+  if (std::uint32_t* count = rows_.find(u, v)) {
+    ++*count;
     return false;
   }
-  row.ids.insert(it, v);
-  row.counts.insert(row.counts.begin() + static_cast<std::ptrdiff_t>(index), 1);
+  rows_.insert(u, v, 1);
   return true;
 }
 
 bool ConflictGraph::drop_row(NodeId u, NodeId v) {
-  Row& row = rows_[u];
-  const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), v);
-  MINIM_REQUIRE(it != row.ids.end() && *it == v,
+  std::uint32_t* count = rows_.find(u, v);
+  MINIM_REQUIRE(count != nullptr,
                 "conflict graph: retracting an unknown witness");
-  const auto index = static_cast<std::size_t>(it - row.ids.begin());
-  if (--row.counts[index] > 0) return false;
-  row.ids.erase(it);
-  row.counts.erase(row.counts.begin() + static_cast<std::ptrdiff_t>(index));
+  if (--*count > 0) return false;
+  rows_.erase(u, v);
   return true;
 }
 
@@ -95,55 +97,130 @@ void ConflictGraph::retract_witness(NodeId u, NodeId v) {
 }
 
 void ConflictGraph::on_node_added(NodeId v) {
-  if (v >= rows_.size()) rows_.resize(v + 1);
-  MINIM_REQUIRE(rows_[v].ids.empty(), "conflict graph: reused row not empty");
+  rows_.ensure_row(v);
+  MINIM_REQUIRE(rows_.size(v) == 0, "conflict graph: reused row not empty");
   mark_dirty(v);
 }
 
 void ConflictGraph::on_node_removed(NodeId v) {
-  MINIM_REQUIRE(v < rows_.size() && rows_[v].ids.empty(),
+  MINIM_REQUIRE(v < rows_.row_count() && rows_.size(v) == 0,
                 "conflict graph: removing a node with live conflicts");
   mark_dirty(v);
 }
 
+void ConflictGraph::collect_edge_partners(const graph::Digraph& g, NodeId u,
+                                          NodeId v) {
+  // {v} (CA1) merged into in(v) \ {u} (CA2 co-senders); both inputs sorted,
+  // v ∉ in(v) while the edge is unapplied, so the result is sorted unique.
+  partner_scratch_.clear();
+  bool placed = false;
+  for (NodeId w : g.in_neighbors(v)) {
+    if (w == u) continue;
+    if (!placed && v < w) {
+      partner_scratch_.push_back(v);
+      placed = true;
+    }
+    partner_scratch_.push_back(w);
+  }
+  if (!placed) partner_scratch_.push_back(v);
+}
+
+void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
+  // Merge pass over (row u, partners) into scratch — no per-partner search
+  // or shifting of the hot row.  Reciprocal rows and the journal are touched
+  // only after the merged row is written back (replace_row may relocate the
+  // pool, so nothing may hold a row span across it).
+  const std::span<const NodeId> ids = rows_.ids(u);
+  const std::span<const std::uint32_t> counts = rows_.counts(u);
+  merged_ids_.clear();
+  merged_counts_.clear();
+  partner_new_.assign(partner_scratch_.size(), 0);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ids.size() || j < partner_scratch_.size()) {
+    if (j >= partner_scratch_.size() ||
+        (i < ids.size() && ids[i] < partner_scratch_[j])) {
+      merged_ids_.push_back(ids[i]);
+      merged_counts_.push_back(counts[i]);
+      ++i;
+    } else if (i >= ids.size() || partner_scratch_[j] < ids[i]) {
+      MINIM_REQUIRE(delta > 0, "conflict graph: retracting an unknown witness");
+      merged_ids_.push_back(partner_scratch_[j]);
+      merged_counts_.push_back(1);
+      partner_new_[j] = 1;  // pair went 0 -> 1
+      ++j;
+    } else {
+      const std::uint32_t count =
+          delta > 0 ? counts[i] + 1 : counts[i] - 1;
+      if (count > 0) {
+        merged_ids_.push_back(ids[i]);
+        merged_counts_.push_back(count);
+      } else {
+        partner_new_[j] = 1;  // pair went 1 -> 0
+      }
+      ++i;
+      ++j;
+    }
+  }
+  rows_.replace_row(u, merged_ids_, merged_counts_);
+
+  for (std::size_t p = 0; p < partner_scratch_.size(); ++p) {
+    const NodeId w = partner_scratch_[p];
+    if (delta > 0) {
+      if (partner_new_[p]) {
+        rows_.insert(w, u, 1);
+        ++pair_count_;
+        mark_dirty(u);
+        mark_dirty(w);
+      } else {
+        ++*rows_.find(w, u);
+      }
+    } else {
+      if (partner_new_[p]) {
+        rows_.erase(w, u);
+        --pair_count_;
+        mark_dirty(u);
+        mark_dirty(w);
+      } else {
+        --*rows_.find(w, u);
+      }
+    }
+  }
+}
+
 void ConflictGraph::on_edge_added(const graph::Digraph& g, NodeId u, NodeId v) {
   MINIM_REQUIRE(!g.has_edge(u, v), "conflict graph: edge delta already applied");
-  const NodeId bound = std::max(u, v);
-  if (bound >= rows_.size()) rows_.resize(bound + 1);
-  add_witness(u, v);  // CA1
-  for (NodeId w : g.in_neighbors(v))
-    if (w != u) add_witness(u, w);  // CA2: co-senders to receiver v
+  rows_.ensure_row(std::max(u, v));
+  collect_edge_partners(g, u, v);
+  apply_partner_witnesses(u, +1);
 }
 
 void ConflictGraph::on_edge_removed(const graph::Digraph& g, NodeId u, NodeId v) {
   MINIM_REQUIRE(g.has_edge(u, v), "conflict graph: retracting an absent edge");
-  retract_witness(u, v);  // CA1
-  for (NodeId w : g.in_neighbors(v))
-    if (w != u) retract_witness(u, w);  // CA2
+  collect_edge_partners(g, u, v);
+  apply_partner_witnesses(u, -1);
 }
 
 void ConflictGraph::clear() {
-  for (Row& row : rows_) {
-    row.ids.clear();
-    row.counts.clear();
-  }
+  rows_.clear();
   pair_count_ = 0;
   journal_.clear();
   // Any consumer synchronized to a pre-clear revision must full-rebuild:
   // advance the revision and declare everything at or below it trimmed.
   trimmed_revision_ = ++revision_;
+  journal_base_ = revision_ + 1;
 }
 
 ConflictGraph ConflictGraph::build_from(const graph::Digraph& g) {
   ConflictGraph cg;
-  cg.rows_.resize(g.id_bound());
+  if (g.id_bound() > 0) cg.rows_.ensure_row(g.id_bound() - 1);
   const auto nodes = g.nodes();
   for (NodeId u : nodes) {
     // CA1: one witness per directed edge.
     for (NodeId v : g.out_neighbors(u)) cg.add_witness(u, v);
     // CA2: one witness per (sender pair, common receiver); enumerate each
     // receiver's sender list once, pairs ordered i < j.
-    const auto& senders = g.in_neighbors(u);
+    const auto senders = g.in_neighbors(u);
     for (std::size_t i = 0; i < senders.size(); ++i)
       for (std::size_t j = i + 1; j < senders.size(); ++j)
         cg.add_witness(senders[i], senders[j]);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/row_pool.hpp"
 
 /// \file conflict_graph.hpp
 /// \brief Cached two-hop interference adjacency (CA1 ∪ CA2) with per-pair
@@ -51,10 +52,9 @@ class ConflictGraph {
   // ------------------------------------------------------------- queries
 
   /// Conflict partners of `v`, ascending by id.  Empty for dead/unknown ids.
-  std::span<const NodeId> neighbors(NodeId v) const {
-    if (v >= rows_.size()) return {};
-    return std::span<const NodeId>(rows_[v].ids);
-  }
+  /// The span points into pooled storage; any conflict-graph mutation
+  /// invalidates it.
+  std::span<const NodeId> neighbors(NodeId v) const { return rows_.ids(v); }
 
   /// Number of CA1/CA2 witnesses forbidding {u, v} the same color.
   std::uint32_t multiplicity(NodeId u, NodeId v) const;
@@ -63,17 +63,28 @@ class ConflictGraph {
   bool in_conflict(NodeId u, NodeId v) const { return multiplicity(u, v) > 0; }
 
   /// Conflict degree of `v` (number of distinct partners).
-  std::size_t degree(NodeId v) const {
-    return v < rows_.size() ? rows_[v].ids.size() : 0;
-  }
+  std::size_t degree(NodeId v) const { return rows_.size(v); }
 
   /// Number of conflicting unordered pairs.
   std::size_t pair_count() const { return pair_count_; }
 
   /// Exclusive upper bound on ids with allocated rows.
-  NodeId id_bound() const { return static_cast<NodeId>(rows_.size()); }
+  NodeId id_bound() const { return static_cast<NodeId>(rows_.row_count()); }
+
+  /// Heap bytes held by the adjacency pools and the dirty journal.
+  std::size_t memory_bytes() const {
+    return rows_.memory_bytes() + journal_.capacity() * sizeof(NodeId);
+  }
 
   // ------------------------------------------------------------- journal
+
+  ConflictGraph();
+
+  /// Process-unique identity of this instance.  Consumers that cache state
+  /// keyed to a conflict graph (the degeneracy orderer's degree mirror)
+  /// must key on the nonce, not the address: a new graph allocated where a
+  /// destroyed one lived would otherwise silently serve them stale state.
+  std::uint64_t nonce() const { return nonce_; }
 
   /// Monotonically increasing change counter; bumps on every journaled
   /// dirty mark (never resets, not even on `clear()`).
@@ -117,17 +128,6 @@ class ConflictGraph {
   static ConflictGraph build_from(const graph::Digraph& g);
 
  private:
-  /// Parallel sorted vectors: `ids[i]` conflicts with `counts[i]` witnesses.
-  struct Row {
-    std::vector<NodeId> ids;
-    std::vector<std::uint32_t> counts;
-  };
-
-  struct JournalEntry {
-    std::uint64_t revision;
-    NodeId node;
-  };
-
   /// Adds one witness to the unordered pair {u, v} (both directions).
   void add_witness(NodeId u, NodeId v);
   /// Retracts one witness from {u, v}.
@@ -138,8 +138,28 @@ class ConflictGraph {
   bool drop_row(NodeId u, NodeId v);
   void mark_dirty(NodeId v);
 
-  std::vector<Row> rows_;
-  std::vector<JournalEntry> journal_;
+  /// Fills `partner_scratch_` with the sorted witness partners of edge
+  /// u→v in `g` ({v} ∪ in(v) \ {u}; the edge must not be applied yet).
+  void collect_edge_partners(const graph::Digraph& g, NodeId u, NodeId v);
+  /// Adds (delta=+1) or retracts (delta=-1) one witness for every pair
+  /// (u, w), w ∈ `partner_scratch_`, as a single merge over row u plus one
+  /// reciprocal touch per partner — equivalent to |partners| calls of
+  /// add_witness/retract_witness, minus their repeated row-u searches.
+  void apply_partner_witnesses(NodeId u, int delta);
+
+  std::uint64_t nonce_;  ///< process-unique; see nonce()
+  /// Sorted pooled rows; the parallel count of `ids(v)[i]` is the witness
+  /// multiplicity of the pair.
+  graph::CountedRowPool rows_;
+  // Edge-delta scratch (see apply_partner_witnesses).
+  std::vector<NodeId> partner_scratch_;
+  std::vector<NodeId> merged_ids_;
+  std::vector<std::uint32_t> merged_counts_;
+  std::vector<char> partner_new_;  ///< parallel to partner_scratch_: 0 ↔ 1 transition
+  /// The revision of `journal_[i]` is `journal_base_ + i` — the counter
+  /// bumps exactly once per entry, so entries store only the node id.
+  std::vector<NodeId> journal_;
+  std::uint64_t journal_base_ = 1;  ///< revision of journal_[0]
   std::uint64_t revision_ = 0;
   /// Highest revision whose entry has been discarded; a `since` below this
   /// is no longer answerable.

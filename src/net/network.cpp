@@ -19,7 +19,7 @@ const NodeConfig& AdhocNetwork::config(NodeId v) const {
 }
 
 double AdhocNetwork::max_range() const {
-  return ranges_sorted_.empty() ? 0.0 : ranges_sorted_.back();
+  return ranges_.empty() ? 0.0 : *ranges_.rbegin();
 }
 
 NodeId AdhocNetwork::add_node(const NodeConfig& config) {
@@ -29,9 +29,7 @@ NodeId AdhocNetwork::add_node(const NodeConfig& config) {
   configs_[id] = config;
   configs_[id].position = util::clamp_to_box(config.position, width_, height_);
   grid_.insert(id, configs_[id].position);
-  ranges_sorted_.insert(
-      std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(), config.range),
-      config.range);
+  ranges_.insert(config.range);
   conflict_.on_node_added(id);
   refresh_out_edges(id);
   refresh_in_edges(id);
@@ -41,13 +39,14 @@ NodeId AdhocNetwork::add_node(const NodeConfig& config) {
 void AdhocNetwork::remove_node(NodeId v) {
   MINIM_REQUIRE(contains(v), "remove_node: unknown node");
   grid_.remove(v, configs_[v].position);
-  const auto it = std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(),
-                                   configs_[v].range);
-  ranges_sorted_.erase(it);
-  // Retract edges one by one so the conflict cache sees each delta.
-  stale_ = graph_.out_neighbors(v);
+  ranges_.erase(ranges_.find(configs_[v].range));
+  // Retract edges one by one so the conflict cache sees each delta.  The
+  // spans are copied first: unlink() mutates the rows they point into.
+  const auto outs = graph_.out_neighbors(v);
+  stale_.assign(outs.begin(), outs.end());
   for (NodeId w : stale_) unlink(v, w);
-  stale_ = graph_.in_neighbors(v);
+  const auto ins = graph_.in_neighbors(v);
+  stale_.assign(ins.begin(), ins.end());
   for (NodeId w : stale_) unlink(w, v);
   conflict_.on_node_removed(v);
   graph_.remove_node(v);
@@ -64,7 +63,7 @@ void AdhocNetwork::reset(double width, double height) {
   }
   graph_.clear();
   conflict_.clear();
-  ranges_sorted_.clear();
+  ranges_.clear();
 }
 
 void AdhocNetwork::link(NodeId u, NodeId v) {
@@ -91,11 +90,8 @@ void AdhocNetwork::set_position(NodeId v, util::Vec2 position) {
 void AdhocNetwork::set_range(NodeId v, double range) {
   MINIM_REQUIRE(contains(v), "set_range: unknown node");
   MINIM_REQUIRE(range >= 0.0, "node range must be non-negative");
-  const auto it = std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(),
-                                   configs_[v].range);
-  ranges_sorted_.erase(it);
-  ranges_sorted_.insert(
-      std::lower_bound(ranges_sorted_.begin(), ranges_sorted_.end(), range), range);
+  ranges_.erase(ranges_.find(configs_[v].range));
+  ranges_.insert(range);
   configs_[v].range = range;
   refresh_out_edges(v);  // only v's own reach changes
 }
@@ -114,7 +110,7 @@ void AdhocNetwork::refresh_out_edges(NodeId v) {
   std::sort(desired_.begin(), desired_.end());
 
   // Diff against the live sorted set: surviving edges generate no deltas.
-  const std::vector<NodeId>& current = graph_.out_neighbors(v);
+  const std::span<const NodeId> current = graph_.out_neighbors(v);
   stale_.clear();
   std::set_difference(current.begin(), current.end(), desired_.begin(),
                       desired_.end(), std::back_inserter(stale_));
@@ -134,7 +130,7 @@ void AdhocNetwork::refresh_in_edges(NodeId v) {
   }
   std::sort(desired_.begin(), desired_.end());
 
-  const std::vector<NodeId>& current = graph_.in_neighbors(v);
+  const std::span<const NodeId> current = graph_.in_neighbors(v);
   stale_.clear();
   std::set_difference(current.begin(), current.end(), desired_.begin(),
                       desired_.end(), std::back_inserter(stale_));
@@ -145,6 +141,14 @@ void AdhocNetwork::refresh_in_edges(NodeId v) {
 bool AdhocNetwork::minimally_connected(NodeId v) const {
   MINIM_REQUIRE(contains(v), "minimally_connected: unknown node");
   return graph_.out_degree(v) > 0 && graph_.in_degree(v) > 0;
+}
+
+std::size_t AdhocNetwork::memory_bytes() const {
+  return graph_.memory_bytes() + conflict_.memory_bytes() +
+         grid_.memory_bytes() + configs_.capacity() * sizeof(NodeConfig) +
+         ranges_.size() * (sizeof(double) + 4 * sizeof(void*)) +
+         (scratch_.capacity() + desired_.capacity() + stale_.capacity()) *
+             sizeof(NodeId);
 }
 
 graph::Digraph AdhocNetwork::rebuild_graph_brute_force() const {

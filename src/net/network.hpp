@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <set>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -79,13 +81,16 @@ class AdhocNetwork {
 
   std::size_t node_count() const { return graph_.node_count(); }
   std::vector<NodeId> nodes() const { return graph_.nodes(); }
+  /// Allocation-free variant: replaces `out` with all live ids, ascending.
+  void nodes(std::vector<NodeId>& out) const { graph_.nodes(out); }
   NodeId id_bound() const { return graph_.id_bound(); }
 
   /// Nodes that hear `v` (v's out-neighbors; v's transmissions reach them).
-  const std::vector<NodeId>& hearers_of(NodeId v) const { return graph_.out_neighbors(v); }
+  /// Spans point into pooled storage; any network mutation invalidates them.
+  std::span<const NodeId> hearers_of(NodeId v) const { return graph_.out_neighbors(v); }
 
   /// Nodes that `v` hears (v's in-neighbors; the paper's "from-neighbors").
-  const std::vector<NodeId>& heard_by(NodeId v) const { return graph_.in_neighbors(v); }
+  std::span<const NodeId> heard_by(NodeId v) const { return graph_.in_neighbors(v); }
 
   /// The paper's Minimal Connectivity assumption: some node hears v and v
   /// hears some node.  The simulator can enforce this on reconfigurations.
@@ -94,6 +99,11 @@ class AdhocNetwork {
   /// Recomputes the full edge set by brute force into a fresh digraph —
   /// O(n^2) test oracle for the incremental maintenance.
   graph::Digraph rebuild_graph_brute_force() const;
+
+  /// Heap bytes held by the engine's hot structures (digraph pools,
+  /// conflict rows + journal, spatial grid, per-node config arrays) — the
+  /// numerator of the large-N bytes/node report.
+  std::size_t memory_bytes() const;
 
  private:
   /// Adds edge u -> v to the digraph, accounting the conflict-graph delta
@@ -115,8 +125,10 @@ class AdhocNetwork {
   graph::Digraph graph_;
   graph::SpatialGrid grid_;
   ConflictGraph conflict_;
-  std::vector<NodeConfig> configs_;   // indexed by NodeId
-  std::vector<double> ranges_sorted_; // multiset of live ranges (ascending)
+  std::vector<NodeConfig> configs_;  // indexed by NodeId
+  /// Live ranges; O(log n) updates (a sorted vector's O(n) insert made the
+  /// join sequence quadratic at 10⁶ nodes).  Only the max is queried.
+  std::multiset<double> ranges_;
   mutable std::vector<NodeId> scratch_;
   std::vector<NodeId> desired_;  // refresh scratch: target neighbor set
   std::vector<NodeId> stale_;    // refresh scratch: edges to drop

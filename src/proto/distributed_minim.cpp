@@ -44,7 +44,7 @@ DistributedResult DistributedMinim::run_matching_protocol(
   // Round 3: constraint replies.  Each from-neighbor ships its old color
   // plus the colors its outside conflict partners pin (what the centralized
   // builder calls its forbidden set).
-  std::vector<net::NodeId> v1 = from_neighbors;
+  std::vector<net::NodeId> v1(from_neighbors.begin(), from_neighbors.end());
   v1.push_back(n);
   std::sort(v1.begin(), v1.end());
   auto in_v1 = [&v1](net::NodeId v) {

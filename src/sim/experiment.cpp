@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -108,13 +109,22 @@ std::vector<ExperimentTrial> run_point_trial(
   }
 
   const Workload workload = make_scenario_workload(spec, rng);
-  // One arena per worker thread: the per-strategy replays of every trial
-  // this worker runs reuse a single network/assignment instead of
-  // reconstructing them (bit-identical by ReplayArena's contract).
+  // One arena per worker thread, and one lockstep replay per trial: the
+  // shared network evolves once per event while every strategy repairs its
+  // own assignment (bit-identical to per-strategy replays by replay_all's
+  // contract).
   thread_local ReplayArena arena;
+  std::vector<std::unique_ptr<core::RecodingStrategy>> objects;
+  std::vector<core::RecodingStrategy*> lanes;
+  objects.reserve(strategies.size());
+  lanes.reserve(strategies.size());
   for (const std::string& name : strategies) {
-    const auto strategy = factory(name);
-    const RunOutcome outcome = replay(workload, *strategy, spec.validate, &arena);
+    objects.push_back(factory(name));
+    lanes.push_back(objects.back().get());
+  }
+  const std::vector<RunOutcome> outcomes =
+      replay_all(workload, lanes, spec.validate, &arena);
+  for (const RunOutcome& outcome : outcomes) {
     ExperimentTrial result;
     result.trial = trial;
     result.totals = outcome.totals;

@@ -1,49 +1,80 @@
 #include "sim/replay.hpp"
 
-#include <vector>
+#include <optional>
+#include <stdexcept>
+
+#include "net/constraints.hpp"
 
 namespace minim::sim {
 
-RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
-                  bool validate, ReplayArena* arena) {
-  Simulation::Params params;
-  params.width = workload.width;
-  params.height = workload.height;
-  params.validate_after_each = validate;
+std::vector<RunOutcome> replay_all(const Workload& workload,
+                                   std::span<core::RecodingStrategy* const> strategies,
+                                   bool validate, ReplayArena* arena) {
+  std::optional<ReplayArena> local;
+  if (arena == nullptr) arena = &local.emplace();
 
-  std::optional<Simulation> local;
-  std::vector<net::NodeId> local_ids;
-  Simulation* simulation;
-  std::vector<net::NodeId>* ids;
-  if (arena != nullptr) {
-    if (arena->simulation_)
-      arena->simulation_->rebind(strategy, params);
-    else
-      arena->simulation_.emplace(strategy, params);
-    simulation = &*arena->simulation_;
-    ids = &arena->ids_;
-  } else {
-    local.emplace(strategy, params);
-    simulation = &*local;
-    ids = &local_ids;
+  const std::size_t lanes = strategies.size();
+  net::AdhocNetwork& network = arena->network_;
+  network.reset(workload.width, workload.height);
+  if (arena->assignments_.size() < lanes) arena->assignments_.resize(lanes);
+  for (std::size_t s = 0; s < lanes; ++s) arena->assignments_[s].clear_all();
+
+  std::vector<RunOutcome> outcomes(lanes);
+
+  // One event application, every strategy's repair.  The strategy callbacks
+  // only read the network, so each lane sees the identical topology a solo
+  // replay would.
+  const auto dispatch = [&](auto&& invoke) {
+    for (std::size_t s = 0; s < lanes; ++s) {
+      net::CodeAssignment& assignment = arena->assignments_[s];
+      account_event(outcomes[s].totals, invoke(*strategies[s], assignment));
+      if (validate) validate_assignment(network, assignment);
+    }
+  };
+
+  std::vector<net::NodeId>& ids = arena->ids_;
+  ids.clear();
+  ids.reserve(workload.joins.size());
+  for (const auto& config : workload.joins) {
+    const net::NodeId id = network.add_node(config);
+    ids.push_back(id);
+    dispatch([&](core::RecodingStrategy& strategy, net::CodeAssignment& assignment) {
+      return strategy.on_join(network, assignment, id);
+    });
   }
 
-  ids->clear();
-  ids->reserve(workload.joins.size());
-  for (const auto& config : workload.joins) ids->push_back(simulation->join(config));
+  for (std::size_t s = 0; s < lanes; ++s) {
+    outcomes[s].setup_max_color = arena->assignments_[s].max_color();
+    outcomes[s].setup_recodings =
+        static_cast<double>(outcomes[s].totals.recodings);
+  }
 
-  RunOutcome outcome;
-  outcome.setup_max_color = simulation->max_color();
-  outcome.setup_recodings = static_cast<double>(simulation->totals().recodings);
-
-  for (const auto& raise : workload.power_raises)
-    simulation->change_power((*ids)[raise.join_index], raise.new_range);
+  for (const auto& raise : workload.power_raises) {
+    const net::NodeId v = ids[raise.join_index];
+    const double old_range = network.config(v).range;
+    network.set_range(v, raise.new_range);
+    dispatch([&](core::RecodingStrategy& strategy, net::CodeAssignment& assignment) {
+      return strategy.on_power_change(network, assignment, v, old_range);
+    });
+  }
   for (const auto& round : workload.move_rounds)
-    for (const auto& mv : round) simulation->move((*ids)[mv.join_index], mv.position);
+    for (const auto& mv : round) {
+      const net::NodeId v = ids[mv.join_index];
+      network.set_position(v, mv.position);
+      dispatch([&](core::RecodingStrategy& strategy, net::CodeAssignment& assignment) {
+        return strategy.on_move(network, assignment, v);
+      });
+    }
 
-  outcome.totals = simulation->totals();
-  outcome.max_color = simulation->max_color();
-  return outcome;
+  for (std::size_t s = 0; s < lanes; ++s)
+    outcomes[s].max_color = arena->assignments_[s].max_color();
+  return outcomes;
+}
+
+RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
+                  bool validate, ReplayArena* arena) {
+  core::RecodingStrategy* const one[] = {&strategy};
+  return std::move(replay_all(workload, one, validate, arena)[0]);
 }
 
 }  // namespace minim::sim

@@ -1,16 +1,32 @@
 #pragma once
 
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "net/assignment.hpp"
+#include "net/network.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
 
 /// \file replay.hpp
-/// \brief Replays a workload through a strategy and measures the paper's
-/// metrics, separating the setup phase (joins) from the event phase
+/// \brief Replays a workload through one or many strategies and measures the
+/// paper's metrics, separating the setup phase (joins) from the event phase
 /// (power raises / movement rounds) so Δ-metrics can be computed.
+///
+/// ## Lockstep multi-strategy replay
+///
+/// The network's evolution under a workload is a pure function of the event
+/// sequence — colors never influence topology.  The per-trial paired
+/// comparison therefore does not need one network rebuild per strategy:
+/// `replay_all` applies each event to a single shared network once and then
+/// invokes every strategy on its own `CodeAssignment`.  Each strategy
+/// observes exactly the (network, own-assignment) sequence a solo replay
+/// would give it, so the outcomes are bit-identical to per-strategy
+/// `replay` calls — the equivalence is locked down in
+/// tests/sim/replay_all_test.cpp.  With k strategies this removes k-1 of
+/// the k digraph/conflict-cache maintenance passes, which profiling showed
+/// was the single largest cost of every figure sweep.
 
 namespace minim::sim {
 
@@ -48,10 +64,19 @@ struct RunOutcome {
 RunOutcome replay(const Workload& workload, core::RecodingStrategy& strategy,
                   bool validate = false, ReplayArena* arena = nullptr);
 
-/// Reusable engine state for `replay`.  One arena serves any sequence of
-/// replays (any workload sizes, strategies, field dimensions) from a single
-/// thread; the experiment engine keeps one per worker so the per-strategy
-/// replays of a trial stop rebuilding the network from scratch.
+/// Lockstep replay: one shared network evolution, every strategy repairing
+/// its own assignment at each event.  `outcomes[i]` is bit-identical to
+/// `replay(workload, *strategies[i], validate)`.  With `validate`, each
+/// strategy's assignment is checked after every event, in strategy order.
+std::vector<RunOutcome> replay_all(const Workload& workload,
+                                   std::span<core::RecodingStrategy* const> strategies,
+                                   bool validate = false,
+                                   ReplayArena* arena = nullptr);
+
+/// Reusable engine state for `replay`/`replay_all`.  One arena serves any
+/// sequence of replays (any workload sizes, strategy counts, field
+/// dimensions) from a single thread; the experiment engine keeps one per
+/// worker so per-trial replays stop rebuilding the network from scratch.
 class ReplayArena {
  public:
   ReplayArena() = default;
@@ -59,9 +84,11 @@ class ReplayArena {
   ReplayArena& operator=(const ReplayArena&) = delete;
 
  private:
-  friend RunOutcome replay(const Workload&, core::RecodingStrategy&, bool,
-                           ReplayArena*);
-  std::optional<Simulation> simulation_;
+  friend std::vector<RunOutcome> replay_all(const Workload&,
+                                            std::span<core::RecodingStrategy* const>,
+                                            bool, ReplayArena*);
+  net::AdhocNetwork network_;
+  std::vector<net::CodeAssignment> assignments_;  ///< one lane per strategy
   std::vector<net::NodeId> ids_;
 };
 

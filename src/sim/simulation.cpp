@@ -14,34 +14,32 @@ Simulation::Simulation(core::RecodingStrategy& strategy, const Params& params)
       params_(params),
       network_(params.width, params.height) {}
 
-void Simulation::rebind(core::RecodingStrategy& strategy, const Params& params) {
-  strategy_ = &strategy;
-  params_ = params;
-  network_.reset(params.width, params.height);
-  assignment_.clear_all();
-  totals_ = Totals{};
-  history_.clear();
+void account_event(Totals& totals, const core::RecodeReport& report) {
+  ++totals.events;
+  totals.recodings += report.recodings();
+  totals.messages += report.messages;
+  const auto type_index = static_cast<std::size_t>(report.event);
+  ++totals.events_by_type[type_index];
+  totals.recodings_by_type[type_index] += report.recodings();
+}
+
+void validate_assignment(const net::AdhocNetwork& network,
+                         const net::CodeAssignment& assignment) {
+  const auto violations = net::find_violations(network, assignment);
+  if (!violations.empty())
+    throw std::logic_error("assignment invalid after event: " +
+                           violations.front().to_string());
+  if (!net::all_colored(network, assignment))
+    throw std::logic_error("uncolored live node after event");
 }
 
 void Simulation::account(const core::RecodeReport& report) {
-  ++totals_.events;
-  totals_.recodings += report.recodings();
-  totals_.messages += report.messages;
-  const auto type_index = static_cast<std::size_t>(report.event);
-  ++totals_.events_by_type[type_index];
-  totals_.recodings_by_type[type_index] += report.recodings();
+  account_event(totals_, report);
   if (params_.keep_history) history_.push_back(report);
   if (params_.validate_after_each) validate();
 }
 
-void Simulation::validate() const {
-  const auto violations = net::find_violations(network_, assignment_);
-  if (!violations.empty())
-    throw std::logic_error("assignment invalid after event: " +
-                           violations.front().to_string());
-  if (!net::all_colored(network_, assignment_))
-    throw std::logic_error("uncolored live node after event");
-}
+void Simulation::validate() const { validate_assignment(network_, assignment_); }
 
 net::NodeId Simulation::join(const net::NodeConfig& config) {
   const net::NodeId id = network_.add_node(config);

@@ -30,6 +30,16 @@ struct Totals {
   std::array<std::size_t, 5> recodings_by_type{};  ///< indexed by EventType
 };
 
+/// Folds one event's report into `totals` — the single accounting
+/// definition shared by `Simulation` and the lockstep `replay_all` lanes
+/// (whose bit-identical-to-solo contract forbids two copies drifting).
+void account_event(Totals& totals, const core::RecodeReport& report);
+
+/// Throws std::logic_error when `assignment` violates CA1/CA2 or leaves a
+/// live node uncolored — the per-event validation both engines share.
+void validate_assignment(const net::AdhocNetwork& network,
+                         const net::CodeAssignment& assignment);
+
 class Simulation {
  public:
   struct Params {
@@ -45,12 +55,6 @@ class Simulation {
   explicit Simulation(core::RecodingStrategy& strategy);
   Simulation(core::RecodingStrategy& strategy, const Params& params);
 
-  /// Rebinds to a new strategy and resets all engine state in place,
-  /// retaining allocated capacity (network slots, grid cells, conflict
-  /// rows, color map) — the arena path of `sim::replay`.  Behaviour after
-  /// rebind is bit-identical to a freshly constructed simulation.
-  void rebind(core::RecodingStrategy& strategy, const Params& params);
-
   /// Applies a join and returns the new node's id.
   net::NodeId join(const net::NodeConfig& config);
 
@@ -60,7 +64,7 @@ class Simulation {
 
   const net::AdhocNetwork& network() const { return network_; }
   const net::CodeAssignment& assignment() const { return assignment_; }
-  net::Color max_color() const { return assignment_.max_color(network_.nodes()); }
+  net::Color max_color() const { return assignment_.max_color(); }
 
   const Totals& totals() const { return totals_; }
   const std::vector<core::RecodeReport>& history() const { return history_; }

@@ -1,5 +1,7 @@
 #include "sim/sweeps.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "sim/experiment.hpp"
@@ -102,10 +104,19 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
         metrics.colors.reserve(n_s);
         metrics.recodes.reserve(n_s);
         thread_local ReplayArena arena;  // reused across this worker's runs
+        std::vector<std::unique_ptr<core::RecodingStrategy>> objects;
+        std::vector<core::RecodingStrategy*> lanes;
+        objects.reserve(n_s);
+        lanes.reserve(n_s);
         for (std::size_t si = 0; si < n_s; ++si) {
-          const auto strategy = make(options.strategies[si]);
-          const RunOutcome outcome =
-              replay(workload, *strategy, options.validate, &arena);
+          objects.push_back(make(options.strategies[si]));
+          lanes.push_back(objects.back().get());
+        }
+        // Lockstep: one shared network evolution, one assignment per
+        // strategy (bit-identical to per-strategy replays).
+        const std::vector<RunOutcome> outcomes =
+            replay_all(workload, lanes, options.validate, &arena);
+        for (const RunOutcome& outcome : outcomes) {
           metrics.colors.push_back(delta_metrics ? outcome.delta_max_color()
                                                  : outcome.final_max_color());
           metrics.recodes.push_back(delta_metrics ? outcome.delta_recodings()
@@ -179,6 +190,35 @@ std::vector<SweepPoint> sweep_move_vs_max_displacement(
                 [](ScenarioSpec& spec, double x) { spec.max_displacement = x; }};
   return run_grid_sweep(std::move(axis), std::move(base),
                         /*delta_metrics=*/true, options);
+}
+
+std::vector<SweepPoint> sweep_join_vs_n_constant_density(
+    const std::vector<double>& ns, const SweepOptions& options,
+    Placement placement, double mean_degree) {
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kJoin;
+  GridAxis axis{"n", ns, [placement, mean_degree](ScenarioSpec& spec, double x) {
+                  spec.workload = make_large_n_params(
+                      static_cast<std::size_t>(x), mean_degree, placement);
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/false, options);
+}
+
+std::vector<SweepPoint> sweep_join_vs_cluster_count(
+    const std::vector<double>& cluster_counts, const SweepOptions& options,
+    std::size_t n, double cluster_sigma) {
+  ScenarioSpec base;
+  base.kind = ScenarioKind::kJoin;
+  base.workload.n = n;
+  base.workload.placement = Placement::kClustered;
+  base.workload.cluster_sigma = cluster_sigma;
+  GridAxis axis{"clusters", cluster_counts, [](ScenarioSpec& spec, double x) {
+                  spec.workload.cluster_count =
+                      std::max<std::size_t>(1, static_cast<std::size_t>(x));
+                }};
+  return run_grid_sweep(std::move(axis), std::move(base),
+                        /*delta_metrics=*/false, options);
 }
 
 std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,

@@ -87,4 +87,19 @@ std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
                                              double min_range = 20.5,
                                              double max_range = 30.5);
 
+// ---- Large-N scenario family (constant density; see make_large_n_params) --
+
+/// Joins vs N at constant node density: the field scales with N so the mean
+/// degree stays near `mean_degree` — the paper's join experiment carried
+/// into the 10⁵–10⁶-node regime, under any placement family.
+std::vector<SweepPoint> sweep_join_vs_n_constant_density(
+    const std::vector<double>& ns, const SweepOptions& options,
+    Placement placement = Placement::kUniform, double mean_degree = 12.0);
+
+/// Joins vs cluster count at fixed N (clustered placement): how topology
+/// concentration drives color usage and recoding churn.
+std::vector<SweepPoint> sweep_join_vs_cluster_count(
+    const std::vector<double>& cluster_counts, const SweepOptions& options,
+    std::size_t n = 100, double cluster_sigma = 6.0);
+
 }  // namespace minim::sim

@@ -44,6 +44,19 @@ struct Workload {
   std::vector<std::vector<Move>> move_rounds;  ///< phase 2 (Fig 12)
 };
 
+/// How join positions are placed on the field.  `kUniform` is the paper's
+/// setup; the clustered and Poisson-disk families open the non-uniform
+/// topologies of the large-CDMA literature (Thomas cluster processes as in
+/// Poisson-clustered ad-hoc models; blue-noise deployments as a
+/// repulsive/planned-placement contrast).
+enum class Placement {
+  kUniform,     ///< i.i.d. uniform on the field (paper Section 5)
+  kClustered,   ///< Thomas process: uniform parents, Gaussian offspring
+  kPoissonDisk, ///< dart-throwing blue noise with a minimum separation
+};
+
+const char* to_string(Placement placement);
+
 /// Experiment knobs shared by all three figures.
 struct WorkloadParams {
   std::size_t n = 100;        ///< nodes joined in phase 1
@@ -51,6 +64,13 @@ struct WorkloadParams {
   double max_range = 30.5;
   double width = 100.0;
   double height = 100.0;
+  Placement placement = Placement::kUniform;
+  // kClustered: number of cluster parents and the offspring spread.
+  std::size_t cluster_count = 8;
+  double cluster_sigma = 6.0;
+  // kPoissonDisk: minimum pairwise separation; 0 derives a packing-feasible
+  // default (~0.7 of the mean nearest-neighbor spacing) from the density.
+  double min_separation = 0.0;
 };
 
 /// Fig 10 workload: N consecutive joins, nothing else.
@@ -66,5 +86,14 @@ Workload make_power_workload(const WorkloadParams& params, double raise_factor,
 /// displacement in a uniform direction, clamped to the field.
 Workload make_move_workload(const WorkloadParams& params, double max_displacement,
                             std::size_t rounds, util::Rng& rng);
+
+/// Parameters for an n-node workload at *constant node density*: the paper's
+/// range distribution (20.5..30.5) is kept and the field is scaled so the
+/// expected out-degree stays near `mean_degree` regardless of n — the regime
+/// in which per-event cost is local and 10⁵–10⁶-node runs are feasible.
+/// Cluster count/spread scale with the field so clustered placements keep a
+/// constant per-cluster population.
+WorkloadParams make_large_n_params(std::size_t n, double mean_degree,
+                                   Placement placement);
 
 }  // namespace minim::sim

@@ -11,6 +11,16 @@ std::string BbbStrategy::name() const {
   return std::string("BBB/") + to_string(order_);
 }
 
+const std::vector<net::NodeId>& BbbStrategy::sequence_for(
+    const net::AdhocNetwork& net, const std::vector<net::NodeId>& nodes) {
+  if (order_ == ColoringOrder::kSmallestLast && params_.incremental_order) {
+    orderer_.order(net, nodes, graph::DegeneracyTieBreak::kStack, seq_);
+    return seq_;
+  }
+  seq_ = coloring_sequence(net, nodes, order_);
+  return seq_;
+}
+
 void BbbStrategy::snapshot(const net::AdhocNetwork& net,
                            const std::vector<net::NodeId>& sequence,
                            const net::CodeAssignment& assignment) {
@@ -50,7 +60,7 @@ bool BbbStrategy::incremental_recolor(const net::AdhocNetwork& net,
     return false;
 
   // The from-scratch greedy's coloring order on the *new* graph.
-  const std::vector<net::NodeId> sequence = coloring_sequence(net, nodes, order_);
+  const std::vector<net::NodeId>& sequence = sequence_for(net, nodes);
   const std::size_t bound = net.id_bound();
   pos_.assign(bound, kNoPos);
   for (std::uint32_t i = 0; i < sequence.size(); ++i) pos_[sequence[i]] = i;
@@ -122,7 +132,8 @@ core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
   report.event = event;
   report.subject = subject;
 
-  const auto nodes = net.nodes();
+  net.nodes(nodes_);
+  const std::vector<net::NodeId>& nodes = nodes_;
   if (params_.incremental && order_ != ColoringOrder::kDSatur &&
       incremental_recolor(net, assignment, nodes, report)) {
     finalize_report(net, assignment, report);
@@ -130,24 +141,24 @@ core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
   }
 
   // From-scratch recolor; remember the previous assignment to count changes.
-  std::vector<net::Color> old_colors;
-  old_colors.reserve(nodes.size());
-  for (net::NodeId v : nodes) old_colors.push_back(assignment.color(v));
+  old_colors_.clear();
+  old_colors_.reserve(nodes.size());
+  for (net::NodeId v : nodes) old_colors_.push_back(assignment.color(v));
 
   if (order_ == ColoringOrder::kDSatur) {
     color_network(net, order_, assignment);
     last_net_ = nullptr;  // DSATUR's dynamic order seeds no incremental state
   } else {
     for (net::NodeId v : nodes) assignment.clear(v);
-    const std::vector<net::NodeId> sequence = coloring_sequence(net, nodes, order_);
+    const std::vector<net::NodeId>& sequence = sequence_for(net, nodes);
     greedy_color_in_sequence(net, sequence, assignment);
     snapshot(net, sequence, assignment);
   }
 
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const net::Color fresh = assignment.color(nodes[i]);
-    if (fresh != old_colors[i])
-      report.changes.push_back(core::Recode{nodes[i], old_colors[i], fresh});
+    if (fresh != old_colors_[i])
+      report.changes.push_back(core::Recode{nodes[i], old_colors_[i], fresh});
   }
   finalize_report(net, assignment, report);
   return report;

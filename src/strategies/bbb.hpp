@@ -5,6 +5,7 @@
 
 #include "core/strategy.hpp"
 #include "strategies/coloring.hpp"
+#include "strategies/ordering.hpp"
 
 /// \file bbb.hpp
 /// \brief The BBB global baseline: recolor the whole network at every event.
@@ -46,12 +47,23 @@ class BbbStrategy final : public core::RecodingStrategy {
     /// Fall back to a full recolor when more than this fraction of the
     /// live nodes had conflict-neighborhood changes.
     double full_recolor_fraction = 0.5;
+    /// Serve the smallest-last ordering from the journal-synced
+    /// `DegeneracyOrderer` (bit-identical to from-scratch
+    /// `graph::smallest_last_order`).  Disable to recompute the ordering
+    /// from an adjacency scan per event — the soak reference.
+    bool incremental_order = true;
+    /// The orderer's full-degree-rebuild threshold
+    /// (`DegeneracyOrderer::Params::rebuild_fraction`).
+    double order_rebuild_fraction = 0.25;
   };
 
   explicit BbbStrategy(ColoringOrder order = ColoringOrder::kSmallestLast)
-      : order_(order) {}
+      : BbbStrategy(order, Params{}) {}
   BbbStrategy(ColoringOrder order, Params params)
-      : order_(order), params_(params) {}
+      : order_(order),
+        params_(params),
+        orderer_(DegeneracyOrderer::Params{params.incremental_order,
+                                           params.order_rebuild_fraction}) {}
 
   std::string name() const override;
 
@@ -68,9 +80,17 @@ class BbbStrategy final : public core::RecodingStrategy {
 
   ColoringOrder order() const { return order_; }
   const Params& params() const { return params_; }
+  /// The maintained-order engine (repair/fallback counters for tests).
+  const DegeneracyOrderer& orderer() const { return orderer_; }
 
  private:
   static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+
+  /// The coloring sequence of this event, served from the maintained
+  /// orderer for smallest-last (when enabled) and from
+  /// `coloring_sequence` otherwise.  Returns a reference to `seq_`.
+  const std::vector<net::NodeId>& sequence_for(const net::AdhocNetwork& net,
+                                               const std::vector<net::NodeId>& nodes);
 
   core::RecodeReport global_recolor(const net::AdhocNetwork& net,
                                     net::CodeAssignment& assignment,
@@ -108,11 +128,15 @@ class BbbStrategy final : public core::RecodingStrategy {
 
   // Per-event scratch (reused across events; no per-node allocation).
   std::vector<net::NodeId> dirty_;
+  std::vector<net::NodeId> nodes_;
+  std::vector<net::NodeId> seq_;
   std::vector<std::uint32_t> pos_;
   std::vector<net::Color> new_colors_;
   std::vector<std::uint8_t> adj_dirty_;
   std::vector<std::uint8_t> changed_;
+  std::vector<net::Color> old_colors_;
   ColorScratch scratch_;
+  DegeneracyOrderer orderer_;
 };
 
 }  // namespace minim::strategies

@@ -1,9 +1,7 @@
 #include "strategies/cp.hpp"
 
 #include <algorithm>
-#include <map>
 
-#include "graph/algorithms.hpp"
 #include "net/constraints.hpp"
 #include "util/geometry.hpp"
 #include "util/require.hpp"
@@ -19,24 +17,60 @@ std::string CpStrategy::name() const {
 std::vector<net::NodeId> CpStrategy::duplicate_color_neighbors(
     const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
     net::NodeId n) {
-  std::map<net::Color, std::vector<net::NodeId>> by_color;
+  // Group the colored in-neighbors by color without a map: sort (color, id)
+  // pairs, emit every color class of size > 1.
+  color_pairs_.clear();
   for (net::NodeId u : net.heard_by(n)) {
     const net::Color c = assignment.color(u);
-    if (c != net::kNoColor) by_color[c].push_back(u);
+    if (c != net::kNoColor) color_pairs_.emplace_back(c, u);
   }
+  std::sort(color_pairs_.begin(), color_pairs_.end());
   std::vector<net::NodeId> duplicates;
-  for (auto& [color, members] : by_color)
-    if (members.size() > 1)
-      duplicates.insert(duplicates.end(), members.begin(), members.end());
+  for (std::size_t i = 0; i < color_pairs_.size();) {
+    std::size_t j = i + 1;
+    while (j < color_pairs_.size() && color_pairs_[j].first == color_pairs_[i].first)
+      ++j;
+    if (j - i > 1)
+      for (std::size_t k = i; k < j; ++k) duplicates.push_back(color_pairs_[k].second);
+    i = j;
+  }
   std::sort(duplicates.begin(), duplicates.end());
   return duplicates;
+}
+
+std::pair<std::uint32_t, std::uint32_t> CpStrategy::collect_two_hop(
+    const net::AdhocNetwork& net, net::NodeId v) {
+  const std::size_t bound = net.id_bound();
+  if (visit_epoch_.size() < bound) visit_epoch_.resize(bound, 0);
+  if (++epoch_ == 0) {  // stamp wraparound: reset once every 2^32 queries
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  const std::uint32_t stamp = epoch_;
+  visit_epoch_[v] = stamp;
+
+  const auto offset = static_cast<std::uint32_t>(vicinity_pool_.size());
+  auto push_unvisited = [&](net::NodeId w) {
+    if (visit_epoch_[w] == stamp) return;
+    visit_epoch_[w] = stamp;
+    vicinity_pool_.push_back(w);
+  };
+  for (net::NodeId w : net.hearers_of(v)) push_unvisited(w);
+  for (net::NodeId w : net.heard_by(v)) push_unvisited(w);
+  const std::size_t level1_end = vicinity_pool_.size();
+  for (std::size_t i = offset; i < level1_end; ++i) {
+    const net::NodeId x = vicinity_pool_[i];
+    for (net::NodeId w : net.hearers_of(x)) push_unvisited(w);
+    for (net::NodeId w : net.heard_by(x)) push_unvisited(w);
+  }
+  return {offset, static_cast<std::uint32_t>(vicinity_pool_.size()) - offset};
 }
 
 core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
                                                   net::CodeAssignment& assignment,
                                                   std::vector<net::NodeId> candidates,
                                                   net::NodeId subject,
-                                                  core::EventType event) const {
+                                                  core::EventType event) {
   core::RecodeReport report;
   report.event = event;
   report.subject = subject;
@@ -45,33 +79,40 @@ core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
   candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
 
   // Deselect: candidates give up their colors before re-selection.
-  std::vector<net::Color> saved_old(candidates.size());
+  saved_old_.resize(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    saved_old[i] = assignment.color(candidates[i]);
+    saved_old_[i] = assignment.color(candidates[i]);
     assignment.clear(candidates[i]);
   }
 
-  // Vicinity = self + nodes within 2 undirected hops (CP's notion, which
-  // over-approximates the real constraint set).
-  std::vector<std::vector<net::NodeId>> vicinity(candidates.size());
+  // Vicinity = the nodes within 2 undirected hops of the candidate (CP's
+  // notion, which over-approximates the real constraint set; the candidate
+  // itself is excluded, as `graph::k_hop_ball` always did), collected once
+  // per candidate into the shared pool.
+  vicinity_pool_.clear();
+  vicinity_spans_.resize(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i)
-    vicinity[i] = graph::k_hop_ball(net.graph(), candidates[i], 2);
+    vicinity_spans_[i] = collect_two_hop(net, candidates[i]);
+  const auto vicinity = [this](std::size_t i) {
+    return std::span<const net::NodeId>(vicinity_pool_.data() + vicinity_spans_[i].first,
+                                        vicinity_spans_[i].second);
+  };
 
   if (stats_ != nullptr) {
     *stats_ = RunStats{};
     stats_->candidates = candidates;
-    for (const auto& ball : vicinity) stats_->vicinity_sizes.push_back(ball.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      stats_->vicinity_sizes.push_back(vicinity_spans_[i].second);
   }
 
-  auto candidate_index = [&candidates](net::NodeId v) -> std::size_t {
-    const auto it = std::lower_bound(candidates.begin(), candidates.end(), v);
-    if (it == candidates.end() || *it != v) return candidates.size();
-    return static_cast<std::size_t>(it - candidates.begin());
-  };
+  // Direct id -> candidate-index map (index + 1; 0 = not a candidate),
+  // filled for this event and wiped candidate-by-candidate afterwards.
+  if (candidate_slot_.size() < net.id_bound()) candidate_slot_.resize(net.id_bound(), 0);
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    candidate_slot_[candidates[i]] = static_cast<std::uint32_t>(i) + 1;
 
-  std::vector<char> colored(candidates.size(), 0);
+  colored_.assign(candidates.size(), 0);
   std::size_t remaining = candidates.size();
-  std::vector<net::Color> forbidden;
   while (remaining > 0) {
     if (stats_ != nullptr) {
       ++stats_->rounds;
@@ -85,12 +126,12 @@ core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
     for (std::size_t step = 0; step < candidates.size(); ++step) {
       const std::size_t i =
           order_ == Order::kHighestFirst ? candidates.size() - 1 - step : step;
-      if (colored[i]) continue;
+      if (colored_[i]) continue;
       const net::NodeId u = candidates[i];
       bool blocked = false;
-      for (net::NodeId w : vicinity[i]) {
-        const std::size_t j = candidate_index(w);
-        if (j == candidates.size() || colored[j]) continue;
+      for (net::NodeId w : vicinity(i)) {
+        const std::uint32_t slot = candidate_slot_[w];
+        if (slot == 0 || colored_[slot - 1]) continue;
         if (order_ == Order::kHighestFirst ? w > u : w < u) {
           blocked = true;
           break;
@@ -98,24 +139,25 @@ core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
       }
       if (blocked) continue;
 
-      forbidden.clear();
+      forbidden_.clear();
       if (vicinity_ == Vicinity::kTwoHopBall) {
-        for (net::NodeId w : vicinity[i]) {
+        for (net::NodeId w : vicinity(i)) {
           const net::Color c = assignment.color(w);
-          if (c != net::kNoColor) forbidden.push_back(c);
+          if (c != net::kNoColor) forbidden_.push_back(c);
         }
       } else {
         // Exact variant: avoid only true CA1/CA2 conflict partners (pending
         // candidates are uncolored and contribute nothing yet).
         for (net::NodeId w : net.conflict_graph().neighbors(u)) {
           const net::Color c = assignment.color(w);
-          if (c != net::kNoColor) forbidden.push_back(c);
+          if (c != net::kNoColor) forbidden_.push_back(c);
         }
       }
-      std::sort(forbidden.begin(), forbidden.end());
-      forbidden.erase(std::unique(forbidden.begin(), forbidden.end()), forbidden.end());
-      assignment.set_color(u, net::lowest_free_color(forbidden));
-      colored[i] = 1;
+      std::sort(forbidden_.begin(), forbidden_.end());
+      forbidden_.erase(std::unique(forbidden_.begin(), forbidden_.end()),
+                       forbidden_.end());
+      assignment.set_color(u, net::lowest_free_color(forbidden_));
+      colored_[i] = 1;
       --remaining;
       progressed = true;
     }
@@ -123,10 +165,12 @@ core::RecodeReport CpStrategy::recolor_candidates(const net::AdhocNetwork& net,
     MINIM_REQUIRE(progressed, "CP recoloring failed to make progress");
   }
 
+  for (net::NodeId c : candidates) candidate_slot_[c] = 0;
+
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const net::Color fresh = assignment.color(candidates[i]);
-    if (fresh != saved_old[i])
-      report.changes.push_back(core::Recode{candidates[i], saved_old[i], fresh});
+    if (fresh != saved_old_[i])
+      report.changes.push_back(core::Recode{candidates[i], saved_old_[i], fresh});
   }
   finalize_report(net, assignment, report);
   return report;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.hpp"
@@ -80,9 +82,18 @@ class CpStrategy final : public core::RecodingStrategy {
  private:
   /// In-neighbors of n that share an old color with another in-neighbor —
   /// the CA2 casualties of a join/move at n.
-  static std::vector<net::NodeId> duplicate_color_neighbors(
+  std::vector<net::NodeId> duplicate_color_neighbors(
       const net::AdhocNetwork& net, const net::CodeAssignment& assignment,
       net::NodeId n);
+
+  /// Appends the 2-hop undirected ball of `v` (excluding `v`) to the shared
+  /// vicinity pool and returns its (offset, size).  Visited tracking is an
+  /// epoch-stamped array, so a query costs O(ball) with no per-candidate
+  /// allocation or O(id_bound) clearing — the cache-served replacement for
+  /// per-candidate `graph::k_hop_ball` calls.  Ball order is BFS order, not
+  /// sorted; every consumer below is order-insensitive.
+  std::pair<std::uint32_t, std::uint32_t> collect_two_hop(
+      const net::AdhocNetwork& net, net::NodeId v);
 
   /// The identity-ordered distributed recoloring of `candidates` (their
   /// colors are deselected first).  Returns the per-node changes.
@@ -90,11 +101,24 @@ class CpStrategy final : public core::RecodingStrategy {
                                         net::CodeAssignment& assignment,
                                         std::vector<net::NodeId> candidates,
                                         net::NodeId subject,
-                                        core::EventType event) const;
+                                        core::EventType event);
 
   Order order_;
   Vicinity vicinity_;
   RunStats* stats_ = nullptr;
+
+  // Recoloring scratch, reused across events (strategies are driven from a
+  // single thread): the flattened vicinity pool replaces the per-event
+  // vector-of-vectors, `candidate_slot_` the per-lookup binary search.
+  std::vector<std::uint32_t> visit_epoch_;  ///< id-indexed BFS stamps
+  std::uint32_t epoch_ = 0;
+  std::vector<net::NodeId> vicinity_pool_;  ///< all candidates' balls, packed
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> vicinity_spans_;
+  std::vector<std::uint32_t> candidate_slot_;  ///< id -> candidate index + 1
+  std::vector<net::Color> saved_old_;
+  std::vector<net::Color> forbidden_;
+  std::vector<char> colored_;
+  std::vector<std::pair<net::Color, net::NodeId>> color_pairs_;
 };
 
 }  // namespace minim::strategies

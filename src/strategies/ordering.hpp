@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "net/network.hpp"
+
+/// \file ordering.hpp
+/// \brief Incrementally maintained degeneracy (smallest-last) ordering.
+///
+/// PR 3 made BBB's recoloring local, which left the smallest-last *ordering*
+/// as the dominant per-event term: every event recomputed the vertex degrees
+/// from an O(V+E) adjacency scan and rebuilt the bucket structure from
+/// freshly allocated storage.  `DegeneracyOrderer` removes both costs:
+///
+/// * it mirrors every node's conflict degree, synchronized from the conflict
+///   cache's dirty journal — a bounded repair touching only the nodes whose
+///   conflict neighborhood changed since the last order, falling back to a
+///   full degree rebuild when the journal window is gone or the dirty region
+///   exceeds `Params::rebuild_fraction` of the id space;
+/// * the elimination replays through a persistent `graph::EliminationArena`,
+///   so a steady-state event performs no allocation.
+///
+/// The produced order is bit-identical to from-scratch
+/// `graph::smallest_last_order` on the current graph for every tie-break —
+/// both run the same `smallest_last_eliminate` core on equal inputs, and the
+/// randomized event soaks in tests/strategies/ordering_test.cpp hold it to
+/// that.  BBB's dirty-region recoloring depends on exactly this equivalence.
+namespace minim::strategies {
+
+class DegeneracyOrderer {
+ public:
+  struct Params {
+    /// Serve degrees from the journal-synced mirror.  Disable to recompute
+    /// the mirror from the conflict rows on every order (the reference
+    /// behavior the equivalence soaks compare against).
+    bool incremental = true;
+    /// Full degree rebuild when more than this fraction of the id space was
+    /// journaled dirty since the last order (raw journal entries, so repeats
+    /// count — a deliberately conservative trigger).
+    double rebuild_fraction = 0.25;
+  };
+
+  /// Why the last `order()` call refreshed its degree mirror the way it did.
+  struct Counters {
+    std::uint64_t orders = 0;
+    std::uint64_t repaired_nodes = 0;     ///< dirty ids patched in place
+    std::uint64_t degree_rebuilds = 0;    ///< full mirror recomputes (any cause)
+    std::uint64_t threshold_fallbacks = 0;///< rebuilds forced by rebuild_fraction
+    std::uint64_t journal_fallbacks = 0;  ///< rebuilds forced by a lost window
+  };
+
+  DegeneracyOrderer() = default;
+  explicit DegeneracyOrderer(Params params) : params_(params) {}
+
+  /// Smallest-last coloring order of `vertices` over `net`'s cached conflict
+  /// graph, written into `out`.  Requires `vertices` to be the network's
+  /// full live node set (ascending) — the precondition under which the
+  /// degree mirror equals the conflict row sizes.
+  void order(const net::AdhocNetwork& net, const std::vector<net::NodeId>& vertices,
+             graph::DegeneracyTieBreak tie, std::vector<net::NodeId>& out);
+
+  const Params& params() const { return params_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  /// Brings the degree mirror up to date with `cg`; see the file comment.
+  void sync_degrees(const net::ConflictGraph& cg);
+
+  Params params_;
+  Counters counters_;
+  std::uint64_t last_nonce_ = 0;  ///< ConflictGraph::nonce() of the mirror
+  std::uint64_t last_revision_ = 0;
+  std::vector<std::size_t> degrees_;  ///< id-indexed conflict-degree mirror
+  std::vector<net::NodeId> dirty_;
+  graph::EliminationArena arena_;
+};
+
+}  // namespace minim::strategies

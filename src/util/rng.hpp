@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -110,6 +111,20 @@ class Rng {
 
   /// Bernoulli draw with probability `p` of true.
   bool chance(double p) { return uniform01() < p; }
+
+  /// Standard normal draw (Marsaglia polar method).  One value per call —
+  /// the spare is deliberately not cached so a call consumes a
+  /// deterministic, state-free number of uniforms on average (no hidden
+  /// carry between streams).
+  double normal() {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
 
   /// Fisher–Yates shuffle of a random-access container.
   template <typename Container>

@@ -41,7 +41,7 @@ TEST(BipartiteBuilder, PoolBoundCoversConstraintsAndOldColors) {
   const NodeId joiner = net.add_node({{50, 40}, 5});  // hears u only? u reaches it
   ASSERT_TRUE(net.graph().has_edge(u, joiner));
 
-  std::vector<NodeId> v1 = net.heard_by(joiner);
+  std::vector<NodeId> v1 = minim::test::ids(net.heard_by(joiner));
   v1.push_back(joiner);
   const RecodeProblem problem = build_recode_problem(net, asg, v1);
   // outside (7) constrains u; old color 5 also counts: pool max must be >= 7.
@@ -59,7 +59,7 @@ TEST(BipartiteBuilder, ForbiddenColorsHaveNoEdges) {
   asg.set_color(outside, 3);
   const NodeId joiner = net.add_node({{50, 40}, 5});
 
-  std::vector<NodeId> v1 = net.heard_by(joiner);
+  std::vector<NodeId> v1 = minim::test::ids(net.heard_by(joiner));
   v1.push_back(joiner);
   const RecodeProblem problem = build_recode_problem(net, asg, v1);
 

@@ -84,7 +84,7 @@ TEST_P(MinimJoinTheorems, OldColorEdgesExistWithWeight3) {
   const NodeId joiner = world.network.add_node(
       {{rng.uniform(0, 100), rng.uniform(0, 100)},
        rng.uniform(param.min_range, param.max_range)});
-  std::vector<NodeId> v1 = world.network.heard_by(joiner);
+  std::vector<NodeId> v1 = minim::test::ids(world.network.heard_by(joiner));
   v1.push_back(joiner);
   const auto problem = build_recode_problem(world.network, world.assignment, v1);
 
@@ -116,7 +116,7 @@ TEST_P(MinimOptimalityTest, JoinAchievesAdversaryOptimum) {
 
   const NodeId joiner = world.network.add_node(
       {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(18.0, 26.0)});
-  std::vector<NodeId> v1 = world.network.heard_by(joiner);
+  std::vector<NodeId> v1 = minim::test::ids(world.network.heard_by(joiner));
   if (v1.size() > 6) GTEST_SKIP() << "recode set too large for the oracle";
   v1.push_back(joiner);
 
@@ -140,7 +140,7 @@ TEST_P(MinimOptimalityTest, MoveAchievesAdversaryOptimum) {
   const NodeId mover = world.ids[rng.below(world.ids.size())];
   world.network.set_position(mover, {rng.uniform(0, 100), rng.uniform(0, 100)});
 
-  std::vector<NodeId> v1 = world.network.heard_by(mover);
+  std::vector<NodeId> v1 = minim::test::ids(world.network.heard_by(mover));
   if (v1.size() > 6) GTEST_SKIP() << "recode set too large for the oracle";
   v1.push_back(mover);
 

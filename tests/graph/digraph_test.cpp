@@ -74,8 +74,9 @@ TEST(Digraph, NeighborsSortedAscending) {
   g.add_edge(0, 5);
   g.add_edge(0, 2);
   g.add_edge(0, 4);
-  const auto& outs = g.out_neighbors(0);
-  EXPECT_EQ(outs, (std::vector<NodeId>{2, 4, 5}));
+  const auto outs = g.out_neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(outs.begin(), outs.end()),
+            (std::vector<NodeId>{2, 4, 5}));
 }
 
 TEST(Digraph, InNeighborsMirrorOutEdges) {
@@ -83,7 +84,8 @@ TEST(Digraph, InNeighborsMirrorOutEdges) {
   for (int i = 0; i < 4; ++i) g.add_node();
   g.add_edge(1, 3);
   g.add_edge(2, 3);
-  EXPECT_EQ(g.in_neighbors(3), (std::vector<NodeId>{1, 2}));
+  const auto ins = g.in_neighbors(3);
+  EXPECT_EQ(std::vector<NodeId>(ins.begin(), ins.end()), (std::vector<NodeId>{1, 2}));
   EXPECT_EQ(g.in_degree(3), 2u);
   EXPECT_EQ(g.out_degree(3), 0u);
 }

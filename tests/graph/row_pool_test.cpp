@@ -1,0 +1,155 @@
+// Pooled CSR row storage: sortedness, growth/relocation, compaction, arena
+// reuse, and the replace_row bulk path — randomized against a
+// vector-of-vectors reference.
+
+#include "graph/row_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::CountedRowPool;
+using minim::graph::NodeId;
+using minim::graph::RowPool;
+
+std::vector<NodeId> to_vec(std::span<const NodeId> s) {
+  return std::vector<NodeId>(s.begin(), s.end());
+}
+
+TEST(RowPool, InsertEraseKeepsRowsSortedUnique) {
+  RowPool pool;
+  EXPECT_TRUE(pool.insert_sorted(3, 7));
+  EXPECT_TRUE(pool.insert_sorted(3, 2));
+  EXPECT_TRUE(pool.insert_sorted(3, 5));
+  EXPECT_FALSE(pool.insert_sorted(3, 5));  // duplicate
+  EXPECT_EQ(to_vec(pool.row(3)), (std::vector<NodeId>{2, 5, 7}));
+  EXPECT_TRUE(pool.contains(3, 5));
+  EXPECT_FALSE(pool.contains(3, 4));
+  EXPECT_TRUE(pool.erase_sorted(3, 5));
+  EXPECT_FALSE(pool.erase_sorted(3, 5));  // already gone
+  EXPECT_EQ(to_vec(pool.row(3)), (std::vector<NodeId>{2, 7}));
+  EXPECT_TRUE(pool.row(99).empty());  // unknown rows read as empty
+}
+
+TEST(RowPool, RandomizedSoakMatchesReference) {
+  minim::util::Rng rng(4242);
+  RowPool pool;
+  std::vector<std::vector<NodeId>> reference(40);
+  for (int step = 0; step < 20000; ++step) {
+    const auto r = static_cast<std::uint32_t>(rng.below(reference.size()));
+    const auto v = static_cast<NodeId>(rng.below(200));
+    std::vector<NodeId>& ref = reference[r];
+    if (rng.chance(0.6)) {
+      const bool inserted = pool.insert_sorted(r, v);
+      const auto it = std::lower_bound(ref.begin(), ref.end(), v);
+      const bool expect = it == ref.end() || *it != v;
+      ASSERT_EQ(inserted, expect);
+      if (expect) ref.insert(it, v);
+    } else if (rng.chance(0.8)) {
+      const bool erased = pool.erase_sorted(r, v);
+      const auto it = std::lower_bound(ref.begin(), ref.end(), v);
+      const bool expect = it != ref.end() && *it == v;
+      ASSERT_EQ(erased, expect);
+      if (expect) ref.erase(it);
+    } else {
+      pool.clear_row(r);
+      ref.clear();
+    }
+    if (step % 500 == 0) {
+      for (std::uint32_t row = 0; row < reference.size(); ++row)
+        ASSERT_EQ(to_vec(pool.row(row)), reference[row]) << "row " << row;
+    }
+  }
+  for (std::uint32_t row = 0; row < reference.size(); ++row)
+    ASSERT_EQ(to_vec(pool.row(row)), reference[row]);
+  EXPECT_GT(pool.memory_bytes(), 0u);
+}
+
+TEST(RowPool, ClearResetsContentButKeepsRows) {
+  RowPool pool;
+  for (NodeId v = 0; v < 100; ++v) pool.insert_sorted(1, v);
+  pool.clear();
+  EXPECT_TRUE(pool.row(1).empty());
+  EXPECT_EQ(pool.row_count(), 2u);  // refs survive for arena reuse
+  EXPECT_TRUE(pool.insert_sorted(1, 42));
+  EXPECT_EQ(to_vec(pool.row(1)), (std::vector<NodeId>{42}));
+}
+
+TEST(CountedRowPool, CountsFollowIdsThroughGrowthAndCompaction) {
+  minim::util::Rng rng(99);
+  CountedRowPool pool;
+  std::vector<std::map<NodeId, std::uint32_t>> reference(16);
+  for (int step = 0; step < 20000; ++step) {
+    const auto r = static_cast<std::uint32_t>(rng.below(reference.size()));
+    const auto v = static_cast<NodeId>(rng.below(150));
+    auto& ref = reference[r];
+    const auto it = ref.find(v);
+    if (rng.chance(0.65)) {
+      if (std::uint32_t* count = pool.find(r, v)) {
+        ASSERT_TRUE(it != ref.end());
+        ++*count;
+        ++it->second;
+      } else {
+        ASSERT_TRUE(it == ref.end());
+        pool.insert(r, v, 1);
+        ref[v] = 1;
+      }
+    } else if (it != ref.end()) {
+      std::uint32_t* count = pool.find(r, v);
+      ASSERT_NE(count, nullptr);
+      if (--*count == 0) pool.erase(r, v);
+      if (--it->second == 0) ref.erase(it);
+    }
+    if (step % 1000 == 0) {
+      for (std::uint32_t row = 0; row < reference.size(); ++row) {
+        const auto ids = pool.ids(row);
+        const auto counts = pool.counts(row);
+        ASSERT_EQ(ids.size(), reference[row].size());
+        std::size_t i = 0;
+        for (const auto& [id, count] : reference[row]) {
+          ASSERT_EQ(ids[i], id);
+          ASSERT_EQ(counts[i], count);
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+TEST(CountedRowPool, ReplaceRowOverwritesAndGrows) {
+  CountedRowPool pool;
+  pool.insert(0, 5, 2);
+  pool.insert(0, 9, 1);
+  pool.insert(1, 1, 7);  // neighbor row must be untouched by the replace
+
+  std::vector<NodeId> ids;
+  std::vector<std::uint32_t> counts;
+  for (NodeId v = 0; v < 50; ++v) {
+    ids.push_back(v * 2);
+    counts.push_back(v + 1);
+  }
+  pool.replace_row(0, ids, counts);
+  ASSERT_EQ(pool.size(0), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(pool.ids(0)[i], ids[i]);
+    EXPECT_EQ(pool.counts(0)[i], counts[i]);
+  }
+  EXPECT_EQ(to_vec(pool.ids(1)), (std::vector<NodeId>{1}));
+  EXPECT_EQ(pool.counts(1)[0], 7u);
+
+  // Shrinking replace reuses the slot in place.
+  const std::vector<NodeId> small_ids{3};
+  const std::vector<std::uint32_t> small_counts{4};
+  pool.replace_row(0, small_ids, small_counts);
+  ASSERT_EQ(pool.size(0), 1u);
+  EXPECT_EQ(pool.ids(0)[0], 3u);
+  EXPECT_EQ(pool.counts(0)[0], 4u);
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/minim.hpp"
@@ -16,6 +17,13 @@
 #include "util/rng.hpp"
 
 namespace minim::test {
+
+/// Materializes a neighbor range (the pooled-storage spans returned by
+/// Digraph/AdhocNetwork/ConflictGraph accessors) for gtest comparisons.
+template <typename Range>
+std::vector<net::NodeId> ids(const Range& range) {
+  return std::vector<net::NodeId>(range.begin(), range.end());
+}
 
 /// A network populated by sequential Minim joins (assignment always valid).
 struct World {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../helpers.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -22,8 +23,12 @@ void expect_graph_consistent(const AdhocNetwork& net) {
   ASSERT_EQ(incremental.node_count(), fresh.node_count());
   ASSERT_EQ(incremental.edge_count(), fresh.edge_count());
   for (NodeId u : net.nodes()) {
-    ASSERT_EQ(incremental.out_neighbors(u), fresh.out_neighbors(u)) << "node " << u;
-    ASSERT_EQ(incremental.in_neighbors(u), fresh.in_neighbors(u)) << "node " << u;
+    ASSERT_EQ(minim::test::ids(incremental.out_neighbors(u)),
+              minim::test::ids(fresh.out_neighbors(u)))
+        << "node " << u;
+    ASSERT_EQ(minim::test::ids(incremental.in_neighbors(u)),
+              minim::test::ids(fresh.in_neighbors(u)))
+        << "node " << u;
   }
 }
 
@@ -41,7 +46,7 @@ TEST(AdhocNetwork, AsymmetricRangesGiveAsymmetricEdges) {
   const NodeId weak = net.add_node({{30, 0}, 10.0});
   EXPECT_TRUE(net.graph().has_edge(strong, weak));
   EXPECT_FALSE(net.graph().has_edge(weak, strong));
-  EXPECT_EQ(net.heard_by(weak), (std::vector<NodeId>{strong}));
+  EXPECT_EQ(minim::test::ids(net.heard_by(weak)), (std::vector<NodeId>{strong}));
   EXPECT_TRUE(net.heard_by(strong).empty());
 }
 
@@ -118,7 +123,7 @@ TEST(AdhocNetwork, ZeroRangeNodeHearsButIsNotHeard) {
   const NodeId loud = net.add_node({{5, 0}, 10.0});
   EXPECT_TRUE(net.graph().has_edge(loud, mute));
   EXPECT_FALSE(net.graph().has_edge(mute, loud));
-  EXPECT_EQ(net.heard_by(mute), (std::vector<NodeId>{loud}));
+  EXPECT_EQ(minim::test::ids(net.heard_by(mute)), (std::vector<NodeId>{loud}));
 }
 
 TEST(AdhocNetwork, NegativeRangeRejected) {

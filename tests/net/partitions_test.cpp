@@ -7,6 +7,7 @@
 
 #include "net/assignment.hpp"
 #include "net/network.hpp"
+#include "../helpers.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -42,7 +43,7 @@ TEST(Partitions, RecodeCandidatesIsInNeighborhood) {
   net.add_node({{5, 0}, 10.0});
   net.add_node({{0, 12}, 20.0});
   const JoinPartitions p = JoinPartitions::compute(net, n);
-  EXPECT_EQ(p.recode_candidates(), net.heard_by(n));
+  EXPECT_EQ(p.recode_candidates(), minim::test::ids(net.heard_by(n)));
 }
 
 TEST(Partitions, SetsArePairwiseDisjointAndCoverEverything) {

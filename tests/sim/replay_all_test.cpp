@@ -1,0 +1,99 @@
+// Lockstep replay contract: `replay_all` over k strategies is bit-identical,
+// lane by lane, to k solo `replay` calls — the network's evolution is a pure
+// function of the workload, so sharing one evolution across per-strategy
+// assignments must change nothing.  The experiment layer (and with it every
+// figure CSV) rides on this equivalence.
+
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "strategies/factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace minim;
+
+void expect_same_outcome(const sim::RunOutcome& lockstep,
+                         const sim::RunOutcome& solo, const std::string& label) {
+  EXPECT_EQ(lockstep.setup_max_color, solo.setup_max_color) << label;
+  EXPECT_EQ(lockstep.setup_recodings, solo.setup_recodings) << label;
+  EXPECT_EQ(lockstep.max_color, solo.max_color) << label;
+  EXPECT_EQ(lockstep.totals.events, solo.totals.events) << label;
+  EXPECT_EQ(lockstep.totals.recodings, solo.totals.recodings) << label;
+  EXPECT_EQ(lockstep.totals.messages, solo.totals.messages) << label;
+  EXPECT_EQ(lockstep.totals.events_by_type, solo.totals.events_by_type) << label;
+  EXPECT_EQ(lockstep.totals.recodings_by_type, solo.totals.recodings_by_type)
+      << label;
+}
+
+TEST(ReplayAll, MatchesSoloReplaysAcrossScenariosAndStrategies) {
+  const std::vector<std::string> names{"minim", "cp", "cp-exact", "bbb"};
+  const sim::ScenarioKind kinds[] = {sim::ScenarioKind::kJoin,
+                                     sim::ScenarioKind::kPower,
+                                     sim::ScenarioKind::kMove};
+  sim::ReplayArena arena;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    for (const sim::ScenarioKind kind : kinds) {
+      util::Rng rng = util::Rng::for_stream(2024, trial);
+      sim::ScenarioSpec spec;
+      spec.kind = kind;
+      spec.workload.n = 30;
+      spec.raise_factor = 3.0;
+      spec.move_rounds = 2;
+      const sim::Workload workload = sim::make_scenario_workload(spec, rng);
+
+      std::vector<std::unique_ptr<core::RecodingStrategy>> objects;
+      std::vector<core::RecodingStrategy*> lanes;
+      for (const std::string& name : names) {
+        objects.push_back(strategies::make_strategy(name));
+        lanes.push_back(objects.back().get());
+      }
+      const std::vector<sim::RunOutcome> lockstep =
+          sim::replay_all(workload, lanes, /*validate=*/true, &arena);
+      ASSERT_EQ(lockstep.size(), names.size());
+
+      for (std::size_t s = 0; s < names.size(); ++s) {
+        const auto solo_strategy = strategies::make_strategy(names[s]);
+        const sim::RunOutcome solo =
+            sim::replay(workload, *solo_strategy, /*validate=*/true);
+        expect_same_outcome(lockstep[s], solo,
+                            names[s] + " kind " +
+                                std::to_string(static_cast<int>(kind)) +
+                                " trial " + std::to_string(trial));
+      }
+    }
+  }
+}
+
+TEST(ReplayAll, ArenaReuseAcrossLaneCountsIsBitIdentical) {
+  // A wide replay followed by a narrow one must not leak lane state.
+  util::Rng rng = util::Rng::for_stream(7, 0);
+  sim::ScenarioSpec spec;
+  spec.kind = sim::ScenarioKind::kPower;
+  spec.workload.n = 25;
+  const sim::Workload workload = sim::make_scenario_workload(spec, rng);
+
+  sim::ReplayArena arena;
+  const auto wide_a = strategies::make_strategy("minim");
+  const auto wide_b = strategies::make_strategy("cp");
+  const auto wide_c = strategies::make_strategy("bbb");
+  core::RecodingStrategy* wide[] = {wide_a.get(), wide_b.get(), wide_c.get()};
+  sim::replay_all(workload, wide, false, &arena);
+
+  const auto narrow = strategies::make_strategy("cp");
+  core::RecodingStrategy* lanes[] = {narrow.get()};
+  const auto reused = sim::replay_all(workload, lanes, false, &arena);
+
+  const auto fresh_strategy = strategies::make_strategy("cp");
+  const auto fresh = sim::replay(workload, *fresh_strategy, false);
+  expect_same_outcome(reused[0], fresh, "cp after wide arena use");
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// The large-N scenario family: clustered (Thomas process) and Poisson-disk
+// placements, the constant-density parameter helper, and the new sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/sweeps.hpp"
+#include "sim/workload.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace minim;
+using sim::Placement;
+using sim::Workload;
+using sim::WorkloadParams;
+
+WorkloadParams base_params(Placement placement, std::size_t n) {
+  WorkloadParams params;
+  params.n = n;
+  params.placement = placement;
+  return params;
+}
+
+TEST(Placement, GeneratorsAreDeterministicPerStream) {
+  for (const Placement placement :
+       {Placement::kUniform, Placement::kClustered, Placement::kPoissonDisk}) {
+    util::Rng a = util::Rng::for_stream(5, 1);
+    util::Rng b = util::Rng::for_stream(5, 1);
+    const Workload wa = sim::make_join_workload(base_params(placement, 80), a);
+    const Workload wb = sim::make_join_workload(base_params(placement, 80), b);
+    ASSERT_EQ(wa.joins.size(), wb.joins.size());
+    for (std::size_t i = 0; i < wa.joins.size(); ++i) {
+      EXPECT_EQ(wa.joins[i].position.x, wb.joins[i].position.x);
+      EXPECT_EQ(wa.joins[i].position.y, wb.joins[i].position.y);
+      EXPECT_EQ(wa.joins[i].range, wb.joins[i].range);
+    }
+  }
+}
+
+TEST(Placement, AllPlacementsStayInsideTheField) {
+  util::Rng rng(11);
+  for (const Placement placement :
+       {Placement::kUniform, Placement::kClustered, Placement::kPoissonDisk}) {
+    const Workload w = sim::make_join_workload(base_params(placement, 200), rng);
+    ASSERT_EQ(w.joins.size(), 200u);
+    for (const auto& config : w.joins) {
+      EXPECT_GE(config.position.x, 0.0);
+      EXPECT_LE(config.position.x, w.width);
+      EXPECT_GE(config.position.y, 0.0);
+      EXPECT_LE(config.position.y, w.height);
+      EXPECT_GE(config.range, 20.5);
+      EXPECT_LE(config.range, 30.5);
+    }
+  }
+}
+
+TEST(Placement, PoissonDiskRespectsSeparationBelowPackingLimit) {
+  // 40 points on 100x100 with separation 8: far below the packing limit, so
+  // dart throwing must never need its give-up path.
+  WorkloadParams params = base_params(Placement::kPoissonDisk, 40);
+  params.min_separation = 8.0;
+  util::Rng rng(12);
+  const Workload w = sim::make_join_workload(params, rng);
+  for (std::size_t i = 0; i < w.joins.size(); ++i)
+    for (std::size_t j = i + 1; j < w.joins.size(); ++j) {
+      const double d2 = util::distance_squared(w.joins[i].position,
+                                               w.joins[j].position);
+      EXPECT_GE(d2, 8.0 * 8.0 - 1e-9) << "pair " << i << "," << j;
+    }
+}
+
+TEST(Placement, PoissonDiskDegradesGracefullyPastPackingLimit) {
+  // Far more points than the separation admits: generation must still
+  // produce n nodes (the attempt cap accepts the last candidate).
+  WorkloadParams params = base_params(Placement::kPoissonDisk, 400);
+  params.min_separation = 30.0;
+  util::Rng rng(13);
+  const Workload w = sim::make_join_workload(params, rng);
+  EXPECT_EQ(w.joins.size(), 400u);
+}
+
+TEST(Placement, ClusteredConcentratesAroundFewCenters) {
+  // With one tight cluster, the point spread must be far below the uniform
+  // field spread.
+  WorkloadParams params = base_params(Placement::kClustered, 150);
+  params.cluster_count = 1;
+  params.cluster_sigma = 3.0;
+  util::Rng rng(14);
+  const Workload w = sim::make_join_workload(params, rng);
+  util::Vec2 mean{0, 0};
+  for (const auto& config : w.joins) mean = mean + config.position;
+  mean = mean * (1.0 / static_cast<double>(w.joins.size()));
+  double rms = 0;
+  for (const auto& config : w.joins)
+    rms += util::distance_squared(config.position, mean);
+  rms = std::sqrt(rms / static_cast<double>(w.joins.size()));
+  // Clamping at the border can only pull points inward; 6 sigma is a
+  // generous bound, a uniform field would give ~40.
+  EXPECT_LT(rms, 6.0 * params.cluster_sigma);
+}
+
+TEST(LargeNParams, ConstantDensityHitsTheTargetDegree) {
+  const double target = 12.0;
+  for (const std::size_t n : {1000u, 4000u}) {
+    const WorkloadParams params =
+        sim::make_large_n_params(n, target, Placement::kUniform);
+    util::Rng rng(15);
+    const Workload w = sim::make_join_workload(params, rng);
+    net::AdhocNetwork net(w.width, w.height);
+    for (const auto& config : w.joins) net.add_node(config);
+    const double mean_degree =
+        static_cast<double>(net.graph().edge_count()) / static_cast<double>(n);
+    EXPECT_GT(mean_degree, target * 0.7) << "n " << n;
+    EXPECT_LT(mean_degree, target * 1.3) << "n " << n;
+  }
+}
+
+TEST(LargeNSweeps, ConstantDensityAndClusterCountSweepsRun) {
+  sim::SweepOptions options;
+  options.strategies = {"minim", "cp"};
+  options.runs = 2;
+  options.threads = 1;
+
+  const auto density = sim::sweep_join_vs_n_constant_density(
+      {50, 100}, options, Placement::kClustered, 10.0);
+  ASSERT_EQ(density.size(), 4u);  // 2 ns x 2 strategies
+  for (const auto& point : density) {
+    EXPECT_EQ(point.color_metric.count(), 2u);
+    EXPECT_GT(point.color_metric.mean(), 0.0);
+  }
+
+  const auto clusters = sim::sweep_join_vs_cluster_count({2, 8}, options, 60);
+  ASSERT_EQ(clusters.size(), 4u);
+  // Fewer clusters concentrate the nodes, which must not lower color usage.
+  const double few = clusters[0].color_metric.mean();   // 2 clusters, minim
+  const double many = clusters[2].color_metric.mean();  // 8 clusters, minim
+  EXPECT_GE(few, many * 0.8);
+}
+
+}  // namespace

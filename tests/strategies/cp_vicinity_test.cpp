@@ -1,0 +1,93 @@
+// CP's cache-served vicinity: the epoch-stamped two-hop walk must visit
+// exactly the set `graph::k_hop_ball(g, v, 2)` returns — RunStats exposes
+// the per-candidate vicinity sizes, and the recoloring outcome itself pins
+// the visited-set equality (a wrong ball changes blocking or forbidden
+// colors).  Also covers the O(1) assignment max-color histogram the
+// finalize path now rides on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "net/assignment.hpp"
+#include "sim/simulation.hpp"
+#include "strategies/cp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace minim;
+
+TEST(CpVicinity, StatsMatchKHopBallSizesAcrossEventSoak) {
+  util::Rng rng(2718);
+  for (int round = 0; round < 3; ++round) {
+    strategies::CpStrategy cp;
+    strategies::CpStrategy::RunStats stats;
+    cp.set_stats_sink(&stats);
+    sim::Simulation simulation(cp);
+    std::vector<net::NodeId> live;
+    for (int event = 0; event < 80; ++event) {
+      // The sink is only written by events that actually recolor (e.g. a
+      // conflict-free power raise recodes nothing); reset it so stale stats
+      // from the previous event are never checked against the new graph.
+      stats = strategies::CpStrategy::RunStats{};
+      const double dice = rng.uniform01();
+      if (live.size() < 8 || dice < 0.5) {
+        live.push_back(simulation.join({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                                        rng.uniform(18.0, 40.0)}));
+      } else {
+        const auto pick = static_cast<std::size_t>(rng.below(live.size()));
+        if (dice < 0.7)
+          simulation.move(live[pick], {rng.uniform(0, 100), rng.uniform(0, 100)});
+        else
+          simulation.change_power(live[pick], rng.uniform(15.0, 55.0));
+      }
+      ASSERT_EQ(stats.candidates.size(), stats.vicinity_sizes.size());
+      for (std::size_t i = 0; i < stats.candidates.size(); ++i) {
+        const auto ball = graph::k_hop_ball(simulation.network().graph(),
+                                            stats.candidates[i], 2);
+        ASSERT_EQ(stats.vicinity_sizes[i], ball.size())
+            << "round " << round << " event " << event << " candidate "
+            << stats.candidates[i];
+      }
+    }
+  }
+}
+
+TEST(CodeAssignment, HistogramMaxTracksSetAndClear) {
+  net::CodeAssignment assignment;
+  EXPECT_EQ(assignment.max_color(), net::kNoColor);
+  assignment.set_color(0, 3);
+  assignment.set_color(1, 7);
+  assignment.set_color(2, 7);
+  EXPECT_EQ(assignment.max_color(), 7u);
+  assignment.clear(1);
+  EXPECT_EQ(assignment.max_color(), 7u);  // one 7 left
+  assignment.clear(2);
+  EXPECT_EQ(assignment.max_color(), 3u);  // lazily lowered past empty 4..7
+  assignment.set_color(0, 5);             // recolor in place
+  EXPECT_EQ(assignment.max_color(), 5u);
+  assignment.clear(0);
+  EXPECT_EQ(assignment.max_color(), net::kNoColor);
+  assignment.set_color(9, 2);
+  assignment.clear_all();
+  EXPECT_EQ(assignment.max_color(), net::kNoColor);
+}
+
+TEST(CodeAssignment, HistogramMaxMatchesScanUnderRandomChurn) {
+  util::Rng rng(1618);
+  net::CodeAssignment assignment;
+  std::vector<net::NodeId> nodes;
+  for (net::NodeId v = 0; v < 64; ++v) nodes.push_back(v);
+  for (int step = 0; step < 5000; ++step) {
+    const auto v = static_cast<net::NodeId>(rng.below(64));
+    if (rng.chance(0.7))
+      assignment.set_color(v, static_cast<net::Color>(1 + rng.below(20)));
+    else
+      assignment.clear(v);
+    ASSERT_EQ(assignment.max_color(), assignment.max_color(nodes));
+  }
+}
+
+}  // namespace

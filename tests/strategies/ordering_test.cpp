@@ -1,0 +1,190 @@
+// DegeneracyOrderer equivalence and fallback policy.
+//
+// The maintained orderer must produce, after ANY event sequence, exactly the
+// order a from-scratch `graph::smallest_last_order` computes on the current
+// conflict graph — for every tie-break.  BBB's dirty-region recoloring (and
+// therefore the committed figure CSVs) depends on this bit-identity, so the
+// soak drives a network through a randomized mix of joins, leaves, moves and
+// power changes and compares after every single event.
+
+#include "strategies/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "net/network.hpp"
+#include "strategies/coloring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using minim::graph::DegeneracyTieBreak;
+using minim::net::AdhocNetwork;
+using minim::net::NodeId;
+using minim::strategies::DegeneracyOrderer;
+
+constexpr DegeneracyTieBreak kAllTieBreaks[] = {
+    DegeneracyTieBreak::kStack, DegeneracyTieBreak::kLowestId,
+    DegeneracyTieBreak::kHighestId};
+
+std::vector<NodeId> reference_order(const AdhocNetwork& net,
+                                    const std::vector<NodeId>& vertices,
+                                    DegeneracyTieBreak tie) {
+  // From-scratch reference over a materialized adjacency copy — shares no
+  // state with the orderer's cached-span path.
+  const auto adj = minim::strategies::conflict_adjacency(net);
+  return minim::graph::smallest_last_order(adj, vertices, tie);
+}
+
+/// One random event; returns a one-line description for failure messages.
+std::string random_event(AdhocNetwork& net, std::vector<NodeId>& live,
+                         minim::util::Rng& rng) {
+  const double dice = rng.uniform01();
+  if (live.size() < 5 || dice < 0.45) {
+    const NodeId id = net.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                                    rng.uniform(15.0, 45.0)});
+    live.push_back(id);
+    return "join " + std::to_string(id);
+  }
+  const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
+  const NodeId v = live[pick];
+  if (dice < 0.6) {
+    net.remove_node(v);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    return "leave " + std::to_string(v);
+  }
+  if (dice < 0.8) {
+    net.set_position(v, {rng.uniform(0, 100), rng.uniform(0, 100)});
+    return "move " + std::to_string(v);
+  }
+  net.set_range(v, rng.uniform(10.0, 60.0));
+  return "power " + std::to_string(v);
+}
+
+TEST(DegeneracyOrderer, MatchesFromScratchAcrossEventSoakAndTieBreaks) {
+  minim::util::Rng rng(777);
+  for (int round = 0; round < 3; ++round) {
+    AdhocNetwork net;
+    DegeneracyOrderer orderer;  // default params: incremental repair on
+    std::vector<NodeId> live;
+    std::vector<NodeId> out;
+    for (int event = 0; event < 120; ++event) {
+      const std::string what = random_event(net, live, rng);
+      const std::vector<NodeId> vertices = net.nodes();
+      for (const DegeneracyTieBreak tie : kAllTieBreaks) {
+        orderer.order(net, vertices, tie, out);
+        ASSERT_EQ(out, reference_order(net, vertices, tie))
+            << "round " << round << ", event " << event << " (" << what
+            << "), tie-break " << static_cast<int>(tie);
+      }
+    }
+    // The soak must actually exercise the bounded-repair path, not fall
+    // back to degree rebuilds throughout.
+    EXPECT_GT(orderer.counters().repaired_nodes, 0u);
+  }
+}
+
+TEST(DegeneracyOrderer, ZeroThresholdForcesDegreeRebuildEveryEvent) {
+  minim::util::Rng rng(31);
+  AdhocNetwork net;
+  DegeneracyOrderer::Params params;
+  params.rebuild_fraction = 0.0;  // any dirty entry exceeds the threshold
+  DegeneracyOrderer orderer(params);
+  std::vector<NodeId> out;
+  std::vector<NodeId> live;
+  // Joins only: every join journals at least its own id, so each order call
+  // after the first must trip the zero threshold.
+  for (int event = 0; event < 30; ++event) {
+    live.push_back(net.add_node({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                                 rng.uniform(15.0, 45.0)}));
+    orderer.order(net, live, DegeneracyTieBreak::kStack, out);
+    EXPECT_EQ(out, reference_order(net, live, DegeneracyTieBreak::kStack));
+  }
+  // First order rebuilds because the graph is new; every later one because
+  // the (never-empty) dirty set exceeds the zero threshold.
+  EXPECT_EQ(orderer.counters().degree_rebuilds, 30u);
+  EXPECT_EQ(orderer.counters().threshold_fallbacks, 29u);
+  EXPECT_EQ(orderer.counters().repaired_nodes, 0u);
+}
+
+TEST(DegeneracyOrderer, GenerousThresholdRepairsInPlace) {
+  minim::util::Rng rng(32);
+  AdhocNetwork net;
+  DegeneracyOrderer::Params params;
+  params.rebuild_fraction = 1e9;  // never trip on size
+  DegeneracyOrderer orderer(params);
+  std::vector<NodeId> out;
+  std::vector<NodeId> live;
+  for (int event = 0; event < 30; ++event) {
+    random_event(net, live, rng);
+    orderer.order(net, live, DegeneracyTieBreak::kStack, out);
+    EXPECT_EQ(out, reference_order(net, live, DegeneracyTieBreak::kStack));
+  }
+  EXPECT_EQ(orderer.counters().degree_rebuilds, 1u);  // first sight only
+  EXPECT_EQ(orderer.counters().threshold_fallbacks, 0u);
+  EXPECT_GT(orderer.counters().repaired_nodes, 0u);
+}
+
+TEST(DegeneracyOrderer, ThresholdBoundaryIsExclusive) {
+  // A single join on an empty network journals exactly 1 dirty id.  With
+  // rows R, fraction f, the repair path runs iff dirty <= f * R: pick f just
+  // below and above 1/R around one fresh join to pin the boundary.
+  for (const bool expect_repair : {false, true}) {
+    AdhocNetwork net;
+    const NodeId first =
+        net.add_node({{10, 10}, 20.0});  // rows == 1 after this
+    DegeneracyOrderer::Params params;
+    // One more join journals 1 dirty id against rows == 2.
+    params.rebuild_fraction = expect_repair ? 0.5 : 0.49;
+    DegeneracyOrderer orderer(params);
+    std::vector<NodeId> out;
+    std::vector<NodeId> live{first};
+    orderer.order(net, live, DegeneracyTieBreak::kStack, out);  // sync
+    live.push_back(net.add_node({{90, 90}, 20.0}));
+    orderer.order(net, live, DegeneracyTieBreak::kStack, out);
+    EXPECT_EQ(out, reference_order(net, live, DegeneracyTieBreak::kStack));
+    EXPECT_EQ(orderer.counters().threshold_fallbacks, expect_repair ? 0u : 1u);
+    EXPECT_EQ(orderer.counters().repaired_nodes > 0, expect_repair);
+  }
+}
+
+TEST(DegeneracyOrderer, ResetNetworkFallsBackViaJournal) {
+  minim::util::Rng rng(33);
+  AdhocNetwork net;
+  DegeneracyOrderer orderer;
+  std::vector<NodeId> out;
+  std::vector<NodeId> live;
+  for (int event = 0; event < 10; ++event) random_event(net, live, rng);
+  std::vector<NodeId> vertices = net.nodes();
+  orderer.order(net, vertices, DegeneracyTieBreak::kStack, out);
+
+  net.reset(100.0, 100.0);  // clears the conflict graph and its journal
+  live.clear();
+  for (int event = 0; event < 10; ++event) random_event(net, live, rng);
+  vertices = net.nodes();
+  orderer.order(net, vertices, DegeneracyTieBreak::kStack, out);
+  EXPECT_EQ(out, reference_order(net, vertices, DegeneracyTieBreak::kStack));
+  EXPECT_GE(orderer.counters().journal_fallbacks, 1u);
+}
+
+TEST(DegeneracyOrderer, NonIncrementalModeAlwaysRebuilds) {
+  minim::util::Rng rng(34);
+  AdhocNetwork net;
+  DegeneracyOrderer::Params params;
+  params.incremental = false;
+  DegeneracyOrderer orderer(params);
+  std::vector<NodeId> out;
+  std::vector<NodeId> live;
+  for (int event = 0; event < 15; ++event) {
+    random_event(net, live, rng);
+    std::vector<NodeId> vertices = net.nodes();
+    orderer.order(net, vertices, DegeneracyTieBreak::kStack, out);
+    EXPECT_EQ(out, reference_order(net, vertices, DegeneracyTieBreak::kStack));
+  }
+  EXPECT_EQ(orderer.counters().degree_rebuilds, 15u);
+  EXPECT_EQ(orderer.counters().repaired_nodes, 0u);
+}
+
+}  // namespace
