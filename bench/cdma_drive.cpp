@@ -1,0 +1,246 @@
+// cdma_drive: the standalone experiment-orchestrator front-end.
+//
+// Describes an arbitrary scenario grid on the command line, runs it — in
+// process, or as a driver across self-spawned worker processes with
+// --orchestrate=K — and prints the per-cell summary table.  The merged
+// orchestrated result is bit-identical to the single-process run for any
+// split of the (grid point x trial) space, including under injected worker
+// crashes with retry (--crash-unit).
+//
+// Grid description:
+//   --scenario=KIND     join | power | move | churn (default join)
+//   --axes=LIST         comma-separated axes, each "name:v1:v2:...", e.g.
+//                         --axes=n:40:60:80,raise_factor:1.5:2.5:3.5
+//                       (grid = cartesian product, axis-0-major).  Axis
+//                       vocabulary: n, raise_factor, max_displacement,
+//                       move_rounds, min_range, max_range, avg_range,
+//                       clusters, cluster_sigma, churn_duration,
+//                       arrival_rate, mean_lifetime.  Default: n:40:60:80.
+//   --strategies=...    strategy names (default minim,cp,bbb)
+//   --trials=N          Monte-Carlo trials per grid point (default 100)
+//   --seed=S            master seed (default 2001)
+//   --threads=T         worker threads per process (default hardware)
+//
+// Output:
+//   --save-experiment=F write the merged per-trial experiment CSV to F
+//   --csv-dir=DIR       write DIR/cdma_drive.csv (one summary row per cell)
+//
+// Orchestration (see bench_util.hpp): --orchestrate=K, --units, --split,
+// --max-attempts, --worker-timeout, --shard-dir, --resume, --keep-shards,
+// --crash-unit.
+//
+// Examples:
+//   cdma_drive --axes=n:40:80:120 --trials=200
+//   cdma_drive --scenario=power --axes=n:60:100,raise_factor:2:4
+//              --orchestrate=8 --split=auto --save-experiment=power_grid.csv
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minim;
+
+sim::ScenarioKind scenario_from(const std::string& name) {
+  if (name == "join") return sim::ScenarioKind::kJoin;
+  if (name == "power") return sim::ScenarioKind::kPower;
+  if (name == "move") return sim::ScenarioKind::kMove;
+  if (name == "churn") return sim::ScenarioKind::kChurn;
+  std::cerr << "unknown scenario \"" << name
+            << "\" (expected join|power|move|churn)\n";
+  std::exit(2);
+}
+
+/// The named-axis vocabulary: how one CLI axis name maps onto the spec.
+sim::GridAxis axis_from_name(const std::string& name,
+                             std::vector<double> values) {
+  using Spec = sim::ScenarioSpec;
+  auto axis = [&](void (*apply)(Spec&, double)) {
+    return sim::GridAxis{name, std::move(values), apply};
+  };
+  if (name == "n")
+    return axis([](Spec& s, double x) {
+      s.workload.n = static_cast<std::size_t>(x);
+    });
+  if (name == "raise_factor")
+    return axis([](Spec& s, double x) { s.raise_factor = x; });
+  if (name == "max_displacement")
+    return axis([](Spec& s, double x) { s.max_displacement = x; });
+  if (name == "move_rounds")
+    return axis([](Spec& s, double x) {
+      s.move_rounds = static_cast<std::size_t>(x);
+    });
+  if (name == "min_range")
+    return axis([](Spec& s, double x) { s.workload.min_range = x; });
+  if (name == "max_range")
+    return axis([](Spec& s, double x) { s.workload.max_range = x; });
+  if (name == "avg_range")
+    return axis([](Spec& s, double x) {
+      // The paper's Fig 10(d-f) parameterization: a 5-unit spread around x.
+      s.workload.min_range = x - 2.5;
+      s.workload.max_range = x + 2.5;
+    });
+  if (name == "clusters")
+    return axis([](Spec& s, double x) {
+      s.workload.placement = sim::Placement::kClustered;
+      s.workload.cluster_count =
+          std::max<std::size_t>(1, static_cast<std::size_t>(x));
+    });
+  if (name == "cluster_sigma")
+    return axis([](Spec& s, double x) {
+      s.workload.placement = sim::Placement::kClustered;
+      s.workload.cluster_sigma = x;
+    });
+  if (name == "churn_duration")
+    return axis([](Spec& s, double x) { s.churn.duration = x; });
+  if (name == "arrival_rate")
+    return axis([](Spec& s, double x) { s.churn.arrival_rate = x; });
+  if (name == "mean_lifetime")
+    return axis([](Spec& s, double x) { s.churn.mean_lifetime = x; });
+  std::cerr << "unknown axis \"" << name
+            << "\" (expected n|raise_factor|max_displacement|move_rounds|"
+               "min_range|max_range|avg_range|clusters|cluster_sigma|"
+               "churn_duration|arrival_rate|mean_lifetime)\n";
+  std::exit(2);
+}
+
+/// Parses "--axes=name:v1:v2,name:v1" into grid axes.
+std::vector<sim::GridAxis> axes_from(const util::Options& options) {
+  const std::string raw = options.get("axes", "n:40:60:80");
+  std::vector<sim::GridAxis> axes;
+  for (const std::string& field : bench::split_list(raw)) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= field.size()) {
+      const std::size_t colon = field.find(':', start);
+      parts.push_back(field.substr(
+          start, colon == std::string::npos ? colon : colon - start));
+      if (colon == std::string::npos) break;
+      start = colon + 1;
+    }
+    if (parts.size() < 2) {
+      std::cerr << "--axes entry \"" << field << "\" wants name:v1[:v2...]\n";
+      std::exit(2);
+    }
+    std::vector<double> values;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      try {
+        values.push_back(std::stod(parts[i]));
+      } catch (const std::exception&) {
+        std::cerr << "--axes entry \"" << field << "\": bad value \""
+                  << parts[i] << "\"\n";
+        std::exit(2);
+      }
+    }
+    axes.push_back(axis_from_name(parts[0], std::move(values)));
+  }
+  return axes;
+}
+
+sim::Experiment make_experiment(const util::Options& options) {
+  sim::ExperimentGrid grid;
+  grid.base.kind = scenario_from(options.get("scenario", "join"));
+  grid.axes = axes_from(options);
+  grid.strategies =
+      bench::string_list_from(options, "strategies", {"minim", "cp", "bbb"});
+  return sim::Experiment(std::move(grid));
+}
+
+void print_result(const sim::ExperimentResult& result,
+                  const util::Options& options) {
+  util::TextTable table("cdma_drive: per-cell summary (mean +- stddev)");
+  std::vector<std::string> header = result.axis_names;
+  for (const char* column : {"strategy", "events", "recodings", "max color",
+                             "trials"})
+    header.push_back(column);
+  table.set_header(header);
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t p = 0; p < result.point_count(); ++p)
+    for (std::size_t s = 0; s < result.strategy_count(); ++s) {
+      const sim::TotalsSummary summary = sim::summarize(result.cell(p, s));
+      std::vector<std::string> row;
+      for (double coord : result.points[p])
+        row.push_back(util::fmt_fixed(coord, 2));
+      row.push_back(result.strategies[s]);
+      row.push_back(util::fmt_fixed(summary.events.mean(), 2) + " +- " +
+                    util::fmt_fixed(summary.events.stddev(), 2));
+      row.push_back(util::fmt_fixed(summary.recodings.mean(), 2) + " +- " +
+                    util::fmt_fixed(summary.recodings.stddev(), 2));
+      row.push_back(util::fmt_fixed(summary.max_color.mean(), 2) + " +- " +
+                    util::fmt_fixed(summary.max_color.stddev(), 2));
+      row.push_back(std::to_string(summary.events.count()));
+      table.add_row(row);
+
+      std::vector<std::string> csv_row;
+      for (double coord : result.points[p])
+        csv_row.push_back(util::fmt_fixed(coord, 3));
+      csv_row.push_back(result.strategies[s]);
+      csv_row.push_back(std::to_string(summary.events.count()));
+      csv_row.push_back(util::fmt_fixed(summary.events.mean(), 6));
+      csv_row.push_back(util::fmt_fixed(summary.recodings.mean(), 6));
+      csv_row.push_back(util::fmt_fixed(summary.recodings.stddev(), 6));
+      csv_row.push_back(util::fmt_fixed(summary.max_color.mean(), 6));
+      csv_rows.push_back(std::move(csv_row));
+    }
+  std::cout << table.render() << "\n";
+
+  const std::string csv_dir = options.get("csv-dir", "");
+  if (!csv_dir.empty()) {
+    auto stream = util::open_csv(csv_dir + "/cdma_drive.csv");
+    util::CsvWriter csv(stream);
+    std::vector<std::string> csv_header = result.axis_names;
+    for (const char* column : {"strategy", "trials", "events_mean",
+                               "recodings_mean", "recodings_stddev",
+                               "max_color_mean"})
+      csv_header.push_back(column);
+    csv.header(csv_header);
+    for (const auto& row : csv_rows) csv.row(row);
+    std::cout << "[csv] wrote " << csv_dir << "/cdma_drive.csv\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  sim::ExperimentOptions run;
+  run.trials = static_cast<std::size_t>(options.get_int("trials", 100));
+  run.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  run.threads = static_cast<std::size_t>(options.get_int("threads", 0));
+
+  const sim::Experiment experiment = make_experiment(options);
+
+  if (bench::is_worker(options)) {
+    if (bench::run_worker_unit(options, experiment, run, "cdma_drive"))
+      return 0;
+    std::cerr << "unknown --unit-tag for cdma_drive\n";
+    return 2;
+  }
+
+  std::cout << "=== cdma_drive: scenario grid "
+            << (options.get_int("orchestrate", 0) > 0 ? "(orchestrated)"
+                                                      : "(in-process)")
+            << " ===\n"
+            << experiment.points().size() << " grid points x "
+            << experiment.grid().strategies.size() << " strategies x "
+            << run.trials << " trials, seed " << run.seed << "\n\n";
+
+  const sim::ExperimentResult result =
+      bench::run_experiment_cli(options, experiment, run, "cdma_drive");
+
+  const std::string save = options.get("save-experiment", "");
+  if (!save.empty()) {
+    sim::write_experiment_csv_file(result, save);
+    std::cout << "[csv] wrote " << save << " (full per-trial experiment)\n";
+  }
+  print_result(result, options);
+  return 0;
+}

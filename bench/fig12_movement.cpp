@@ -22,31 +22,52 @@ int main(int argc, char** argv) {
   using namespace minim;
   const util::Options options(argc, argv);
 
+  const std::vector<double> displacements{0, 10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<double> rounds{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  const auto distributed_sweep = bench::sweep_options_from(options, {"minim", "cp"});
+  const auto all_sweep = bench::sweep_options_from(options, {"minim", "cp", "bbb"});
+  const sim::Experiment vs_disp(
+      sim::grid_move_vs_max_displacement(displacements, distributed_sweep));
+  const sim::Experiment vs_rounds(sim::grid_move_vs_rounds(rounds, all_sweep));
+  const sim::Experiment vs_rounds_dist(
+      sim::grid_move_vs_rounds(rounds, distributed_sweep));
+  const sim::ExperimentOptions run = sim::experiment_options_from(all_sweep);
+
+  if (bench::is_worker(options)) {
+    if (bench::run_worker_unit(options, vs_disp, run, "fig12-disp")) return 0;
+    if (bench::run_worker_unit(options, vs_rounds, run, "fig12-rounds")) return 0;
+    if (bench::run_worker_unit(options, vs_rounds_dist, run, "fig12-rounds-dist"))
+      return 0;
+    std::cerr << "unknown --unit-tag for fig12\n";
+    return 2;
+  }
+
   std::cout << "=== Figure 12: node movement ===\n"
             << "N=40 joins, then movement rounds (every node moves once per "
                "round); delta metrics vs post-join state.\n\n";
 
-  const std::vector<double> displacements{0, 10, 20, 30, 40, 50, 60, 70, 80};
-  const std::vector<double> rounds{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-
   {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp"});
-    const auto points = sim::sweep_move_vs_max_displacement(displacements, sweep);
+    const auto points = sim::sweep_points_from(
+        bench::run_experiment_cli(options, vs_disp, run, "fig12-disp"),
+        /*delta_metrics=*/true);
     bench::print_series("Fig 12(a): delta recodings vs maxdisp (RoundNo=1)",
                         "maxdisp", points, bench::Metric::kRecodings, options,
                         "fig12a");
   }
   {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp", "bbb"});
-    const auto points = sim::sweep_move_vs_rounds(rounds, sweep);
+    const auto points = sim::sweep_points_from(
+        bench::run_experiment_cli(options, vs_rounds, run, "fig12-rounds"),
+        /*delta_metrics=*/true);
     bench::print_series("Fig 12(b): delta max color vs RoundNo (maxdisp=40)",
                         "RoundNo", points, bench::Metric::kColor, options, "fig12b");
     bench::print_series("Fig 12(c): delta recodings vs RoundNo", "RoundNo", points,
                         bench::Metric::kRecodings, options, "fig12c");
   }
   {
-    auto sweep = bench::sweep_options_from(options, {"minim", "cp"});
-    const auto points = sim::sweep_move_vs_rounds(rounds, sweep);
+    const auto points = sim::sweep_points_from(
+        bench::run_experiment_cli(options, vs_rounds_dist, run, "fig12-rounds-dist"),
+        /*delta_metrics=*/true);
     bench::print_series("Fig 12(d): delta recodings vs RoundNo (distributed only)",
                         "RoundNo", points, bench::Metric::kRecodings, options,
                         "fig12d");

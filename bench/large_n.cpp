@@ -20,6 +20,14 @@
 //                      recent trajectory entry covering it; exit 1 when any
 //                      exceeds baseline * --rss-factor.  The CI memory gate
 //                      (Release only, alongside perf_trajectory --check).
+//   --churn            after each join stage, run a continuous-time
+//                      leave/move/power churn phase *on* the n-node network
+//                      (sim::run_churn seeded with `initial_nodes = n`,
+//                      arrival rate balancing the mean lifetime so the
+//                      population holds near n) — the scenario family beyond
+//                      join-only, at the same constant-density placement.
+//                      Churn measurements append as
+//                      "bench.large_n.<placement>.<n>.churn".
 //
 // Options:
 //   --ns=...           stage sizes (default 1000,10000,100000)
@@ -31,6 +39,11 @@
 //   --label=NAME       entry label for --append (default "large-n")
 //   --out=FILE         trajectory path (default BENCH_sweep.json)
 //   --rss-factor=X     allowed RSS growth factor for --check-rss (default 1.5)
+//   --churn-duration=D churn horizon (default 60 time units)
+//   --churn-lifetime=L mean node lifetime (default 600; ~D/L of the
+//                      population leaves and is replaced during the phase)
+//   --churn-move-rate=M    per-node movement rate (default 0.004)
+//   --churn-power-rate=P   per-node power-toggle rate (default 0.002)
 
 #include <chrono>
 #include <fstream>
@@ -40,6 +53,7 @@
 
 #include "../bench/bench_util.hpp"
 #include "../bench/trajectory.hpp"
+#include "sim/churn.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
@@ -109,6 +123,82 @@ StageResult run_stage(std::size_t n, sim::Placement placement, double mean_degre
   return result;
 }
 
+// ------------------------------------------------------------- churn stage
+
+struct ChurnStageConfig {
+  bool enabled = false;
+  double duration = 60.0;
+  double mean_lifetime = 600.0;
+  double move_rate = 0.004;
+  double power_rate = 0.002;
+};
+
+struct ChurnStageResult {
+  std::size_t n = 0;
+  double wall_s = 0.0;          ///< build (n joins) + churn phase
+  double events_per_s = 0.0;    ///< all events over the whole stage
+  std::size_t churn_events = 0; ///< events beyond the n seed joins
+  std::size_t peak_nodes = 0;
+  std::size_t final_nodes = 0;
+  double peak_rss_mb = 0.0;
+  net::Color max_color = 0;
+};
+
+/// Runs leave/move/power churn on an n-node constant-density network: the
+/// network is seeded to n nodes (same placement family as the join stage),
+/// then arrivals at rate n/lifetime keep the population near n while nodes
+/// leave, move, and duty-cycle their transmitters.
+ChurnStageResult run_churn_stage(std::size_t n, sim::Placement placement,
+                                 double mean_degree,
+                                 const std::string& strategy_name,
+                                 std::uint64_t seed,
+                                 const ChurnStageConfig& config) {
+  using clock = std::chrono::steady_clock;
+  const sim::WorkloadParams params =
+      sim::make_large_n_params(n, mean_degree, placement);
+
+  sim::ChurnParams churn;
+  churn.duration = config.duration;
+  churn.mean_lifetime = config.mean_lifetime;
+  churn.arrival_rate = static_cast<double>(n) / config.mean_lifetime;
+  churn.move_rate = config.move_rate;
+  churn.power_rate = config.power_rate;
+  churn.min_range = params.min_range;
+  churn.max_range = params.max_range;
+  churn.width = params.width;
+  churn.height = params.height;
+  churn.sample_interval = config.duration / 4.0;
+  churn.max_nodes = n + n / 4 + 16;
+  churn.initial_nodes = n;
+  churn.initial_placement = placement;
+  churn.initial_cluster_count = params.cluster_count;
+  churn.initial_cluster_sigma = params.cluster_sigma;
+  churn.initial_min_separation = params.min_separation;
+
+  const auto strategy = strategies::make_strategy(strategy_name);
+  // A stream namespace disjoint from the join stages' (keyed by n).
+  util::Rng rng = util::Rng::for_stream(
+      seed, static_cast<std::uint64_t>(n) + (std::uint64_t{1} << 32));
+
+  ChurnStageResult result;
+  result.n = n;
+  const auto start = clock::now();
+  const sim::ChurnResult outcome = sim::run_churn(churn, *strategy, rng);
+  result.wall_s = std::chrono::duration<double>(clock::now() - start).count();
+  result.events_per_s =
+      result.wall_s > 0
+          ? static_cast<double>(outcome.totals.events) / result.wall_s
+          : 0.0;
+  result.churn_events = outcome.totals.events > n ? outcome.totals.events - n : 0;
+  result.peak_nodes = outcome.peak_nodes;
+  result.final_nodes =
+      outcome.samples.empty() ? outcome.peak_nodes : outcome.samples.back().nodes;
+  result.peak_rss_mb =
+      static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+  result.max_color = outcome.final_max_color;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +221,12 @@ int main(int argc, char** argv) {
           ? out_path
           : options.get("check-rss", out_path);
   const double rss_factor = options.get_double("rss-factor", 1.5);
+  ChurnStageConfig churn_config;
+  churn_config.enabled = options.get_bool("churn", false);
+  churn_config.duration = options.get_double("churn-duration", 60.0);
+  churn_config.mean_lifetime = options.get_double("churn-lifetime", 600.0);
+  churn_config.move_rate = options.get_double("churn-move-rate", 0.004);
+  churn_config.power_rate = options.get_double("churn-power-rate", 0.002);
 
   std::vector<bench::TrajectoryEntry> trajectory =
       bench::load_trajectory(check_rss ? check_path : out_path);
@@ -173,6 +269,36 @@ int main(int argc, char** argv) {
     measurements.push_back(std::move(m));
   }
   std::cout << table.render() << "\n";
+
+  if (churn_config.enabled) {
+    std::cout << "=== Churn phase (duration "
+              << util::fmt_fixed(churn_config.duration, 0) << ", lifetime "
+              << util::fmt_fixed(churn_config.mean_lifetime, 0)
+              << ": leaves/arrivals hold the population near n) ===\n";
+    util::TextTable churn_table("churn stages");
+    churn_table.set_header({"n", "wall s", "events/s", "churn events",
+                            "peak n", "final n", "peak RSS MB", "max color"});
+    for (const double stage_n : ns) {
+      const auto n = static_cast<std::size_t>(stage_n);
+      const ChurnStageResult stage = run_churn_stage(
+          n, placement, mean_degree, strategy, seed, churn_config);
+      churn_table.add_row({std::to_string(stage.n),
+                           util::fmt_fixed(stage.wall_s, 2),
+                           util::fmt_fixed(stage.events_per_s, 0),
+                           std::to_string(stage.churn_events),
+                           std::to_string(stage.peak_nodes),
+                           std::to_string(stage.final_nodes),
+                           util::fmt_fixed(stage.peak_rss_mb, 1),
+                           std::to_string(stage.max_color)});
+      bench::Measurement m;
+      m.name = "bench.large_n." + std::string(sim::to_string(placement)) + "." +
+               std::to_string(stage.n) + ".churn";
+      m.wall_s = stage.wall_s;
+      m.peak_rss_mb = stage.peak_rss_mb;
+      measurements.push_back(std::move(m));
+    }
+    std::cout << churn_table.render() << "\n";
+  }
 
   if (check_rss) {
     bool ok = true;

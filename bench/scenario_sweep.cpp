@@ -14,6 +14,9 @@
 //   --strategies=...    strategy names (default minim,cp,bbb)
 //   --serial-check      re-run every kind on 1 thread and verify the result
 //                       is bit-identical (the experiment engine's contract)
+//   --orchestrate=K     drive each scenario's experiment across K
+//                       self-spawned worker processes (bit-identical merge;
+//                       see bench_util.hpp for the full flag set)
 
 #include <algorithm>
 #include <chrono>
@@ -65,6 +68,22 @@ const char* kind_name(sim::ScenarioKind kind) {
   return "?";
 }
 
+constexpr sim::ScenarioKind kKinds[] = {
+    sim::ScenarioKind::kJoin, sim::ScenarioKind::kPower,
+    sim::ScenarioKind::kMove, sim::ScenarioKind::kChurn};
+
+sim::Experiment make_kind_experiment(sim::ScenarioKind kind, std::size_t n,
+                                     double churn_duration,
+                                     const std::vector<std::string>& strategies) {
+  sim::ExperimentGrid grid;
+  grid.base.kind = kind;
+  grid.base.workload.n = n;
+  grid.base.move_rounds = 3;
+  grid.base.churn.duration = churn_duration;
+  grid.strategies = strategies;
+  return sim::Experiment(std::move(grid));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +98,17 @@ int main(int argc, char** argv) {
   const std::vector<std::string> strategies =
       bench::string_list_from(options, "strategies", {"minim", "cp", "bbb"});
 
+  // Orchestration worker: each scenario kind is its own tagged experiment.
+  if (bench::is_worker(options)) {
+    for (const sim::ScenarioKind kind : kKinds)
+      if (bench::run_worker_unit(
+              options, make_kind_experiment(kind, n, churn_duration, strategies),
+              run, kind_name(kind)))
+        return 0;
+    std::cerr << "unknown --unit-tag for scenario_sweep\n";
+    return 2;
+  }
+
   std::cout << "=== Scenario sweep engine ===\n"
             << run.trials << " trials per scenario, seed " << run.seed << "\n\n";
 
@@ -91,19 +121,13 @@ int main(int argc, char** argv) {
   double serial_total = 0.0;
   bool all_match = true;
 
-  for (const sim::ScenarioKind kind :
-       {sim::ScenarioKind::kJoin, sim::ScenarioKind::kPower,
-        sim::ScenarioKind::kMove, sim::ScenarioKind::kChurn}) {
-    sim::ExperimentGrid grid;
-    grid.base.kind = kind;
-    grid.base.workload.n = n;
-    grid.base.move_rounds = 3;
-    grid.base.churn.duration = churn_duration;
-    grid.strategies = strategies;
-    const sim::Experiment experiment(std::move(grid));
+  for (const sim::ScenarioKind kind : kKinds) {
+    const sim::Experiment experiment =
+        make_kind_experiment(kind, n, churn_duration, strategies);
 
     const auto start = std::chrono::steady_clock::now();
-    const sim::ExperimentResult result = experiment.run(run);
+    const sim::ExperimentResult result =
+        bench::run_experiment_cli(options, experiment, run, kind_name(kind));
     const double elapsed = seconds_since(start);
     parallel_total += elapsed;
 

@@ -123,6 +123,31 @@ void ConflictGraph::collect_edge_partners(const graph::Digraph& g, NodeId u,
     partner_scratch_.push_back(w);
   }
   if (!placed) partner_scratch_.push_back(v);
+  partner_delta_.clear();  // empty = every partner carries one witness
+}
+
+void ConflictGraph::append_edge_partners(const graph::Digraph& g, NodeId u,
+                                         NodeId v) {
+  partner_scratch_.push_back(v);
+  for (NodeId w : g.in_neighbors(v))
+    if (w != u) partner_scratch_.push_back(w);
+}
+
+void ConflictGraph::aggregate_partner_multiset() {
+  std::sort(partner_scratch_.begin(), partner_scratch_.end());
+  partner_delta_.clear();
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < partner_scratch_.size();) {
+    std::size_t j = i;
+    while (j < partner_scratch_.size() &&
+           partner_scratch_[j] == partner_scratch_[i])
+      ++j;
+    partner_scratch_[unique] = partner_scratch_[i];
+    partner_delta_.push_back(static_cast<std::uint32_t>(j - i));
+    ++unique;
+    i = j;
+  }
+  partner_scratch_.resize(unique);
 }
 
 void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
@@ -132,6 +157,12 @@ void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
   // pool, so nothing may hold a row span across it).
   const std::span<const NodeId> ids = rows_.ids(u);
   const std::span<const std::uint32_t> counts = rows_.counts(u);
+  // An empty delta array means "one witness per partner" — the single-edge
+  // path (whose partner lists are unique) skips filling it.
+  const bool uniform = partner_delta_.empty();
+  const auto delta_of = [this, uniform](std::size_t j) -> std::uint32_t {
+    return uniform ? 1 : partner_delta_[j];
+  };
   merged_ids_.clear();
   merged_counts_.clear();
   partner_new_.assign(partner_scratch_.size(), 0);
@@ -146,17 +177,23 @@ void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
     } else if (i >= ids.size() || partner_scratch_[j] < ids[i]) {
       MINIM_REQUIRE(delta > 0, "conflict graph: retracting an unknown witness");
       merged_ids_.push_back(partner_scratch_[j]);
-      merged_counts_.push_back(1);
-      partner_new_[j] = 1;  // pair went 0 -> 1
+      merged_counts_.push_back(delta_of(j));
+      partner_new_[j] = 1;  // pair went 0 -> positive
       ++j;
     } else {
-      const std::uint32_t count =
-          delta > 0 ? counts[i] + 1 : counts[i] - 1;
+      std::uint32_t count = counts[i];
+      if (delta > 0) {
+        count += delta_of(j);
+      } else {
+        MINIM_REQUIRE(count >= delta_of(j),
+                      "conflict graph: retracting an unknown witness");
+        count -= delta_of(j);
+      }
       if (count > 0) {
         merged_ids_.push_back(ids[i]);
         merged_counts_.push_back(count);
       } else {
-        partner_new_[j] = 1;  // pair went 1 -> 0
+        partner_new_[j] = 1;  // pair went positive -> 0
       }
       ++i;
       ++j;
@@ -168,12 +205,12 @@ void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
     const NodeId w = partner_scratch_[p];
     if (delta > 0) {
       if (partner_new_[p]) {
-        rows_.insert(w, u, 1);
+        rows_.insert(w, u, delta_of(p));
         ++pair_count_;
         mark_dirty(u);
         mark_dirty(w);
       } else {
-        ++*rows_.find(w, u);
+        *rows_.find(w, u) += delta_of(p);
       }
     } else {
       if (partner_new_[p]) {
@@ -182,7 +219,7 @@ void ConflictGraph::apply_partner_witnesses(NodeId u, int delta) {
         mark_dirty(u);
         mark_dirty(w);
       } else {
-        --*rows_.find(w, u);
+        *rows_.find(w, u) -= delta_of(p);
       }
     }
   }
@@ -198,6 +235,42 @@ void ConflictGraph::on_edge_added(const graph::Digraph& g, NodeId u, NodeId v) {
 void ConflictGraph::on_edge_removed(const graph::Digraph& g, NodeId u, NodeId v) {
   MINIM_REQUIRE(g.has_edge(u, v), "conflict graph: retracting an absent edge");
   collect_edge_partners(g, u, v);
+  apply_partner_witnesses(u, -1);
+}
+
+void ConflictGraph::on_out_edges_added(const graph::Digraph& g, NodeId u,
+                                       std::span<const NodeId> targets) {
+  if (targets.empty()) return;
+  MINIM_REQUIRE(std::is_sorted(targets.begin(), targets.end()) &&
+                    std::adjacent_find(targets.begin(), targets.end()) ==
+                        targets.end(),
+                "conflict graph: edge fan must be ascending and deduped");
+  NodeId max_id = u;
+  partner_scratch_.clear();
+  for (NodeId v : targets) {
+    MINIM_REQUIRE(!g.has_edge(u, v),
+                  "conflict graph: edge delta already applied");
+    max_id = std::max(max_id, v);
+    append_edge_partners(g, u, v);
+  }
+  rows_.ensure_row(max_id);
+  aggregate_partner_multiset();
+  apply_partner_witnesses(u, +1);
+}
+
+void ConflictGraph::on_out_edges_removed(const graph::Digraph& g, NodeId u,
+                                         std::span<const NodeId> targets) {
+  if (targets.empty()) return;
+  MINIM_REQUIRE(std::is_sorted(targets.begin(), targets.end()) &&
+                    std::adjacent_find(targets.begin(), targets.end()) ==
+                        targets.end(),
+                "conflict graph: edge fan must be ascending and deduped");
+  partner_scratch_.clear();
+  for (NodeId v : targets) {
+    MINIM_REQUIRE(g.has_edge(u, v), "conflict graph: retracting an absent edge");
+    append_edge_partners(g, u, v);
+  }
+  aggregate_partner_multiset();
   apply_partner_witnesses(u, -1);
 }
 

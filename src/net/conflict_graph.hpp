@@ -116,6 +116,22 @@ class ConflictGraph {
   /// `g.remove_edge(u, v)`.
   void on_edge_removed(const graph::Digraph& g, NodeId u, NodeId v);
 
+  /// Batched `on_edge_added` for a fan of edges u→v, v ∈ `targets`
+  /// (ascending, deduped, each absent from `g`; must be called before any
+  /// of them is applied).  Witness-equivalent to calling `on_edge_added`
+  /// per target in order — a fan of u's own out-edges never changes the
+  /// partner set of its later edges, so pre-state collection is exact — but
+  /// the combined partner multiset merges into row u *once* for the whole
+  /// fan instead of once per edge.  A join's k edges thus cost one sorted
+  /// merge of u's row, not k.
+  void on_out_edges_added(const graph::Digraph& g, NodeId u,
+                          std::span<const NodeId> targets);
+
+  /// Batched `on_edge_removed` for edges u→v, v ∈ `targets` (ascending,
+  /// deduped, each present in `g`; call before removing any of them).
+  void on_out_edges_removed(const graph::Digraph& g, NodeId u,
+                            std::span<const NodeId> targets);
+
   /// Drops all adjacency, keeping row capacity (arena reuse).  Invalidates
   /// every outstanding journal window.
   void clear();
@@ -141,10 +157,20 @@ class ConflictGraph {
   /// Fills `partner_scratch_` with the sorted witness partners of edge
   /// u→v in `g` ({v} ∪ in(v) \ {u}; the edge must not be applied yet).
   void collect_edge_partners(const graph::Digraph& g, NodeId u, NodeId v);
-  /// Adds (delta=+1) or retracts (delta=-1) one witness for every pair
-  /// (u, w), w ∈ `partner_scratch_`, as a single merge over row u plus one
-  /// reciprocal touch per partner — equivalent to |partners| calls of
-  /// add_witness/retract_witness, minus their repeated row-u searches.
+  /// Appends the witness partners of edge u→v to `partner_scratch_`
+  /// without clearing it (batch collection; the result is re-sorted and
+  /// aggregated by `aggregate_partner_multiset`).
+  void append_edge_partners(const graph::Digraph& g, NodeId u, NodeId v);
+  /// Sorts `partner_scratch_` and aggregates duplicates into parallel
+  /// (`partner_scratch_`, `partner_delta_`) arrays: unique ascending ids
+  /// with per-id witness multiplicities.  A partner can witness several of
+  /// a fan's edges (a co-sender to two targets), so deltas exceed 1.
+  void aggregate_partner_multiset();
+  /// Adds (delta=+1) or retracts (delta=-1) `partner_delta_[i]` witnesses
+  /// for every pair (u, partner_scratch_[i]), as a single merge over row u
+  /// plus one reciprocal touch per partner — equivalent to the same
+  /// witnesses applied through add_witness/retract_witness one at a time,
+  /// minus their repeated row-u searches and re-merges.
   void apply_partner_witnesses(NodeId u, int delta);
 
   std::uint64_t nonce_;  ///< process-unique; see nonce()
@@ -153,6 +179,10 @@ class ConflictGraph {
   graph::CountedRowPool rows_;
   // Edge-delta scratch (see apply_partner_witnesses).
   std::vector<NodeId> partner_scratch_;
+  /// Parallel to partner_scratch_: witnesses per partner.  Left empty by
+  /// the single-edge path, meaning "one witness each" — the per-event hot
+  /// path pays no batch bookkeeping.
+  std::vector<std::uint32_t> partner_delta_;
   std::vector<NodeId> merged_ids_;
   std::vector<std::uint32_t> merged_counts_;
   std::vector<char> partner_new_;  ///< parallel to partner_scratch_: 0 ↔ 1 transition

@@ -40,11 +40,13 @@ void AdhocNetwork::remove_node(NodeId v) {
   MINIM_REQUIRE(contains(v), "remove_node: unknown node");
   grid_.remove(v, configs_[v].position);
   ranges_.erase(ranges_.find(configs_[v].range));
-  // Retract edges one by one so the conflict cache sees each delta.  The
-  // spans are copied first: unlink() mutates the rows they point into.
+  // The out-edges all leave v's conflict row: retract them as one batched
+  // fan (a single merge over the row).  The in-edges land on distinct rows,
+  // so they stay per-edge.  Spans are copied first: the unlinks mutate the
+  // rows they point into.
   const auto outs = graph_.out_neighbors(v);
   stale_.assign(outs.begin(), outs.end());
-  for (NodeId w : stale_) unlink(v, w);
+  unlink_fan(v, stale_);
   const auto ins = graph_.in_neighbors(v);
   stale_.assign(ins.begin(), ins.end());
   for (NodeId w : stale_) unlink(w, v);
@@ -78,6 +80,18 @@ void AdhocNetwork::unlink(NodeId u, NodeId v) {
   graph_.remove_edge(u, v);
 }
 
+void AdhocNetwork::link_fan(NodeId u, const std::vector<NodeId>& targets) {
+  if (targets.empty()) return;
+  conflict_.on_out_edges_added(graph_, u, targets);
+  for (NodeId w : targets) graph_.add_edge(u, w);
+}
+
+void AdhocNetwork::unlink_fan(NodeId u, const std::vector<NodeId>& targets) {
+  if (targets.empty()) return;
+  conflict_.on_out_edges_removed(graph_, u, targets);
+  for (NodeId w : targets) graph_.remove_edge(u, w);
+}
+
 void AdhocNetwork::set_position(NodeId v, util::Vec2 position) {
   MINIM_REQUIRE(contains(v), "set_position: unknown node");
   const util::Vec2 clamped = util::clamp_to_box(position, width_, height_);
@@ -109,13 +123,17 @@ void AdhocNetwork::refresh_out_edges(NodeId v) {
   }
   std::sort(desired_.begin(), desired_.end());
 
-  // Diff against the live sorted set: surviving edges generate no deltas.
+  // Diff against the live sorted set: surviving edges generate no deltas,
+  // and each fan (drops, then adds) merges into v's conflict row once.
   const std::span<const NodeId> current = graph_.out_neighbors(v);
   stale_.clear();
   std::set_difference(current.begin(), current.end(), desired_.begin(),
                       desired_.end(), std::back_inserter(stale_));
-  for (NodeId w : stale_) unlink(v, w);
-  for (NodeId w : desired_) link(v, w);
+  fresh_.clear();
+  std::set_difference(desired_.begin(), desired_.end(), current.begin(),
+                      current.end(), std::back_inserter(fresh_));
+  unlink_fan(v, stale_);
+  link_fan(v, fresh_);
 }
 
 void AdhocNetwork::refresh_in_edges(NodeId v) {
@@ -147,7 +165,8 @@ std::size_t AdhocNetwork::memory_bytes() const {
   return graph_.memory_bytes() + conflict_.memory_bytes() +
          grid_.memory_bytes() + configs_.capacity() * sizeof(NodeConfig) +
          ranges_.size() * (sizeof(double) + 4 * sizeof(void*)) +
-         (scratch_.capacity() + desired_.capacity() + stale_.capacity()) *
+         (scratch_.capacity() + desired_.capacity() + stale_.capacity() +
+          fresh_.capacity()) *
              sizeof(NodeId);
 }
 

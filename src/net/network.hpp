@@ -112,6 +112,11 @@ class AdhocNetwork {
   /// Removes edge u -> v, retracting the conflict-graph delta.  No-op when
   /// absent.
   void unlink(NodeId u, NodeId v);
+  /// Batched link/unlink of a fan of u's out-edges (`targets` ascending,
+  /// deduped, all absent/present respectively): one conflict-row merge for
+  /// the whole fan (ConflictGraph::on_out_edges_*) instead of one per edge.
+  void link_fan(NodeId u, const std::vector<NodeId>& targets);
+  void unlink_fan(NodeId u, const std::vector<NodeId>& targets);
   /// Replaces v's out-edge set based on current config (diff against the
   /// live set, so unchanged edges generate no conflict-graph churn).
   void refresh_out_edges(NodeId v);
@@ -132,6 +137,7 @@ class AdhocNetwork {
   mutable std::vector<NodeId> scratch_;
   std::vector<NodeId> desired_;  // refresh scratch: target neighbor set
   std::vector<NodeId> stale_;    // refresh scratch: edges to drop
+  std::vector<NodeId> fresh_;    // refresh scratch: edges to add
 };
 
 }  // namespace minim::net

@@ -76,6 +76,39 @@ ChurnResult run_churn(const ChurnParams& params, core::RecodingStrategy& strateg
   };
 
   ChurnResult result;
+
+  // Seed population: join `initial_nodes` configurations at time 0, then
+  // give every seeded node the same event schedules an arrival would get.
+  if (params.initial_nodes > 0) {
+    WorkloadParams seed_params;
+    seed_params.n = params.initial_nodes;
+    seed_params.min_range = params.min_range;
+    seed_params.max_range = params.max_range;
+    seed_params.width = params.width;
+    seed_params.height = params.height;
+    seed_params.placement = params.initial_placement;
+    seed_params.cluster_count = params.initial_cluster_count;
+    seed_params.cluster_sigma = params.initial_cluster_sigma;
+    seed_params.min_separation = params.initial_min_separation;
+    const Workload seed = make_join_workload(seed_params, rng);
+    for (const net::NodeConfig& config : seed.joins) {
+      if (simulation.network().node_count() >= params.max_nodes) {
+        ++result.dropped_arrivals;
+        continue;
+      }
+      const net::NodeId id = simulation.join(config);
+      NodeState& state = state_of(id);
+      ++state.generation;
+      state.full_range = config.range;
+      state.power_saving = false;
+      state.alive = true;
+      push(exponential(rng, 1.0 / params.mean_lifetime), EventKind::kLeave, id,
+           state.generation);
+      schedule_node_events(0.0, id);
+    }
+    result.peak_nodes = simulation.network().node_count();
+  }
+
   push(exponential(rng, params.arrival_rate), EventKind::kArrival, net::kInvalidNode, 0);
   push(params.sample_interval, EventKind::kSample, net::kInvalidNode, 0);
 

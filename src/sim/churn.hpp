@@ -6,6 +6,7 @@
 #include "core/strategy.hpp"
 #include "net/assignment.hpp"
 #include "sim/simulation.hpp"
+#include "sim/workload.hpp"
 #include "util/rng.hpp"
 
 /// \file churn.hpp
@@ -43,6 +44,19 @@ struct ChurnParams {
   double sample_interval = 50.0;   ///< metric sampling grid
   std::size_t max_nodes = 400;     ///< hard cap (arrivals beyond it are dropped)
   bool validate = false;           ///< CA1/CA2 check after every event
+
+  /// Pre-populates the network before time 0: `initial_nodes` joins placed
+  /// by `make_join_workload` (ranges/field from this struct, placement from
+  /// the initial_* knobs), each seeded node then drawing the same
+  /// lifetime/move/power schedules as an arrival.  This is how the large-N
+  /// benches run leave/move/power churn *on* a 10⁴–10⁵-node network instead
+  /// of waiting for arrivals to build one.  0 = start empty; the default
+  /// path consumes exactly the rng draws it always did.
+  std::size_t initial_nodes = 0;
+  Placement initial_placement = Placement::kUniform;
+  std::size_t initial_cluster_count = 8;   ///< kClustered parents
+  double initial_cluster_sigma = 6.0;      ///< kClustered offspring spread
+  double initial_min_separation = 0.0;     ///< kPoissonDisk spacing (0 = auto)
 };
 
 /// One point of the sampled time series.

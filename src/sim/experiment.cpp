@@ -156,34 +156,43 @@ ScenarioSpec Experiment::spec_for_point(std::size_t point_index) const {
 ExperimentResult Experiment::run(const ExperimentOptions& options) const {
   MINIM_REQUIRE(options.trial_begin <= options.trials,
                 "trial_begin past the trial space");
+  MINIM_REQUIRE(options.point_begin <= points_.size(),
+                "point_begin past the grid");
   const std::size_t shard_trials =
       std::min(options.trial_count, options.trials - options.trial_begin);
-  const std::size_t n_points = points_.size();
+  const std::size_t shard_points =
+      std::min(options.point_count, points_.size() - options.point_begin);
   const std::size_t n_strategies = grid_.strategies.size();
 
   ExperimentResult result;
   result.axis_names.reserve(grid_.axes.size());
   for (const GridAxis& axis : grid_.axes) result.axis_names.push_back(axis.name);
-  result.points = points_;
+  result.points.assign(
+      points_.begin() + static_cast<std::ptrdiff_t>(options.point_begin),
+      points_.begin() +
+          static_cast<std::ptrdiff_t>(options.point_begin + shard_points));
   result.strategies = grid_.strategies;
   result.total_trials = options.trials;
+  result.total_points = points_.size();
   result.seed = options.seed;
   result.trial_begin = options.trial_begin;
   result.trial_count = shard_trials;
-  result.cells.resize(n_points * n_strategies);
-  for (std::size_t p = 0; p < n_points; ++p)
+  result.point_begin = options.point_begin;
+  result.cells.resize(shard_points * n_strategies);
+  for (std::size_t p = 0; p < shard_points; ++p)
     for (std::size_t s = 0; s < n_strategies; ++s) {
       ExperimentCell& cell = result.cells[p * n_strategies + s];
       cell.point_index = p;
       cell.strategy_index = s;
       cell.trials.reserve(shard_trials);
     }
-  if (shard_trials == 0) return result;
+  if (shard_trials == 0 || shard_points == 0) return result;
 
   // Axis application is cheap but runs once per point, not once per item.
   std::vector<ScenarioSpec> specs;
-  specs.reserve(n_points);
-  for (std::size_t p = 0; p < n_points; ++p) specs.push_back(spec_for_point(p));
+  specs.reserve(shard_points);
+  for (std::size_t p = 0; p < shard_points; ++p)
+    specs.push_back(spec_for_point(options.point_begin + p));
 
   const strategies::StrategyFactory factory =
       grid_.strategy_factory
@@ -193,17 +202,18 @@ ExperimentResult Experiment::run(const ExperimentOptions& options) const {
   util::MapReduceOptions mr;
   mr.seed = options.seed;
   mr.threads = options.threads;
-  // Global stream = point * total_trials + global trial, independent of the
-  // shard's range — the invariant that makes sharding bit-safe.
+  // Global stream = global point * total_trials + global trial, independent
+  // of the shard's rectangle — the invariant that makes sharding bit-safe.
   mr.stream_of = [shard_trials, total = options.trials,
-                  begin = options.trial_begin](std::size_t item) {
-    const std::size_t point = item / shard_trials;
-    const std::size_t trial = begin + item % shard_trials;
+                  trial0 = options.trial_begin,
+                  point0 = options.point_begin](std::size_t item) {
+    const std::size_t point = point0 + item / shard_trials;
+    const std::size_t trial = trial0 + item % shard_trials;
     return static_cast<std::uint64_t>(point) * total + trial;
   };
 
   util::map_reduce(
-      n_points * shard_trials, mr,
+      shard_points * shard_trials, mr,
       [&](std::size_t item, util::Rng& rng) {
         const std::size_t point = item / shard_trials;
         const std::uint64_t trial = options.trial_begin + item % shard_trials;
@@ -222,49 +232,88 @@ ExperimentResult merge_shards(std::vector<ExperimentResult> shards) {
   if (shards.empty())
     throw std::invalid_argument("merge_shards: no shards to merge");
 
+  // Point-major, trial-minor: shards sharing a point range become one group
+  // whose trial ranges must tile [0, total_trials); the groups' point ranges
+  // must then tile [0, total_points).
   std::sort(shards.begin(), shards.end(),
             [](const ExperimentResult& a, const ExperimentResult& b) {
+              if (a.point_begin != b.point_begin)
+                return a.point_begin < b.point_begin;
               return a.trial_begin < b.trial_begin;
             });
 
   const ExperimentResult& first = shards.front();
-  std::size_t next_trial = 0;
   for (const ExperimentResult& shard : shards) {
     const bool compatible = shard.axis_names == first.axis_names &&
-                            shard.points == first.points &&
                             shard.strategies == first.strategies &&
                             shard.total_trials == first.total_trials &&
+                            shard.total_points == first.total_points &&
                             shard.seed == first.seed;
     if (!compatible)
       throw std::invalid_argument(
           "merge_shards: shards describe different experiments");
-    if (shard.trial_begin != next_trial)
-      throw std::invalid_argument(
-          "merge_shards: trial ranges leave a gap or overlap");
-    next_trial = shard.trial_begin + shard.trial_count;
   }
-  if (next_trial != first.total_trials)
-    throw std::invalid_argument(
-        "merge_shards: trial ranges do not cover [0, total_trials)");
 
   ExperimentResult merged;
   merged.axis_names = first.axis_names;
-  merged.points = first.points;
   merged.strategies = first.strategies;
   merged.total_trials = first.total_trials;
+  merged.total_points = first.total_points;
   merged.seed = first.seed;
   merged.trial_begin = 0;
   merged.trial_count = first.total_trials;
-  merged.cells.resize(first.cells.size());
-  for (std::size_t c = 0; c < merged.cells.size(); ++c) {
-    ExperimentCell& cell = merged.cells[c];
-    cell.point_index = first.cells[c].point_index;
-    cell.strategy_index = first.cells[c].strategy_index;
-    cell.trials.reserve(first.total_trials);
-    for (const ExperimentResult& shard : shards)
-      cell.trials.insert(cell.trials.end(), shard.cells[c].trials.begin(),
-                         shard.cells[c].trials.end());
+  merged.point_begin = 0;
+  merged.points.reserve(first.total_points);
+  merged.cells.reserve(first.total_points * first.strategies.size());
+
+  const std::size_t n_strategies = first.strategies.size();
+  std::size_t next_point = 0;
+  for (std::size_t i = 0; i < shards.size();) {
+    const ExperimentResult& lead = shards[i];
+    if (lead.point_begin != next_point)
+      throw std::invalid_argument(
+          "merge_shards: point ranges leave a gap or overlap");
+
+    // The trial-range group sharing lead's point range.
+    std::size_t next_trial = 0;
+    std::size_t group_end = i;
+    for (; group_end < shards.size() &&
+           shards[group_end].point_begin == lead.point_begin;
+         ++group_end) {
+      const ExperimentResult& shard = shards[group_end];
+      if (shard.points != lead.points)
+        throw std::invalid_argument(
+            "merge_shards: point ranges leave a gap or overlap");
+      if (shard.trial_begin != next_trial)
+        throw std::invalid_argument(
+            "merge_shards: trial ranges leave a gap or overlap");
+      next_trial = shard.trial_begin + shard.trial_count;
+    }
+    if (next_trial != first.total_trials)
+      throw std::invalid_argument(
+          "merge_shards: trial ranges do not cover [0, total_trials)");
+
+    for (std::size_t p = 0; p < lead.points.size(); ++p) {
+      merged.points.push_back(lead.points[p]);
+      for (std::size_t s = 0; s < n_strategies; ++s) {
+        ExperimentCell cell;
+        cell.point_index = next_point + p;
+        cell.strategy_index = s;
+        cell.trials.reserve(first.total_trials);
+        for (std::size_t j = i; j < group_end; ++j) {
+          const ExperimentCell& source = shards[j].cells[p * n_strategies + s];
+          cell.trials.insert(cell.trials.end(), source.trials.begin(),
+                             source.trials.end());
+        }
+        merged.cells.push_back(std::move(cell));
+      }
+    }
+    next_point += lead.points.size();
+    i = group_end;
   }
+  if (next_point != first.total_points)
+    throw std::invalid_argument(
+        "merge_shards: point ranges do not cover [0, total_points)");
   return merged;
 }
 

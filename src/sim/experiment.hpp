@@ -30,10 +30,13 @@
 ///  * trial i of point p draws all randomness from
 ///    `Rng::for_stream(seed, p * trials + i)`, and results reduce in item
 ///    order, so a report is bit-identical for any thread count;
-///  * `trial_begin`/`trial_count` run a sub-range of the trial space with
-///    the *global* streams, so k processes can each run a slice and
+///  * `trial_begin`/`trial_count` and `point_begin`/`point_count` run a
+///    sub-rectangle of the (grid point x trial) space with the *global*
+///    streams, so k processes can each run a slice — split by trial range,
+///    by grid-point subset (axis-space sharding), or both — and
 ///    `merge_shards` reassembles a result bit-identical to one process
-///    running everything — the first step toward multi-process scale-out.
+///    running everything.  `work_plan.hpp` decomposes a grid into such
+///    rectangles; `orchestrator.hpp` schedules them across worker processes.
 ///
 /// `run_sweep` (figure sweeps) and `run_scenario_sweep` (scenario
 /// Monte-Carlo) are thin adapters over this API; see sweeps.hpp and
@@ -86,10 +89,14 @@ struct ExperimentOptions {
   std::uint64_t seed = 2001;  ///< master seed; (point, trial) derive streams
   std::size_t threads = 0;    ///< 0 = hardware concurrency, 1 = serial
   /// Sharding: this process runs global trials
-  /// [trial_begin, trial_begin + trial_count) of every grid point (clamped
-  /// to `trials`).  The defaults run everything.
+  /// [trial_begin, trial_begin + trial_count) of the global grid points
+  /// [point_begin, point_begin + point_count) (both clamped).  The defaults
+  /// run everything.  Streams derive from *global* indices, so any tiling of
+  /// the (point x trial) rectangle merges bit-identically (`merge_shards`).
   std::size_t trial_begin = 0;
   std::size_t trial_count = std::numeric_limits<std::size_t>::max();
+  std::size_t point_begin = 0;
+  std::size_t point_count = std::numeric_limits<std::size_t>::max();
 };
 
 /// Raw outcome of one (point, strategy, trial).
@@ -138,16 +145,21 @@ void accumulate(TotalsSummary& summary, const Totals& totals,
 TotalsSummary summarize(const ExperimentCell& cell);
 
 /// A complete (or one shard of a) grid run.  Self-describing: carries the
-/// grid coordinates, strategy names, seed, and trial range alongside the
-/// per-trial data, so shards can be persisted, shipped, and merged.
+/// grid coordinates, strategy names, seed, and its (point x trial)
+/// sub-rectangle alongside the per-trial data, so shards can be persisted,
+/// shipped, and merged.  `points` holds only the covered grid points;
+/// `point_begin` is the global index of `points[0]` and cell/point indices
+/// are local (0-based within this result).
 struct ExperimentResult {
   std::vector<std::string> axis_names;
-  std::vector<std::vector<double>> points;  ///< axis-0-major grid coordinates
+  std::vector<std::vector<double>> points;  ///< covered grid coordinates
   std::vector<std::string> strategies;
   std::size_t total_trials = 0;  ///< ExperimentOptions::trials
+  std::size_t total_points = 0;  ///< full grid size (>= points.size())
   std::uint64_t seed = 0;
   std::size_t trial_begin = 0;   ///< this result's global trial range
   std::size_t trial_count = 0;
+  std::size_t point_begin = 0;   ///< global index of points[0]
   std::vector<ExperimentCell> cells;  ///< point-major, strategy-minor
 
   std::size_t point_count() const { return points.size(); }
@@ -176,10 +188,12 @@ class Experiment {
 };
 
 /// Reassembles shards of one experiment into the full result.  Shards must
-/// agree on grid/strategies/seed/total_trials and their trial ranges must
-/// tile [0, total_trials) exactly (any order, no gaps or overlaps); throws
-/// std::invalid_argument otherwise.  The merged result is bit-identical to
-/// an unsharded run.
+/// agree on grid/strategies/seed/total_trials/total_points, and their
+/// (point x trial) rectangles must tile the full
+/// [0, total_points) x [0, total_trials) space exactly (any order, no gaps
+/// or overlaps; shards sharing a point range must tile the trial space, and
+/// the point ranges must tile the grid); throws std::invalid_argument
+/// otherwise.  The merged result is bit-identical to an unsharded run.
 ExperimentResult merge_shards(std::vector<ExperimentResult> shards);
 
 }  // namespace minim::sim

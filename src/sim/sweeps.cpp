@@ -23,8 +23,39 @@ strategies::StrategyFactory factory_or_default(const SweepOptions& options) {
   return [](const std::string& name) { return strategies::make_strategy(name); };
 }
 
-/// Converts an experiment over one axis into the figure-sweep point list
-/// (x-major, strategy-minor; per-run accumulation in trial order).
+/// Assembles the one-axis grid every figure sweep shares.
+ExperimentGrid make_figure_grid(GridAxis axis, ScenarioSpec base,
+                                const SweepOptions& options) {
+  ExperimentGrid grid;
+  grid.base = std::move(base);
+  grid.base.validate = options.validate;
+  grid.axes.push_back(std::move(axis));
+  grid.strategies = options.strategies;
+  grid.strategy_factory = options.strategy_factory;
+  return grid;
+}
+
+/// Runs a one-axis grid in process.
+std::vector<SweepPoint> run_grid_sweep(GridAxis axis, ScenarioSpec base,
+                                       bool delta_metrics,
+                                       const SweepOptions& options) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(
+      make_figure_grid(std::move(axis), std::move(base), options));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           delta_metrics);
+}
+
+}  // namespace
+
+ExperimentOptions experiment_options_from(const SweepOptions& options) {
+  ExperimentOptions run;
+  run.trials = options.runs;
+  run.seed = options.seed;
+  run.threads = options.threads;
+  return run;
+}
+
 std::vector<SweepPoint> sweep_points_from(const ExperimentResult& result,
                                           bool delta_metrics) {
   std::vector<SweepPoint> points;
@@ -47,28 +78,6 @@ std::vector<SweepPoint> sweep_points_from(const ExperimentResult& result,
     }
   return points;
 }
-
-/// Runs a one-axis grid with the options every figure sweep shares.
-std::vector<SweepPoint> run_grid_sweep(GridAxis axis, ScenarioSpec base,
-                                       bool delta_metrics,
-                                       const SweepOptions& options) {
-  ExperimentGrid grid;
-  grid.base = std::move(base);
-  grid.base.validate = options.validate;
-  grid.axes.push_back(std::move(axis));
-  grid.strategies = options.strategies;
-  grid.strategy_factory = options.strategy_factory;
-  const Experiment experiment(std::move(grid));
-
-  ExperimentOptions run;
-  run.trials = options.runs;
-  run.seed = options.seed;
-  run.threads = options.threads;
-  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
-  return sweep_points_from(experiment.run(run), delta_metrics);
-}
-
-}  // namespace
 
 std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
                                   const WorkloadFactory& factory, bool delta_metrics,
@@ -134,9 +143,9 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
   return points;
 }
 
-std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
-                                        const SweepOptions& options, double min_range,
-                                        double max_range) {
+ExperimentGrid grid_join_vs_n(const std::vector<double>& ns,
+                              const SweepOptions& options, double min_range,
+                              double max_range) {
   ScenarioSpec base;
   base.kind = ScenarioKind::kJoin;
   base.workload.min_range = min_range;
@@ -144,13 +153,21 @@ std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
   GridAxis axis{"n", ns, [](ScenarioSpec& spec, double x) {
                   spec.workload.n = static_cast<std::size_t>(x);
                 }};
-  return run_grid_sweep(std::move(axis), std::move(base),
-                        /*delta_metrics=*/false, options);
+  return make_figure_grid(std::move(axis), std::move(base), options);
 }
 
-std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_ranges,
-                                                const SweepOptions& options,
-                                                std::size_t n, double spread) {
+std::vector<SweepPoint> sweep_join_vs_n(const std::vector<double>& ns,
+                                        const SweepOptions& options, double min_range,
+                                        double max_range) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(grid_join_vs_n(ns, options, min_range, max_range));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           /*delta_metrics=*/false);
+}
+
+ExperimentGrid grid_join_vs_avg_range(const std::vector<double>& avg_ranges,
+                                      const SweepOptions& options, std::size_t n,
+                                      double spread) {
   ScenarioSpec base;
   base.kind = ScenarioKind::kJoin;
   base.workload.n = n;
@@ -158,13 +175,21 @@ std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_r
                   spec.workload.min_range = x - spread / 2.0;
                   spec.workload.max_range = x + spread / 2.0;
                 }};
-  return run_grid_sweep(std::move(axis), std::move(base),
-                        /*delta_metrics=*/false, options);
+  return make_figure_grid(std::move(axis), std::move(base), options);
 }
 
-std::vector<SweepPoint> sweep_power_vs_raise_factor(
-    const std::vector<double>& raise_factors, const SweepOptions& options,
-    std::size_t n, double min_range, double max_range) {
+std::vector<SweepPoint> sweep_join_vs_avg_range(const std::vector<double>& avg_ranges,
+                                                const SweepOptions& options,
+                                                std::size_t n, double spread) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(grid_join_vs_avg_range(avg_ranges, options, n, spread));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           /*delta_metrics=*/false);
+}
+
+ExperimentGrid grid_power_vs_raise_factor(const std::vector<double>& raise_factors,
+                                          const SweepOptions& options, std::size_t n,
+                                          double min_range, double max_range) {
   ScenarioSpec base;
   base.kind = ScenarioKind::kPower;
   base.workload.n = n;
@@ -173,11 +198,20 @@ std::vector<SweepPoint> sweep_power_vs_raise_factor(
   GridAxis axis{"raise_factor", raise_factors, [](ScenarioSpec& spec, double x) {
                   spec.raise_factor = x;
                 }};
-  return run_grid_sweep(std::move(axis), std::move(base),
-                        /*delta_metrics=*/true, options);
+  return make_figure_grid(std::move(axis), std::move(base), options);
 }
 
-std::vector<SweepPoint> sweep_move_vs_max_displacement(
+std::vector<SweepPoint> sweep_power_vs_raise_factor(
+    const std::vector<double>& raise_factors, const SweepOptions& options,
+    std::size_t n, double min_range, double max_range) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(
+      grid_power_vs_raise_factor(raise_factors, options, n, min_range, max_range));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           /*delta_metrics=*/true);
+}
+
+ExperimentGrid grid_move_vs_max_displacement(
     const std::vector<double>& max_displacements, const SweepOptions& options,
     std::size_t n, double min_range, double max_range) {
   ScenarioSpec base;
@@ -188,8 +222,17 @@ std::vector<SweepPoint> sweep_move_vs_max_displacement(
   base.move_rounds = 1;
   GridAxis axis{"max_displacement", max_displacements,
                 [](ScenarioSpec& spec, double x) { spec.max_displacement = x; }};
-  return run_grid_sweep(std::move(axis), std::move(base),
-                        /*delta_metrics=*/true, options);
+  return make_figure_grid(std::move(axis), std::move(base), options);
+}
+
+std::vector<SweepPoint> sweep_move_vs_max_displacement(
+    const std::vector<double>& max_displacements, const SweepOptions& options,
+    std::size_t n, double min_range, double max_range) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(grid_move_vs_max_displacement(
+      max_displacements, options, n, min_range, max_range));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           /*delta_metrics=*/true);
 }
 
 std::vector<SweepPoint> sweep_join_vs_n_constant_density(
@@ -221,10 +264,10 @@ std::vector<SweepPoint> sweep_join_vs_cluster_count(
                         /*delta_metrics=*/false, options);
 }
 
-std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
-                                             const SweepOptions& options, std::size_t n,
-                                             double max_displacement, double min_range,
-                                             double max_range) {
+ExperimentGrid grid_move_vs_rounds(const std::vector<double>& rounds,
+                                   const SweepOptions& options, std::size_t n,
+                                   double max_displacement, double min_range,
+                                   double max_range) {
   ScenarioSpec base;
   base.kind = ScenarioKind::kMove;
   base.workload.n = n;
@@ -234,8 +277,19 @@ std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
   GridAxis axis{"rounds", rounds, [](ScenarioSpec& spec, double x) {
                   spec.move_rounds = static_cast<std::size_t>(x);
                 }};
-  return run_grid_sweep(std::move(axis), std::move(base),
-                        /*delta_metrics=*/true, options);
+  return make_figure_grid(std::move(axis), std::move(base), options);
+}
+
+std::vector<SweepPoint> sweep_move_vs_rounds(const std::vector<double>& rounds,
+                                             const SweepOptions& options, std::size_t n,
+                                             double max_displacement, double min_range,
+                                             double max_range) {
+  MINIM_REQUIRE(options.runs > 0, "sweep needs at least one run");
+  const Experiment experiment(grid_move_vs_rounds(rounds, options, n,
+                                                  max_displacement, min_range,
+                                                  max_range));
+  return sweep_points_from(experiment.run(experiment_options_from(options)),
+                           /*delta_metrics=*/true);
 }
 
 }  // namespace minim::sim

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/experiment.hpp"
 #include "sim/replay.hpp"
 #include "sim/workload.hpp"
 #include "strategies/factory.hpp"
@@ -54,6 +55,51 @@ using WorkloadFactory = std::function<Workload(double x, util::Rng& rng)>;
 std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
                                   const WorkloadFactory& factory, bool delta_metrics,
                                   const SweepOptions& options);
+
+// ---- Figure sweeps as experiment grids -----------------------------------
+//
+// Each figure sweep is a one-axis `ExperimentGrid`; the grid_* builders
+// expose that grid so callers other than the in-process sweep_* wrappers —
+// notably the multi-process orchestrator behind `--orchestrate` — can run
+// it sharded and convert the merged result back to figure points.
+
+/// `ExperimentOptions` carrying a sweep's runs/seed/threads.
+ExperimentOptions experiment_options_from(const SweepOptions& options);
+
+/// Converts a one-axis experiment result to the figure point list (x-major,
+/// strategy-minor; per-run accumulation in trial order).  With
+/// `delta_metrics` the Δ-versions of both metrics are recorded (Figs 11 and
+/// 12), otherwise the absolute after-setup values (Fig 10).
+std::vector<SweepPoint> sweep_points_from(const ExperimentResult& result,
+                                          bool delta_metrics);
+
+/// Fig 10(a-c) grid: joins vs N.
+ExperimentGrid grid_join_vs_n(const std::vector<double>& ns,
+                              const SweepOptions& options,
+                              double min_range = 20.5, double max_range = 30.5);
+
+/// Fig 10(d-f) grid: joins vs average range.
+ExperimentGrid grid_join_vs_avg_range(const std::vector<double>& avg_ranges,
+                                      const SweepOptions& options,
+                                      std::size_t n = 100, double spread = 5.0);
+
+/// Fig 11 grid: power raises vs raisefactor.
+ExperimentGrid grid_power_vs_raise_factor(
+    const std::vector<double>& raise_factors, const SweepOptions& options,
+    std::size_t n = 100, double min_range = 20.5, double max_range = 30.5);
+
+/// Fig 12(a) grid: one movement round vs maxdisp.
+ExperimentGrid grid_move_vs_max_displacement(
+    const std::vector<double>& max_displacements, const SweepOptions& options,
+    std::size_t n = 40, double min_range = 20.5, double max_range = 30.5);
+
+/// Fig 12(b-d) grid: movement rounds vs RoundNo.
+ExperimentGrid grid_move_vs_rounds(const std::vector<double>& rounds,
+                                   const SweepOptions& options,
+                                   std::size_t n = 40,
+                                   double max_displacement = 40.0,
+                                   double min_range = 20.5,
+                                   double max_range = 30.5);
 
 // ---- Figure-specific sweeps (parameters default to the paper's) ----------
 

@@ -1,0 +1,117 @@
+#include "sim/work_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace minim::sim {
+
+const char* to_string(WorkSplit split) {
+  switch (split) {
+    case WorkSplit::kTrials: return "trials";
+    case WorkSplit::kPoints: return "points";
+    case WorkSplit::kAuto: return "auto";
+  }
+  return "?";
+}
+
+WorkSplit work_split_from(const std::string& name) {
+  if (name == "trials") return WorkSplit::kTrials;
+  if (name == "points") return WorkSplit::kPoints;
+  if (name == "auto") return WorkSplit::kAuto;
+  throw std::invalid_argument("unknown work split '" + name +
+                              "' (expected trials|points|auto)");
+}
+
+std::pair<std::size_t, std::size_t> slice_range(std::size_t total,
+                                                std::size_t index,
+                                                std::size_t count) {
+  MINIM_REQUIRE(count > 0 && index < count, "slice index out of range");
+  const std::size_t base = total / count;
+  const std::size_t extra = total % count;
+  const std::size_t begin = index * base + std::min(index, extra);
+  return {begin, base + (index < extra ? 1 : 0)};
+}
+
+PlanShape plan_shape(std::size_t units, std::size_t total_points,
+                     std::size_t total_trials, WorkSplit split) {
+  MINIM_REQUIRE(total_points > 0 && total_trials > 0,
+                "plan_shape: empty (point x trial) rectangle");
+  units = std::max<std::size_t>(1, units);
+
+  PlanShape shape;
+  switch (split) {
+    case WorkSplit::kTrials:
+      shape.trial_slices = std::min(units, total_trials);
+      return shape;
+    case WorkSplit::kPoints:
+      shape.point_slices = std::min(units, total_points);
+      return shape;
+    case WorkSplit::kAuto:
+      break;
+  }
+
+  // Among factorizations p * t <= units (p <= points, t <= trials), keep the
+  // largest product; break product ties by the smaller worst-case unit area
+  // (ceil slices), then by more point slices (axis-space cuts also shrink a
+  // worker's per-point setup footprint).
+  units = std::min(units, total_points * total_trials);
+  PlanShape best;
+  std::size_t best_product = 0;
+  std::size_t best_area = total_points * total_trials;
+  for (std::size_t p = 1; p <= std::min(units, total_points); ++p) {
+    const std::size_t t = std::min(units / p, total_trials);
+    const std::size_t product = p * t;
+    const std::size_t area = ((total_points + p - 1) / p) *
+                             ((total_trials + t - 1) / t);
+    const bool better =
+        product > best_product ||
+        (product == best_product &&
+         (area < best_area || (area == best_area && p > best.point_slices)));
+    if (better) {
+      best = PlanShape{p, t};
+      best_product = product;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+std::vector<WorkUnit> plan_work_units(std::size_t total_points,
+                                      std::size_t total_trials,
+                                      const PlanShape& shape) {
+  MINIM_REQUIRE(shape.point_slices > 0 && shape.trial_slices > 0,
+                "plan_work_units: empty shape");
+  MINIM_REQUIRE(shape.point_slices <= total_points &&
+                    shape.trial_slices <= total_trials,
+                "plan_work_units: more slices than items on an axis");
+  std::vector<WorkUnit> units;
+  units.reserve(shape.point_slices * shape.trial_slices);
+  for (std::size_t p = 0; p < shape.point_slices; ++p) {
+    const auto [point_begin, point_count] =
+        slice_range(total_points, p, shape.point_slices);
+    for (std::size_t t = 0; t < shape.trial_slices; ++t) {
+      const auto [trial_begin, trial_count] =
+          slice_range(total_trials, t, shape.trial_slices);
+      WorkUnit unit;
+      unit.id = units.size();
+      unit.point_begin = point_begin;
+      unit.point_count = point_count;
+      unit.trial_begin = trial_begin;
+      unit.trial_count = trial_count;
+      units.push_back(unit);
+    }
+  }
+  return units;
+}
+
+std::vector<WorkUnit> plan_work_units(std::size_t units,
+                                      std::size_t total_points,
+                                      std::size_t total_trials,
+                                      WorkSplit split) {
+  return plan_work_units(total_points, total_trials,
+                         plan_shape(units, total_points, total_trials, split));
+}
+
+}  // namespace minim::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file work_plan.hpp
+/// \brief Decomposes an experiment's (grid point x trial) space into
+/// self-describing work units.
+///
+/// An `ExperimentGrid` run is a rectangle: `total_points` grid points times
+/// `total_trials` Monte-Carlo trials.  Because every (point, trial) item
+/// draws its randomness from the *global* stream `point * total_trials +
+/// trial` (see experiment.hpp), any exact tiling of that rectangle runs the
+/// same trials with the same streams — so the planner is free to cut along
+/// either axis:
+///
+///  * **trial-range sharding** slices the trial axis — every worker runs all
+///    grid points over a trial sub-range (good when trials >> points);
+///  * **axis-space sharding** slices the point axis — every worker runs its
+///    own grid-point subset over all trials (good for wide grids, and the
+///    only cut that shrinks a worker's per-point setup footprint);
+///  * the **auto** split cuts both, choosing the most balanced p x t
+///    factorization of the requested unit count.
+///
+/// The resulting `WorkUnit`s carry their global rectangle, so a unit is
+/// fully described by (grid config, seed, rectangle) — exactly what a
+/// worker process needs on its command line and what the shard manifest
+/// records for resume.  `sim::merge_shards` reassembles any plan's outputs
+/// bit-identically to the unsharded run.
+
+namespace minim::sim {
+
+/// One schedulable unit: a sub-rectangle of the (point x trial) space.
+struct WorkUnit {
+  std::size_t id = 0;           ///< plan order, dense from 0
+  std::size_t point_begin = 0;  ///< global grid-point range
+  std::size_t point_count = 0;
+  std::size_t trial_begin = 0;  ///< global trial range
+  std::size_t trial_count = 0;
+
+  bool operator==(const WorkUnit&) const = default;
+};
+
+/// Which axes the planner may cut.
+enum class WorkSplit {
+  kTrials,  ///< trial ranges only (the historical --shard i/k behaviour)
+  kPoints,  ///< grid-point subsets only
+  kAuto,    ///< both: the most balanced p x t factorization of `units`
+};
+
+const char* to_string(WorkSplit split);
+/// Parses "trials" | "points" | "auto"; throws std::invalid_argument.
+WorkSplit work_split_from(const std::string& name);
+
+/// How a unit count is realized as per-axis slice counts.
+struct PlanShape {
+  std::size_t point_slices = 1;
+  std::size_t trial_slices = 1;
+};
+
+/// Chooses the slice counts for `units` work units over a
+/// `total_points x total_trials` rectangle.  The requested count is clamped
+/// to what the split mode and rectangle can express (a point axis of 3 can
+/// carry at most 3 point slices); kAuto picks, among the factorizations
+/// p * t <= units with the largest product, the one minimizing the largest
+/// unit (ties toward more point slices).  Requires a non-empty rectangle.
+PlanShape plan_shape(std::size_t units, std::size_t total_points,
+                     std::size_t total_trials, WorkSplit split);
+
+/// Near-equal contiguous range of slice `index` of `count` over [0, total):
+/// the first `total % count` slices get one extra item.
+std::pair<std::size_t, std::size_t> slice_range(std::size_t total,
+                                                std::size_t index,
+                                                std::size_t count);
+
+/// Emits the units of `shape` in point-major, trial-minor order with dense
+/// ids — the exact tiling `merge_shards` expects.
+std::vector<WorkUnit> plan_work_units(std::size_t total_points,
+                                      std::size_t total_trials,
+                                      const PlanShape& shape);
+
+/// Convenience: plan_shape + plan_work_units.
+std::vector<WorkUnit> plan_work_units(std::size_t units,
+                                      std::size_t total_points,
+                                      std::size_t total_trials,
+                                      WorkSplit split);
+
+}  // namespace minim::sim

@@ -33,6 +33,10 @@ class Options {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All parsed key/value pairs (key order).  Lets a driver re-render its
+  /// own command line when spawning itself as a worker process.
+  const std::map<std::string, std::string>& values() const { return values_; }
+
   /// Renders all parsed key/value pairs (diagnostics).
   std::string to_string() const;
 

@@ -1,8 +1,11 @@
-// End-to-end test of a bench harness's --csv-dir output path: runs the
-// actual bench_grid_study binary (path injected by CMake via
-// MINIM_BENCH_GRID_STUDY) against a temp directory and checks the emitted
-// CSV header and row counts.  This is the only test that exercises the
-// harness-side CSV plumbing the way a user does.
+// End-to-end tests of the real bench_grid_study binary (path injected by
+// CMake via MINIM_BENCH_GRID_STUDY):
+//  * the --csv-dir output path (header and row counts) the way a user
+//    drives it;
+//  * the orchestrated driver: --orchestrate spawns worker processes (the
+//    binary re-invoking itself per work unit) whose merged per-trial CSV
+//    must be byte-identical to the single-process run — including with an
+//    injected worker crash that exercises the bounded retry.
 
 #include <gtest/gtest.h>
 
@@ -50,6 +53,48 @@ TEST(BenchCsv, GridStudyWritesTheSeriesCsv) {
     EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 7) << lines[i];
     EXPECT_NE(lines[i].find(",2,"), std::string::npos) << lines[i];
   }
+
+  fs::remove_all(dir);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(BenchCsv, OrchestratedRunMatchesSingleProcessByteForByte) {
+  const fs::path dir = fs::temp_directory_path() / "minim_bench_orchestrate_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const std::string grid_args =
+      " --trials=4 --ns=20,30 --factors=2.0,3.0 --strategies=minim,cp";
+  const fs::path single_csv = dir / "single.csv";
+  const fs::path orch_csv = dir / "orchestrated.csv";
+
+  const std::string single = std::string(MINIM_BENCH_GRID_STUDY) + grid_args +
+                             " --threads=1 --save-experiment=" +
+                             single_csv.string() + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(single.c_str()), 0) << single;
+
+  // 2 workers, 4 units over both axes, unit 0 crashing on its first attempt.
+  const std::string orchestrated =
+      std::string(MINIM_BENCH_GRID_STUDY) + grid_args +
+      " --orchestrate=2 --units=4 --split=auto --crash-unit=0" +
+      " --shard-dir=" + (dir / "scratch").string() +
+      " --save-experiment=" + orch_csv.string() + " > " +
+      (dir / "driver.log").string() + " 2>&1";
+  ASSERT_EQ(std::system(orchestrated.c_str()), 0)
+      << orchestrated << "\n" << read_file(dir / "driver.log");
+
+  const std::string expected = read_file(single_csv);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(read_file(orch_csv), expected)
+      << "orchestrated merge is not byte-identical to the single-process run";
+  // The driver's progress log must show the injected crash being retried.
+  const std::string log = read_file(dir / "driver.log");
+  EXPECT_NE(log.find("failed (exit 1), retrying"), std::string::npos) << log;
 
   fs::remove_all(dir);
 }

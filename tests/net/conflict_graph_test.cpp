@@ -224,4 +224,100 @@ TEST(NetworkReset, ReplaysIdenticallyToAFreshNetwork) {
   expect_same(reused.conflict_graph(), ConflictGraph::build_from(fresh.graph()));
 }
 
+// ------------------------------------------------------------- batched fans
+
+/// Randomized digraph + node set shared by a sequential-protocol instance
+/// and a batched-protocol instance.
+struct FanFixture {
+  Digraph g_seq;
+  Digraph g_batch;
+  ConflictGraph seq;
+  ConflictGraph batch;
+
+  explicit FanFixture(std::size_t n, Rng& rng, double edge_p = 0.25) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId a = g_seq.add_node();
+      const NodeId b = g_batch.add_node();
+      EXPECT_EQ(a, b);
+      seq.on_node_added(a);
+      batch.on_node_added(a);
+    }
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = 0; v < n; ++v) {
+        if (u == v || rng.uniform01() >= edge_p) continue;
+        add_edge_both(u, v);
+      }
+  }
+
+  void add_edge_both(NodeId u, NodeId v) {
+    seq.on_edge_added(g_seq, u, v);
+    g_seq.add_edge(u, v);
+    batch.on_edge_added(g_batch, u, v);
+    g_batch.add_edge(u, v);
+  }
+};
+
+std::vector<NodeId> sorted_dirty_since(const ConflictGraph& cg,
+                                       std::uint64_t since) {
+  std::vector<NodeId> dirty;
+  EXPECT_TRUE(cg.append_dirty_since(since, dirty));
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
+TEST(ConflictGraphBatch, FanAddAndRemoveEqualSequentialEdgeDeltas) {
+  Rng rng(321);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.below(8));
+    FanFixture fx(n, rng);
+
+    // A fan from a random source to every non-neighbor (dense on purpose:
+    // targets share co-senders, so single pairs collect several witnesses
+    // in one batch).
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    std::vector<NodeId> targets;
+    for (NodeId v = 0; v < n; ++v)
+      if (v != u && !fx.g_seq.has_edge(u, v)) targets.push_back(v);
+    if (targets.empty()) continue;
+
+    const std::uint64_t seq_rev = fx.seq.revision();
+    const std::uint64_t batch_rev = fx.batch.revision();
+
+    for (NodeId v : targets) {
+      fx.seq.on_edge_added(fx.g_seq, u, v);
+      fx.g_seq.add_edge(u, v);
+    }
+    fx.batch.on_out_edges_added(fx.g_batch, u, targets);
+    for (NodeId v : targets) fx.g_batch.add_edge(u, v);
+
+    ASSERT_NO_FATAL_FAILURE(expect_same(fx.batch, fx.seq)) << "round " << round;
+    // Same number of journal marks (the dirty-fraction heuristics depend on
+    // it) and the same dirty set.
+    EXPECT_EQ(fx.batch.revision() - batch_rev, fx.seq.revision() - seq_rev);
+    EXPECT_EQ(sorted_dirty_since(fx.batch, batch_rev),
+              sorted_dirty_since(fx.seq, seq_rev));
+
+    // And back out: the batched removal retracts exactly what the
+    // sequential protocol does.
+    for (NodeId v : targets) {
+      fx.seq.on_edge_removed(fx.g_seq, u, v);
+      fx.g_seq.remove_edge(u, v);
+    }
+    fx.batch.on_out_edges_removed(fx.g_batch, u, targets);
+    for (NodeId v : targets) fx.g_batch.remove_edge(u, v);
+    ASSERT_NO_FATAL_FAILURE(expect_same(fx.batch, fx.seq)) << "round " << round;
+    EXPECT_EQ(fx.batch.pair_count(), fx.seq.pair_count());
+  }
+}
+
+TEST(ConflictGraphBatch, EmptyFanIsANoOp) {
+  Rng rng(5);
+  FanFixture fx(6, rng);
+  const std::uint64_t revision = fx.batch.revision();
+  fx.batch.on_out_edges_added(fx.g_batch, 0, {});
+  fx.batch.on_out_edges_removed(fx.g_batch, 0, {});
+  EXPECT_EQ(fx.batch.revision(), revision);
+}
+
 }  // namespace

@@ -141,6 +141,42 @@ TEST(Churn, MinimBeatsCpOnRecodingsOverLongRun) {
   EXPECT_LT(minim_total, cp_total);
 }
 
+TEST(Churn, InitialNodesSeedThePopulationBeforeTimeZero) {
+  // A pre-populated run starts at `initial_nodes` and churns from there —
+  // the large-N "leave/move/power on an n-node network" stage.
+  const auto strategy = minim::strategies::make_strategy("minim");
+  Rng rng(77);
+  ChurnParams params = small_params();
+  params.initial_nodes = 60;
+  params.max_nodes = 120;
+  const ChurnResult result = run_churn(params, *strategy, rng);
+  ASSERT_FALSE(result.samples.empty());
+  // The first sample (t = 40) still sees most of the seed population.
+  EXPECT_GE(result.samples.front().nodes, 40u);
+  EXPECT_GE(result.peak_nodes, 60u);
+  // Seeded nodes leave like arrivals: with lifetime 150 over horizon 400,
+  // a majority of the original 60 must have departed at least once.
+  EXPECT_GE(result.totals.events_by_type[static_cast<std::size_t>(
+                minim::core::EventType::kLeave)],
+            20u);
+}
+
+TEST(Churn, InitialNodesAreDeterministicAndCapRespecting) {
+  const auto strategy_a = minim::strategies::make_strategy("minim");
+  const auto strategy_b = minim::strategies::make_strategy("minim");
+  ChurnParams params = small_params();
+  params.initial_nodes = 50;
+  params.max_nodes = 30;  // cap below the seed count: the rest is dropped
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const ChurnResult a = run_churn(params, *strategy_a, rng_a);
+  const ChurnResult b = run_churn(params, *strategy_b, rng_b);
+  EXPECT_EQ(a.totals.events, b.totals.events);
+  EXPECT_EQ(a.totals.recodings, b.totals.recodings);
+  EXPECT_GE(a.dropped_arrivals, 20u);  // 50 seeds into a 30-node cap
+  EXPECT_LE(a.peak_nodes, 30u);
+}
+
 TEST(Churn, RejectsBadParams) {
   const auto strategy = minim::strategies::make_strategy("minim");
   Rng rng(50);

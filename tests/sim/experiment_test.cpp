@@ -41,9 +41,11 @@ void expect_identical(const sim::ExperimentResult& a,
   ASSERT_EQ(a.points, b.points);
   ASSERT_EQ(a.strategies, b.strategies);
   EXPECT_EQ(a.total_trials, b.total_trials);
+  EXPECT_EQ(a.total_points, b.total_points);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.trial_begin, b.trial_begin);
   EXPECT_EQ(a.trial_count, b.trial_count);
+  EXPECT_EQ(a.point_begin, b.point_begin);
   ASSERT_EQ(a.cells.size(), b.cells.size());
   for (std::size_t c = 0; c < a.cells.size(); ++c) {
     const auto& ca = a.cells[c];
@@ -149,6 +151,128 @@ TEST(Experiment, ShardedTrialRangesMergeBitIdenticalToUnsharded) {
   std::swap(shards[0], shards[2]);
   const sim::ExperimentResult merged = sim::merge_shards(std::move(shards));
   expect_identical(full, merged);
+}
+
+TEST(Experiment, PointRangeShardsMergeBitIdenticalToUnsharded) {
+  // Axis-space sharding: the 4 grid points run as [0,1) + [1,3) + [3,4)
+  // in separate shards (each over all trials) and merge bit-identically.
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 5;
+  options.threads = 2;
+  const sim::ExperimentResult full = experiment.run(options);
+  EXPECT_EQ(full.total_points, 4u);
+  EXPECT_EQ(full.point_begin, 0u);
+
+  std::vector<sim::ExperimentResult> shards;
+  for (const auto& [begin, count] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{0, 1}, {1, 2}, {3, 1}}) {
+    sim::ExperimentOptions slice = options;
+    slice.point_begin = begin;
+    slice.point_count = count;
+    shards.push_back(experiment.run(slice));
+    EXPECT_EQ(shards.back().point_begin, begin);
+    EXPECT_EQ(shards.back().points.size(), count);
+    EXPECT_EQ(shards.back().cells.size(), count * 2);
+  }
+  std::swap(shards[0], shards[2]);  // any arrival order
+  expect_identical(full, sim::merge_shards(std::move(shards)));
+}
+
+TEST(Experiment, TwoAxisRectangleTilingMergesBitIdentical) {
+  // Both axes cut at once: 2 point slices x 2 trial slices = 4 work units.
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 6;
+  options.threads = 1;
+  const sim::ExperimentResult full = experiment.run(options);
+
+  std::vector<sim::ExperimentResult> shards;
+  for (const std::size_t point_begin : {0u, 2u})
+    for (const std::size_t trial_begin : {0u, 3u}) {
+      sim::ExperimentOptions slice = options;
+      slice.point_begin = point_begin;
+      slice.point_count = 2;
+      slice.trial_begin = trial_begin;
+      slice.trial_count = 3;
+      shards.push_back(experiment.run(slice));
+    }
+  expect_identical(full, sim::merge_shards(std::move(shards)));
+}
+
+TEST(Experiment, PointShardStreamsMatchTheFullRun) {
+  // The same grid point computed from a point shard and from the full run
+  // must agree bit-for-bit — the global-stream invariant on the point axis.
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 3;
+  options.threads = 1;
+  const sim::ExperimentResult full = experiment.run(options);
+
+  sim::ExperimentOptions slice = options;
+  slice.point_begin = 2;
+  slice.point_count = 1;
+  const sim::ExperimentResult shard = experiment.run(slice);
+  for (std::size_t s = 0; s < shard.strategy_count(); ++s) {
+    const auto& lone = shard.cell(0, s).trials;
+    const auto& same = full.cell(2, s).trials;
+    ASSERT_EQ(lone.size(), same.size());
+    for (std::size_t i = 0; i < lone.size(); ++i) {
+      EXPECT_EQ(lone[i].totals.recodings, same[i].totals.recodings);
+      EXPECT_EQ(lone[i].final_max_color, same[i].final_max_color);
+    }
+  }
+}
+
+TEST(Experiment, MergeRejectsPointGapsOverlapsAndPartialTrials) {
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 4;
+  options.threads = 1;
+
+  auto slice = [&](std::size_t point_begin, std::size_t point_count,
+                   std::size_t trial_begin, std::size_t trial_count) {
+    sim::ExperimentOptions s = options;
+    s.point_begin = point_begin;
+    s.point_count = point_count;
+    s.trial_begin = trial_begin;
+    s.trial_count = trial_count;
+    return experiment.run(s);
+  };
+
+  // Point gap: [0,1) + [2,4).
+  EXPECT_THROW(sim::merge_shards({slice(0, 1, 0, 4), slice(2, 2, 0, 4)}),
+               std::invalid_argument);
+  // Point overlap: [0,3) + [2,2).
+  EXPECT_THROW(sim::merge_shards({slice(0, 3, 0, 4), slice(2, 2, 0, 4)}),
+               std::invalid_argument);
+  // One point group covers only part of the trial space.
+  EXPECT_THROW(sim::merge_shards({slice(0, 2, 0, 4), slice(2, 2, 0, 2)}),
+               std::invalid_argument);
+  // The happy 2D path.
+  const sim::ExperimentResult merged = sim::merge_shards(
+      {slice(0, 2, 0, 2), slice(0, 2, 2, 2), slice(2, 2, 0, 4)});
+  EXPECT_EQ(merged.point_begin, 0u);
+  EXPECT_EQ(merged.points.size(), 4u);
+  EXPECT_EQ(merged.trial_count, 4u);
+}
+
+TEST(Experiment, PointShardCsvRoundTripIsExact) {
+  const sim::Experiment experiment(small_power_grid());
+  sim::ExperimentOptions options;
+  options.trials = 3;
+  options.threads = 1;
+  options.point_begin = 1;
+  options.point_count = 2;
+  options.trial_begin = 1;
+  options.trial_count = 2;
+  const sim::ExperimentResult shard = experiment.run(options);
+  EXPECT_EQ(shard.point_begin, 1u);
+  EXPECT_EQ(shard.total_points, 4u);
+
+  std::stringstream io;
+  sim::write_experiment_csv(shard, io);
+  expect_identical(shard, sim::read_experiment_csv(io));
 }
 
 TEST(Experiment, CsvRoundTripIsExact) {

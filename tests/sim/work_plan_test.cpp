@@ -1,0 +1,120 @@
+// The work-unit planner: slice arithmetic, split-mode shapes, and the
+// invariant every plan must satisfy — the units exactly tile the
+// (point x trial) rectangle, because merge_shards accepts nothing less.
+
+#include "sim/work_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace minim;
+
+/// Asserts `units` exactly tile points x trials (dense ids, no gap/overlap).
+void expect_exact_tiling(const std::vector<sim::WorkUnit>& units,
+                         std::size_t points, std::size_t trials) {
+  std::vector<std::vector<char>> covered(points, std::vector<char>(trials, 0));
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].id, i);
+    for (std::size_t p = units[i].point_begin;
+         p < units[i].point_begin + units[i].point_count; ++p)
+      for (std::size_t t = units[i].trial_begin;
+           t < units[i].trial_begin + units[i].trial_count; ++t) {
+        ASSERT_LT(p, points);
+        ASSERT_LT(t, trials);
+        EXPECT_EQ(covered[p][t], 0) << "cell (" << p << "," << t
+                                    << ") covered twice";
+        covered[p][t] = 1;
+      }
+  }
+  for (std::size_t p = 0; p < points; ++p)
+    for (std::size_t t = 0; t < trials; ++t)
+      EXPECT_EQ(covered[p][t], 1) << "cell (" << p << "," << t << ") uncovered";
+}
+
+TEST(SliceRange, NearEqualContiguousSlices) {
+  // 10 items over 3 slices: 4 + 3 + 3.
+  EXPECT_EQ(sim::slice_range(10, 0, 3), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(sim::slice_range(10, 1, 3), (std::pair<std::size_t, std::size_t>{4, 3}));
+  EXPECT_EQ(sim::slice_range(10, 2, 3), (std::pair<std::size_t, std::size_t>{7, 3}));
+}
+
+TEST(PlanShape, TrialSplitUsesOneAxis) {
+  const sim::PlanShape shape =
+      sim::plan_shape(4, 6, 100, sim::WorkSplit::kTrials);
+  EXPECT_EQ(shape.point_slices, 1u);
+  EXPECT_EQ(shape.trial_slices, 4u);
+}
+
+TEST(PlanShape, PointSplitUsesTheOtherAxis) {
+  const sim::PlanShape shape =
+      sim::plan_shape(4, 6, 100, sim::WorkSplit::kPoints);
+  EXPECT_EQ(shape.point_slices, 4u);
+  EXPECT_EQ(shape.trial_slices, 1u);
+}
+
+TEST(PlanShape, SplitsClampToTheAxisLength) {
+  EXPECT_EQ(sim::plan_shape(10, 3, 100, sim::WorkSplit::kPoints).point_slices, 3u);
+  EXPECT_EQ(sim::plan_shape(10, 6, 4, sim::WorkSplit::kTrials).trial_slices, 4u);
+}
+
+TEST(PlanShape, AutoCutsBothAxes) {
+  // 6 units over a 4 x 100 rectangle: a 2 x 3 (or 3 x 2) factorization beats
+  // 1 x 6 and 6 x 1 on balance; the planner must use both axes.
+  const sim::PlanShape shape = sim::plan_shape(6, 4, 100, sim::WorkSplit::kAuto);
+  EXPECT_EQ(shape.point_slices * shape.trial_slices, 6u);
+  EXPECT_GT(shape.point_slices, 1u);
+  EXPECT_GT(shape.trial_slices, 1u);
+}
+
+TEST(PlanShape, AutoRealizesTheFullUnitCountWhenAnAxisIsShort) {
+  // 8 units, only 2 points: 2 x 4 keeps all 8 units.
+  const sim::PlanShape shape = sim::plan_shape(8, 2, 100, sim::WorkSplit::kAuto);
+  EXPECT_EQ(shape.point_slices, 2u);
+  EXPECT_EQ(shape.trial_slices, 4u);
+}
+
+TEST(PlanShape, RequestBeyondTheRectangleClamps) {
+  const sim::PlanShape shape = sim::plan_shape(100, 3, 2, sim::WorkSplit::kAuto);
+  EXPECT_LE(shape.point_slices, 3u);
+  EXPECT_LE(shape.trial_slices, 2u);
+  EXPECT_EQ(shape.point_slices * shape.trial_slices, 6u);
+}
+
+TEST(PlanWorkUnits, ExactTilingForEveryModeAndShape) {
+  for (const sim::WorkSplit split :
+       {sim::WorkSplit::kTrials, sim::WorkSplit::kPoints, sim::WorkSplit::kAuto})
+    for (const std::size_t units : {1u, 2u, 3u, 5u, 7u, 16u})
+      for (const auto& [points, trials] :
+           std::vector<std::pair<std::size_t, std::size_t>>{
+               {1, 1}, {1, 100}, {4, 1}, {4, 25}, {5, 7}, {20, 3}}) {
+        const std::vector<sim::WorkUnit> plan =
+            sim::plan_work_units(units, points, trials, split);
+        ASSERT_FALSE(plan.empty());
+        EXPECT_LE(plan.size(), std::max<std::size_t>(units, 1));
+        ASSERT_NO_FATAL_FAILURE(expect_exact_tiling(plan, points, trials))
+            << "split " << to_string(split) << ", " << units << " units over "
+            << points << "x" << trials;
+      }
+}
+
+TEST(PlanWorkUnits, SingleUnitIsTheWholeRectangle) {
+  const auto plan = sim::plan_work_units(1, 5, 9, sim::WorkSplit::kAuto);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].point_begin, 0u);
+  EXPECT_EQ(plan[0].point_count, 5u);
+  EXPECT_EQ(plan[0].trial_begin, 0u);
+  EXPECT_EQ(plan[0].trial_count, 9u);
+}
+
+TEST(WorkSplit, ParsesAndRejects) {
+  EXPECT_EQ(sim::work_split_from("trials"), sim::WorkSplit::kTrials);
+  EXPECT_EQ(sim::work_split_from("points"), sim::WorkSplit::kPoints);
+  EXPECT_EQ(sim::work_split_from("auto"), sim::WorkSplit::kAuto);
+  EXPECT_THROW(sim::work_split_from("diagonal"), std::invalid_argument);
+}
+
+}  // namespace

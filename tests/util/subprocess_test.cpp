@@ -1,0 +1,135 @@
+// util::ProcessPool: spawn/collect/exit-code/timeout/retry semantics, driven
+// with /bin/sh workers so the tests need no fixture binary.  The pool is the
+// process-level substrate of the experiment orchestrator; its contracts
+// (outcomes indexed like specs, bounded retry, deadline kill, stdout
+// capture) are what sim::Orchestrator builds on.
+
+#include "util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using minim::util::ProcessEvent;
+using minim::util::ProcessOutcome;
+using minim::util::ProcessPool;
+using minim::util::ProcessSpec;
+
+ProcessSpec shell(const std::string& script) {
+  ProcessSpec spec;
+  spec.args = {"/bin/sh", "-c", script};
+  return spec;
+}
+
+fs::path temp_dir() {
+  const fs::path dir = fs::temp_directory_path() / "minim_subprocess_test";
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(SelfExePath, PointsAtARealExecutable) {
+  const std::string self = minim::util::self_exe_path();
+  ASSERT_FALSE(self.empty());
+  EXPECT_TRUE(fs::exists(self)) << self;
+}
+
+TEST(ProcessPool, RunsABatchAndReportsExitCodes) {
+  ProcessPool pool(2);
+  const std::vector<ProcessOutcome> outcomes =
+      pool.run_all({shell("exit 0"), shell("exit 3"), shell("exit 0")});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].exit_code, 3);
+  EXPECT_EQ(outcomes[1].attempts, 1u);
+  EXPECT_TRUE(outcomes[2].ok());
+}
+
+TEST(ProcessPool, CapturesStdoutAndStderrToTheCollectionFile) {
+  const fs::path out = temp_dir() / "capture.log";
+  fs::remove(out);
+  ProcessSpec spec = shell("echo captured-out; echo captured-err >&2");
+  spec.stdout_path = out.string();
+  ProcessPool pool(1);
+  ASSERT_TRUE(pool.run_all({spec})[0].ok());
+  std::ifstream in(out);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("captured-out"), std::string::npos) << text;
+  EXPECT_NE(text.find("captured-err"), std::string::npos) << text;
+  fs::remove(out);
+}
+
+TEST(ProcessPool, KillsWorkersPastTheDeadline) {
+  ProcessSpec slow = shell("sleep 30");
+  slow.timeout_s = 0.2;
+  ProcessPool pool(1);
+  const ProcessOutcome outcome = pool.run_all({slow})[0];
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_LT(outcome.wall_s, 10.0);  // killed, not waited out
+}
+
+TEST(ProcessPool, RetriesUpToTheAttemptBudget) {
+  // The worker fails until its marker file exists, then succeeds — the
+  // shape of a transient shard failure.
+  const fs::path marker = temp_dir() / "retry.marker";
+  fs::remove(marker);
+  ProcessSpec flaky = shell("if [ ! -e " + marker.string() +
+                            " ]; then touch " + marker.string() +
+                            "; exit 1; fi; exit 0");
+  flaky.max_attempts = 3;
+  ProcessPool pool(1);
+  const ProcessOutcome outcome = pool.run_all({flaky})[0];
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 2u);
+  fs::remove(marker);
+}
+
+TEST(ProcessPool, ExhaustsTheAttemptBudgetAndReportsFailure) {
+  ProcessSpec hopeless = shell("exit 7");
+  hopeless.max_attempts = 3;
+  ProcessPool pool(2);
+  const ProcessOutcome outcome = pool.run_all({hopeless})[0];
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.exit_code, 7);
+}
+
+TEST(ProcessPool, ObserverSeesTheLifecycle) {
+  const fs::path marker = temp_dir() / "observer.marker";
+  fs::remove(marker);
+  ProcessSpec flaky = shell("if [ ! -e " + marker.string() +
+                            " ]; then touch " + marker.string() +
+                            "; exit 1; fi; exit 0");
+  flaky.max_attempts = 2;
+
+  std::vector<ProcessEvent::Kind> kinds;
+  ProcessPool pool(1);
+  pool.run_all({flaky}, [&kinds](const ProcessEvent& event) {
+    kinds.push_back(event.kind);
+  });
+  const std::vector<ProcessEvent::Kind> expected{
+      ProcessEvent::Kind::kStart, ProcessEvent::Kind::kRetry,
+      ProcessEvent::Kind::kStart, ProcessEvent::Kind::kFinish};
+  EXPECT_EQ(kinds, expected);
+  fs::remove(marker);
+}
+
+TEST(ProcessPool, MissingExecutableIsAFailureNotACrash) {
+  ProcessSpec ghost;
+  ghost.args = {"/nonexistent/minim-no-such-binary"};
+  ProcessPool pool(1);
+  const ProcessOutcome outcome = pool.run_all({ghost})[0];
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.exit_code, 127);  // exec failed
+}
+
+}  // namespace
