@@ -20,6 +20,10 @@
 //                      recent trajectory entry covering it; exit 1 when any
 //                      exceeds baseline * --rss-factor.  The CI memory gate
 //                      (Release only, alongside perf_trajectory --check).
+//   --check[=F]        wall-clock regression gate over the same measurement
+//                      names (churn stages included): exit 1 when any stage
+//                      exceeds its baseline * --check-factor.  Advisory in
+//                      CI, like perf_trajectory --check.
 //   --churn            after each join stage, run a continuous-time
 //                      leave/move/power churn phase *on* the n-node network
 //                      (sim::run_churn seeded with `initial_nodes = n`,
@@ -27,12 +31,24 @@
 //                      population holds near n) — the scenario family beyond
 //                      join-only, at the same constant-density placement.
 //                      Churn measurements append as
-//                      "bench.large_n.<placement>.<n>.churn".
+//                      "bench.large_n.<placement>.<n>.churn".  The churn
+//                      table's prop/evt column reports BBB's per-event
+//                      propagation work (processed + full ranks over
+//                      events) — the number that must stay flat in n for
+//                      rank-bounded recoloring ("-" for other strategies).
+//   --check-population[=T]  after churn stages, require every stage's final
+//                      population within T·n of n (default 0.25) and its
+//                      final assignment valid; exit 1 otherwise.  The CTest
+//                      churn smoke runs this.
 //
 // Options:
 //   --ns=...           stage sizes (default 1000,10000,100000)
-//   --strategy=NAME    recoding strategy (default minim; BBB's global
-//                      recolor is O(V+E) per event — not a large-N citizen)
+//   --strategy=LIST    comma-separated recoding strategies (default minim;
+//                      "bbb-bounded" is the rank-bounded BBB — plain "bbb"
+//                      recolors O(V+E) per event and is not a large-N
+//                      citizen).  "minim" keeps the historical unsuffixed
+//                      measurement names; every other strategy suffixes
+//                      ".<strategy>", so baselines never mix strategies.
 //   --placement=P      uniform | clustered | poisson-disk (default clustered)
 //   --mean-degree=D    target mean out-degree (default 12)
 //   --seed=S           master seed (default 2001)
@@ -57,6 +73,7 @@
 #include "sim/replay.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
+#include "strategies/bbb.hpp"
 #include "strategies/factory.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -65,6 +82,25 @@
 namespace {
 
 using namespace minim;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Measurement-name suffix for a strategy.  "minim" owns the historical
+/// unsuffixed names; everyone else appends ".<strategy>" so baselines for
+/// different strategies never collide.
+std::string strategy_suffix(const std::string& strategy) {
+  return strategy == "minim" ? "" : "." + strategy;
+}
 
 sim::Placement placement_from(const std::string& name) {
   if (name == "uniform") return sim::Placement::kUniform;
@@ -142,6 +178,11 @@ struct ChurnStageResult {
   std::size_t final_nodes = 0;
   double peak_rss_mb = 0.0;
   net::Color max_color = 0;
+  /// BBB only: mean per-event propagation work, (processed + full ranks) /
+  /// events.  Flat in n ⇔ rank-bounded recoloring is doing its job.
+  /// Negative when the strategy exposes no such counter.
+  double prop_per_event = -1.0;
+  bool final_valid = false;
 };
 
 /// Runs leave/move/power churn on an n-node constant-density network: the
@@ -196,6 +237,15 @@ ChurnStageResult run_churn_stage(std::size_t n, sim::Placement placement,
   result.peak_rss_mb =
       static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
   result.max_color = outcome.final_max_color;
+  result.final_valid = outcome.final_valid;
+  if (const auto* bbb =
+          dynamic_cast<const strategies::BbbStrategy*>(strategy.get())) {
+    const auto& counters = bbb->counters();
+    if (counters.events > 0)
+      result.prop_per_event =
+          static_cast<double>(counters.processed_ranks + counters.full_ranks) /
+          static_cast<double>(counters.events);
+  }
   return result;
 }
 
@@ -208,7 +258,12 @@ int main(int argc, char** argv) {
       bench::double_list_from(options, "ns", {1000, 10000, 100000});
   if (smoke)
     ns = {static_cast<double>(options.get_int("smoke-n", 10000))};
-  const std::string strategy = options.get("strategy", "minim");
+  const std::vector<std::string> strategy_list =
+      split_list(options.get("strategy", "minim"));
+  if (strategy_list.empty()) {
+    std::cerr << "--strategy: empty strategy list\n";
+    return 2;
+  }
   const sim::Placement placement =
       placement_from(options.get("placement", "clustered"));
   const double mean_degree = options.get_double("mean-degree", 12.0);
@@ -221,6 +276,18 @@ int main(int argc, char** argv) {
           ? out_path
           : options.get("check-rss", out_path);
   const double rss_factor = options.get_double("rss-factor", 1.5);
+  const bool check_wall = options.has("check");
+  const std::string check_wall_raw = options.get("check", "");
+  const std::string check_wall_path =
+      check_wall_raw == "true" || check_wall_raw.empty() ? out_path
+                                                         : check_wall_raw;
+  const double check_factor = options.get_double("check-factor", 1.5);
+  const bool check_population = options.has("check-population");
+  const std::string population_raw = options.get("check-population", "");
+  const double population_tolerance =
+      population_raw == "true" || population_raw.empty()
+          ? 0.25
+          : std::strtod(population_raw.c_str(), nullptr);
   ChurnStageConfig churn_config;
   churn_config.enabled = options.get_bool("churn", false);
   churn_config.duration = options.get_double("churn-duration", 60.0);
@@ -228,10 +295,12 @@ int main(int argc, char** argv) {
   churn_config.move_rate = options.get_double("churn-move-rate", 0.004);
   churn_config.power_rate = options.get_double("churn-power-rate", 0.002);
 
-  std::vector<bench::TrajectoryEntry> trajectory =
-      bench::load_trajectory(check_rss ? check_path : out_path);
-  if (check_rss && trajectory.empty()) {
-    std::cerr << "--check-rss: no baseline entries in " << check_path << "\n";
+  std::vector<bench::TrajectoryEntry> trajectory = bench::load_trajectory(
+      check_rss ? check_path : (check_wall ? check_wall_path : out_path));
+  if ((check_rss || check_wall) && trajectory.empty()) {
+    std::cerr << (check_rss ? "--check-rss" : "--check")
+              << ": no baseline entries in "
+              << (check_rss ? check_path : check_wall_path) << "\n";
     return 1;
   }
   if (append && trajectory.empty() && !bench::read_file(out_path).empty()) {
@@ -241,63 +310,95 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << "=== Large-N join hot path (strategy=" << strategy
-            << ", placement=" << sim::to_string(placement)
+  std::cout << "=== Large-N join hot path (strategies=";
+  for (std::size_t i = 0; i < strategy_list.size(); ++i)
+    std::cout << (i ? "," : "") << strategy_list[i];
+  std::cout << ", placement=" << sim::to_string(placement)
             << ", mean degree ~" << util::fmt_fixed(mean_degree, 1) << ") ===\n";
 
   util::TextTable table("stages");
-  table.set_header({"n", "gen s", "join s", "events/s", "bytes/node",
-                    "peak RSS MB", "max color"});
+  table.set_header({"strategy", "n", "gen s", "join s", "events/s",
+                    "bytes/node", "peak RSS MB", "max color"});
   std::vector<bench::Measurement> measurements;
-  std::vector<StageResult> stages;
-  for (const double stage_n : ns) {
-    const auto n = static_cast<std::size_t>(stage_n);
-    const StageResult stage = run_stage(n, placement, mean_degree, strategy, seed);
-    stages.push_back(stage);
-    table.add_row({std::to_string(stage.n), util::fmt_fixed(stage.gen_s, 2),
-                   util::fmt_fixed(stage.join_s, 2),
-                   util::fmt_fixed(stage.events_per_s, 0),
-                   util::fmt_fixed(stage.bytes_per_node, 1),
-                   util::fmt_fixed(stage.peak_rss_mb, 1),
-                   std::to_string(stage.max_color)});
-    bench::Measurement m;
-    m.name = "bench.large_n." + std::string(sim::to_string(placement)) + "." +
-             std::to_string(stage.n);
-    m.wall_s = stage.join_s;
-    m.peak_rss_mb = stage.peak_rss_mb;
-    m.bytes_per_node = stage.bytes_per_node;
-    measurements.push_back(std::move(m));
+  for (const std::string& strategy : strategy_list) {
+    for (const double stage_n : ns) {
+      const auto n = static_cast<std::size_t>(stage_n);
+      const StageResult stage =
+          run_stage(n, placement, mean_degree, strategy, seed);
+      table.add_row({strategy, std::to_string(stage.n),
+                     util::fmt_fixed(stage.gen_s, 2),
+                     util::fmt_fixed(stage.join_s, 2),
+                     util::fmt_fixed(stage.events_per_s, 0),
+                     util::fmt_fixed(stage.bytes_per_node, 1),
+                     util::fmt_fixed(stage.peak_rss_mb, 1),
+                     std::to_string(stage.max_color)});
+      bench::Measurement m;
+      m.name = "bench.large_n." + std::string(sim::to_string(placement)) +
+               "." + std::to_string(stage.n) + strategy_suffix(strategy);
+      m.wall_s = stage.join_s;
+      m.peak_rss_mb = stage.peak_rss_mb;
+      m.bytes_per_node = stage.bytes_per_node;
+      measurements.push_back(std::move(m));
+    }
   }
   std::cout << table.render() << "\n";
 
+  bool population_ok = true;
   if (churn_config.enabled) {
     std::cout << "=== Churn phase (duration "
               << util::fmt_fixed(churn_config.duration, 0) << ", lifetime "
               << util::fmt_fixed(churn_config.mean_lifetime, 0)
               << ": leaves/arrivals hold the population near n) ===\n";
     util::TextTable churn_table("churn stages");
-    churn_table.set_header({"n", "wall s", "events/s", "churn events",
-                            "peak n", "final n", "peak RSS MB", "max color"});
-    for (const double stage_n : ns) {
-      const auto n = static_cast<std::size_t>(stage_n);
-      const ChurnStageResult stage = run_churn_stage(
-          n, placement, mean_degree, strategy, seed, churn_config);
-      churn_table.add_row({std::to_string(stage.n),
-                           util::fmt_fixed(stage.wall_s, 2),
-                           util::fmt_fixed(stage.events_per_s, 0),
-                           std::to_string(stage.churn_events),
-                           std::to_string(stage.peak_nodes),
-                           std::to_string(stage.final_nodes),
-                           util::fmt_fixed(stage.peak_rss_mb, 1),
-                           std::to_string(stage.max_color)});
-      bench::Measurement m;
-      m.name = "bench.large_n." + std::string(sim::to_string(placement)) + "." +
-               std::to_string(stage.n) + ".churn";
-      m.wall_s = stage.wall_s;
-      m.peak_rss_mb = stage.peak_rss_mb;
-      measurements.push_back(std::move(m));
+    churn_table.set_header({"strategy", "n", "wall s", "events/s",
+                            "churn events", "peak n", "final n", "prop/evt",
+                            "peak RSS MB", "max color"});
+    for (const std::string& strategy : strategy_list) {
+      for (const double stage_n : ns) {
+        const auto n = static_cast<std::size_t>(stage_n);
+        const ChurnStageResult stage = run_churn_stage(
+            n, placement, mean_degree, strategy, seed, churn_config);
+        churn_table.add_row(
+            {strategy, std::to_string(stage.n),
+             util::fmt_fixed(stage.wall_s, 2),
+             util::fmt_fixed(stage.events_per_s, 0),
+             std::to_string(stage.churn_events),
+             std::to_string(stage.peak_nodes),
+             std::to_string(stage.final_nodes),
+             stage.prop_per_event < 0.0
+                 ? std::string("-")
+                 : util::fmt_fixed(stage.prop_per_event, 1),
+             util::fmt_fixed(stage.peak_rss_mb, 1),
+             std::to_string(stage.max_color)});
+        if (check_population) {
+          const auto drift = static_cast<double>(
+              stage.final_nodes > n ? stage.final_nodes - n
+                                    : n - stage.final_nodes);
+          const bool in_band =
+              drift <= population_tolerance * static_cast<double>(n);
+          if (!in_band || !stage.final_valid) {
+            population_ok = false;
+            std::cout << "  population check FAIL: " << strategy << " n="
+                      << n << " final=" << stage.final_nodes
+                      << (stage.final_valid ? "" : " (invalid assignment)")
+                      << "\n";
+          }
+        }
+        bench::Measurement m;
+        m.name = "bench.large_n." + std::string(sim::to_string(placement)) +
+                 "." + std::to_string(stage.n) + ".churn" +
+                 strategy_suffix(strategy);
+        m.wall_s = stage.wall_s;
+        m.peak_rss_mb = stage.peak_rss_mb;
+        measurements.push_back(std::move(m));
+      }
     }
     std::cout << churn_table.render() << "\n";
+  }
+  if (check_population) {
+    std::cout << "population check: " << (population_ok ? "PASS" : "FAIL")
+              << "\n";
+    if (!population_ok) return 1;
   }
 
   if (check_rss) {
@@ -335,10 +436,43 @@ int main(int argc, char** argv) {
     return ok ? 0 : 1;
   }
 
+  if (check_wall) {
+    std::cout << "checking wall clocks against " << check_wall_path
+              << " (factor " << util::fmt_fixed(check_factor, 2) << ")\n";
+    bool ok = true;
+    std::size_t compared = 0;
+    for (const bench::Measurement& m : measurements) {
+      const bench::TrajectoryEntry* entry =
+          bench::baseline_for(trajectory, m.name);
+      if (entry == nullptr) {
+        std::cout << "  " << m.name << ": no baseline (skipped)\n";
+        continue;
+      }
+      double baseline = 0.0;
+      for (const bench::Measurement& b : entry->benchmarks)
+        if (b.name == m.name) baseline = b.wall_s;
+      ++compared;
+      const bool regressed = m.wall_s > baseline * check_factor;
+      std::cout << "  " << m.name << ": " << util::fmt_fixed(m.wall_s, 2)
+                << " s vs baseline \"" << entry->label << "\" "
+                << util::fmt_fixed(baseline, 2) << " s"
+                << (regressed ? "  REGRESSION" : "") << "\n";
+      ok = ok && !regressed;
+    }
+    if (compared == 0) {
+      std::cout << "wall check: FAIL (no stage had a baseline)\n";
+      return 1;
+    }
+    std::cout << (ok ? "wall check: PASS\n" : "wall check: FAIL\n");
+    return ok ? 0 : 1;
+  }
+
   if (append) {
     std::ostringstream config;
-    config << "{\"strategy\": \"" << strategy << "\", \"placement\": \""
-           << sim::to_string(placement)
+    config << "{\"strategy\": \"";
+    for (std::size_t i = 0; i < strategy_list.size(); ++i)
+      config << (i ? "," : "") << strategy_list[i];
+    config << "\", \"placement\": \"" << sim::to_string(placement)
            << "\", \"mean_degree\": " << util::fmt_fixed(mean_degree, 1)
            << ", \"seed\": " << seed << "}";
     bench::TrajectoryEntry entry;

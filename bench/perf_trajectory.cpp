@@ -190,6 +190,16 @@ int main(int argc, char** argv) {
         std::cout << "  " << m.name << ": no baseline (skipped)\n";
         continue;
       }
+      // Scaling ("@tN") baselines recorded on a 1-core machine are the
+      // serial workload under another name — comparing against them gates
+      // nothing real.  Skip them; the unsuffixed serial names still gate.
+      if (m.name.find("@t") != std::string::npos &&
+          bench::entry_single_core(*entry)) {
+        std::cout << "  " << m.name << ": baseline \"" << entry->label
+                  << "\" was recorded single-core (scaling comparison "
+                     "skipped)\n";
+        continue;
+      }
       ++compared;
       const auto ref = std::find_if(
           entry->benchmarks.begin(), entry->benchmarks.end(),
@@ -217,7 +227,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < thread_counts.size(); ++i)
     config << (i ? ", " : "")
            << (thread_counts[i] ? thread_counts[i] : hardware);
-  config << "], \"seed\": " << sweep.seed << "}";
+  config << "], \"seed\": " << sweep.seed;
+  // A 1-core machine collapses the threads sweep to the serial column; mark
+  // the entry so --check on a multi-core machine skips scaling comparisons
+  // against it (bench::entry_single_core).
+  if (hardware == 1) config << ", \"single_core\": true";
+  config << "}";
   TrajectoryEntry entry;
   entry.label = options.get("label", "run");
   entry.config_json = config.str();

@@ -172,4 +172,18 @@ inline const TrajectoryEntry* baseline_for(const std::vector<TrajectoryEntry>& e
   return nullptr;
 }
 
+/// True when `entry` was recorded on a single-core machine (the recorder
+/// annotates its config with `"single_core": true`).  Such entries carry no
+/// meaningful "@tN" scaling measurements — hardware_concurrency() == 1
+/// collapses the threads sweep to the serial column — so scaling gates must
+/// skip them rather than compare against a degenerate baseline.
+inline bool entry_single_core(const TrajectoryEntry& entry) {
+  const std::size_t at = entry.config_json.find("\"single_core\":");
+  if (at == std::string::npos) return false;
+  const std::size_t value = entry.config_json.find_first_not_of(
+      " \t", at + std::string("\"single_core\":").size());
+  return value != std::string::npos &&
+         entry.config_json.compare(value, 4, "true") == 0;
+}
+
 }  // namespace minim::bench

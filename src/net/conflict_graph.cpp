@@ -29,6 +29,15 @@ std::uint32_t ConflictGraph::multiplicity(NodeId u, NodeId v) const {
 
 bool ConflictGraph::append_dirty_since(std::uint64_t since,
                                        std::vector<NodeId>& out) const {
+  std::span<const NodeId> window;
+  if (!dirty_window_since(since, window)) return false;
+  out.insert(out.end(), window.begin(), window.end());
+  return true;
+}
+
+bool ConflictGraph::dirty_window_since(std::uint64_t since,
+                                       std::span<const NodeId>& out) const {
+  out = {};
   if (since < trimmed_revision_) return false;
   if (since >= revision_) return true;  // nothing newer
   // Entry i holds revision journal_base_ + i; the window starts at the first
@@ -36,8 +45,7 @@ bool ConflictGraph::append_dirty_since(std::uint64_t since,
   const std::size_t first =
       since < journal_base_ ? 0
                             : static_cast<std::size_t>(since - journal_base_ + 1);
-  out.insert(out.end(), journal_.begin() + static_cast<std::ptrdiff_t>(first),
-             journal_.end());
+  out = std::span<const NodeId>(journal_).subspan(first);
   return true;
 }
 

@@ -97,6 +97,13 @@ class ConflictGraph {
   /// treat every node as dirty.
   bool append_dirty_since(std::uint64_t since, std::vector<NodeId>& out) const;
 
+  /// Zero-copy variant: points `out` at the journal entries of revisions
+  /// (since, revision()] without materializing them.  Same failure contract
+  /// as `append_dirty_since`.  The span is invalidated by any mutation —
+  /// per-event consumers (the rank-maintained orderer, BBB's bounded
+  /// propagation) read it once per event before touching the graph.
+  bool dirty_window_since(std::uint64_t since, std::span<const NodeId>& out) const;
+
   // ----------------------------------------- delta protocol (AdhocNetwork)
 
   /// Ensures a row for `v` and journals it dirty (a joiner with no edges

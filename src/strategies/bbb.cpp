@@ -1,13 +1,17 @@
 #include "strategies/bbb.hpp"
 
 #include <algorithm>
+#include <span>
+#include <utility>
 
 #include "net/conflict_graph.hpp"
+#include "util/require.hpp"
 
 namespace minim::strategies {
 
 std::string BbbStrategy::name() const {
-  if (order_ == ColoringOrder::kSmallestLast) return "BBB";
+  if (order_ == ColoringOrder::kSmallestLast)
+    return params_.bounded_propagation ? "BBB-bounded" : "BBB";
   return std::string("BBB/") + to_string(order_);
 }
 
@@ -124,6 +128,129 @@ bool BbbStrategy::incremental_recolor(const net::AdhocNetwork& net,
   return true;
 }
 
+bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
+                                  net::CodeAssignment& assignment,
+                                  core::RecodeReport& report) {
+  const net::ConflictGraph& cg = net.conflict_graph();
+  if (last_net_ != &net) return false;
+  std::span<const net::NodeId> window;
+  if (!cg.dirty_window_since(last_revision_, window)) return false;
+
+  dirty_.assign(window.begin(), window.end());
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  const std::size_t live = net.node_count();
+  if (static_cast<double>(dirty_.size()) >
+      params_.full_recolor_fraction * static_cast<double>(live))
+    return false;
+
+  // Foreign-mutation guard.  The full incremental path sweeps every live
+  // node; here that sweep is exactly the O(n) this mode removes, so only the
+  // dirty region is checked — an out-of-band recolor of an untouched node is
+  // *not* detected by the bounded path (bench/sim drive one strategy per
+  // assignment, which is the supported regime).
+  for (net::NodeId v : dirty_)
+    if (net.contains(v) && snapshot_color(v) != assignment.color(v))
+      return false;
+
+  // Absorb the event into the maintained rank order: departures tombstone,
+  // joiners append.  A refusal (drift over threshold, or no order yet)
+  // sends the event to the from-scratch path, which reseeds via
+  // rebuild_ranks.
+  if (!orderer_.try_maintain_ranks(net, dirty_)) return false;
+
+  // Heap propagation.  Seeds are the live dirty nodes; pops come out in
+  // globally non-decreasing rank (pushes only ever target ranks past the
+  // node being processed), so when a node recomputes its lowest-free color
+  // every earlier-ranked neighbor's color is already final for this event.
+  if (++epoch_ == 0) {
+    // Stamp wraparound: invalidate every slot once per 2^32 events.
+    std::fill(seen_epoch_.begin(), seen_epoch_.end(), 0);
+    std::fill(event_color_epoch_.begin(), event_color_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  const std::size_t bound = net.id_bound();
+  if (seen_epoch_.size() < bound) seen_epoch_.resize(bound, 0);
+  if (event_color_epoch_.size() < bound) {
+    event_color_epoch_.resize(bound, 0);
+    event_colors_.resize(bound, net::kNoColor);
+  }
+  if (last_colors_.size() < bound) last_colors_.resize(bound, net::kNoColor);
+
+  const auto heap_greater = [](const std::pair<std::uint32_t, net::NodeId>& a,
+                               const std::pair<std::uint32_t, net::NodeId>& b) {
+    return a > b;
+  };
+  heap_.clear();
+  for (net::NodeId v : dirty_) {
+    if (!net.contains(v)) continue;
+    const std::uint32_t r = orderer_.rank(v);
+    MINIM_REQUIRE(r != DegeneracyOrderer::kNoRank,
+                  "bounded BBB: live dirty node missing from the rank order");
+    heap_.emplace_back(r, v);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+
+  const std::size_t budget = std::max<std::size_t>(
+      32, static_cast<std::size_t>(params_.propagation_slack *
+                                   static_cast<double>(live)));
+  std::size_t processed = 0;
+  changed_list_.clear();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+    const auto [ru, u] = heap_.back();
+    heap_.pop_back();
+    if (seen_epoch_[u] == epoch_) continue;
+    seen_epoch_[u] = epoch_;
+    if (++processed > budget) {
+      // Clean bailout: nothing below mutated the assignment or snapshot.
+      ++counters_.slack_bailouts;
+      counters_.processed_ranks += processed - 1;
+      return false;
+    }
+
+    const auto neighbors = cg.neighbors(u);
+    scratch_.reset();
+    for (net::NodeId w : neighbors) {
+      if (orderer_.rank(w) >= ru) continue;  // kNoRank sorts past every rank
+      const net::Color c = event_color(w);
+      if (c != net::kNoColor) scratch_.mark(c);
+    }
+    const net::Color fresh = scratch_.lowest_free();
+    event_colors_[u] = fresh;
+    event_color_epoch_[u] = epoch_;
+    if (fresh == snapshot_color(u)) continue;
+
+    changed_list_.push_back(u);
+    for (net::NodeId w : neighbors) {
+      const std::uint32_t rw = orderer_.rank(w);
+      if (rw != DegeneracyOrderer::kNoRank && rw > ru &&
+          seen_epoch_[w] != epoch_) {
+        heap_.emplace_back(rw, w);
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+      }
+    }
+  }
+  counters_.processed_ranks += processed;
+
+  // Apply + report in ascending node order — the order the from-scratch
+  // path emits — and roll the snapshot forward incrementally: departures
+  // blank out, changed nodes take their propagated color, everyone else is
+  // untouched (their greedy color provably equals the snapshot).
+  std::sort(changed_list_.begin(), changed_list_.end());
+  for (net::NodeId v : changed_list_) {
+    const net::Color fresh = event_colors_[v];
+    assignment.set_color(v, fresh);
+    report.changes.push_back(core::Recode{v, snapshot_color(v), fresh});
+    last_colors_[v] = fresh;
+  }
+  for (net::NodeId v : dirty_)
+    if (!net.contains(v) && v < last_colors_.size())
+      last_colors_[v] = net::kNoColor;
+  last_revision_ = cg.revision();
+  return true;
+}
+
 core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
                                                net::CodeAssignment& assignment,
                                                core::EventType event,
@@ -131,10 +258,22 @@ core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
   core::RecodeReport report;
   report.event = event;
   report.subject = subject;
+  ++counters_.events;
+
+  // Rank-bounded mode never materializes the live node set on the absorbed
+  // path — that enumeration is the O(n) it exists to remove.
+  const bool bounded_mode = params_.bounded_propagation &&
+                            params_.incremental &&
+                            order_ == ColoringOrder::kSmallestLast;
+  if (bounded_mode && bounded_recolor(net, assignment, report)) {
+    ++counters_.bounded_events;
+    finalize_report(net, assignment, report);
+    return report;
+  }
 
   net.nodes(nodes_);
   const std::vector<net::NodeId>& nodes = nodes_;
-  if (params_.incremental && order_ != ColoringOrder::kDSatur &&
+  if (!bounded_mode && params_.incremental && order_ != ColoringOrder::kDSatur &&
       incremental_recolor(net, assignment, nodes, report)) {
     finalize_report(net, assignment, report);
     return report;
@@ -151,6 +290,11 @@ core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
   } else {
     for (net::NodeId v : nodes) assignment.clear(v);
     const std::vector<net::NodeId>& sequence = sequence_for(net, nodes);
+    if (bounded_mode) {
+      orderer_.rebuild_ranks(net, sequence);
+      ++counters_.full_events;
+      counters_.full_ranks += sequence.size();
+    }
     greedy_color_in_sequence(net, sequence, assignment);
     snapshot(net, sequence, assignment);
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.hpp"
@@ -33,6 +34,26 @@
 /// `Params::full_recolor_fraction` of the network — or the journal window
 /// is gone, or the order is DSATUR (whose dynamic ordering has no static
 /// dependency structure) — it falls back to the from-scratch path.
+///
+/// ## Rank-bounded propagation
+///
+/// Dirty-region recoloring still *walks* the full stored order per event to
+/// find the nodes worth recomputing — the last per-event O(n) term.  With
+/// `Params::bounded_propagation` the walk disappears: the orderer maintains
+/// a persistent rank index (see ordering.hpp), the event's journal-dirty
+/// nodes seed a min-heap keyed by rank, and propagation pops ranks in
+/// non-decreasing order, recomputing a node's lowest-free color from its
+/// earlier-ranked neighbors and pushing only the later-ranked neighbors of
+/// nodes whose color actually changed.  The pop order guarantees every
+/// earlier-ranked color read is final, so the result is bit-identical to a
+/// from-scratch greedy over the *maintained* sequence (the fuzz harness in
+/// tests/strategies/bbb_bounded_fuzz_test.cpp holds it to that per event).
+/// The maintained sequence itself drifts from true smallest-last between
+/// rebuilds; the coloring-quality cost of that drift is an explicit,
+/// gated metric — not silent.  Work per event is O(popped ranks · degree),
+/// capped at `Params::propagation_slack` × live nodes; exceeding the cap —
+/// or any journal/drift fallback — runs the from-scratch path, which
+/// reseeds the rank index.
 
 namespace minim::strategies {
 
@@ -55,6 +76,28 @@ class BbbStrategy final : public core::RecodingStrategy {
     /// The orderer's full-degree-rebuild threshold
     /// (`DegeneracyOrderer::Params::rebuild_fraction`).
     double order_rebuild_fraction = 0.25;
+    /// Rank-bounded propagation: replace the per-event full-order walk with
+    /// a heap over maintained ranks (smallest-last only; see the file
+    /// comment).  Bit-identical to a from-scratch greedy over the
+    /// maintained sequence; order *quality* may drift between rebuilds.
+    bool bounded_propagation = false;
+    /// Per-event propagation budget as a fraction of the live node count
+    /// (floor 32 processed ranks).  Exceeding it abandons the event to the
+    /// from-scratch path — the escape hatch for recolor storms.
+    double propagation_slack = 0.25;
+    /// The orderer's maintained-rank drift bound
+    /// (`DegeneracyOrderer::Params::rank_rebuild_fraction`).
+    double rank_rebuild_fraction = 0.25;
+  };
+
+  /// Where bounded-mode events went (all zero unless `bounded_propagation`).
+  struct Counters {
+    std::uint64_t events = 0;          ///< recolor events served (any mode)
+    std::uint64_t bounded_events = 0;  ///< absorbed by rank-bounded propagation
+    std::uint64_t full_events = 0;     ///< fell back to the from-scratch path
+    std::uint64_t processed_ranks = 0; ///< heap pops across bounded events
+    std::uint64_t full_ranks = 0;      ///< live nodes walked by full events
+    std::uint64_t slack_bailouts = 0;  ///< budget exceeded mid-propagation
   };
 
   explicit BbbStrategy(ColoringOrder order = ColoringOrder::kSmallestLast)
@@ -63,7 +106,8 @@ class BbbStrategy final : public core::RecodingStrategy {
       : order_(order),
         params_(params),
         orderer_(DegeneracyOrderer::Params{params.incremental_order,
-                                           params.order_rebuild_fraction}) {}
+                                           params.order_rebuild_fraction,
+                                           params.rank_rebuild_fraction}) {}
 
   std::string name() const override;
 
@@ -80,7 +124,9 @@ class BbbStrategy final : public core::RecodingStrategy {
 
   ColoringOrder order() const { return order_; }
   const Params& params() const { return params_; }
-  /// The maintained-order engine (repair/fallback counters for tests).
+  const Counters& counters() const { return counters_; }
+  /// The maintained-order engine (repair/fallback counters for tests; the
+  /// maintained rank sequence for the bounded-mode fuzz oracle).
   const DegeneracyOrderer& orderer() const { return orderer_; }
 
  private:
@@ -105,6 +151,25 @@ class BbbStrategy final : public core::RecodingStrategy {
                            const std::vector<net::NodeId>& nodes,
                            core::RecodeReport& report);
 
+  /// The rank-bounded path (`Params::bounded_propagation`).  Returns false
+  /// — without touching `assignment` — when the event can't be absorbed
+  /// (unknown network, trimmed journal, mutated assignment, dirty set or
+  /// propagation budget exceeded, rank drift demanding a rebuild); the
+  /// caller then runs the from-scratch path, which reseeds the rank index.
+  /// Never touches the full node set: per-event work is O(dirty + popped
+  /// ranks · degree).
+  bool bounded_recolor(const net::AdhocNetwork& net,
+                       net::CodeAssignment& assignment,
+                       core::RecodeReport& report);
+
+  /// This event's working color of `v`: the propagation result when `v` was
+  /// recomputed this event, the snapshot color otherwise.
+  net::Color event_color(net::NodeId v) const {
+    return v < event_color_epoch_.size() && event_color_epoch_[v] == epoch_
+               ? event_colors_[v]
+               : snapshot_color(v);
+  }
+
   /// Records this event's output (colors + ordering positions + journal
   /// revision) as the base of the next event's change propagation.
   void snapshot(const net::AdhocNetwork& net,
@@ -117,6 +182,7 @@ class BbbStrategy final : public core::RecodingStrategy {
 
   ColoringOrder order_;
   Params params_;
+  Counters counters_;
 
   // Previous output (valid when last_net_ != nullptr): id-indexed colors
   // and greedy-order positions, plus the conflict-journal revision they
@@ -137,6 +203,15 @@ class BbbStrategy final : public core::RecodingStrategy {
   std::vector<net::Color> old_colors_;
   ColorScratch scratch_;
   DegeneracyOrderer orderer_;
+
+  // Rank-bounded propagation scratch.  The epoch stamp makes per-event
+  // resets O(1): a slot belongs to this event iff its stamp equals epoch_.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> seen_epoch_;         ///< node processed this event
+  std::vector<std::uint32_t> event_color_epoch_;  ///< event_colors_[v] valid
+  std::vector<net::Color> event_colors_;
+  std::vector<std::pair<std::uint32_t, net::NodeId>> heap_;  ///< (rank, id) min-heap
+  std::vector<net::NodeId> changed_list_;
 };
 
 }  // namespace minim::strategies

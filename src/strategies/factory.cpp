@@ -25,6 +25,11 @@ core::StrategyPtr make_strategy(const std::string& name) {
     return std::make_unique<CpStrategy>(CpStrategy::Order::kHighestFirst,
                                         CpStrategy::Vicinity::kExactConstraints);
   if (name == "bbb") return std::make_unique<BbbStrategy>();
+  if (name == "bbb-bounded") {
+    BbbStrategy::Params p;
+    p.bounded_propagation = true;
+    return std::make_unique<BbbStrategy>(ColoringOrder::kSmallestLast, p);
+  }
   if (name == "bbb-dsatur") return std::make_unique<BbbStrategy>(ColoringOrder::kDSatur);
   if (name == "bbb-largest") return std::make_unique<BbbStrategy>(ColoringOrder::kLargestFirst);
   if (name == "bbb-identity") return std::make_unique<BbbStrategy>(ColoringOrder::kIdentity);
@@ -34,7 +39,7 @@ core::StrategyPtr make_strategy(const std::string& name) {
 
 std::string known_strategy_names() {
   return "minim, minim-greedy, minim-cardinality, cp, cp-lowest, cp-exact, "
-         "bbb, bbb-dsatur, bbb-largest, bbb-identity";
+         "bbb, bbb-bounded, bbb-dsatur, bbb-largest, bbb-identity";
 }
 
 }  // namespace minim::strategies

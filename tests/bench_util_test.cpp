@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "../bench/bench_util.hpp"
+#include "../bench/trajectory.hpp"
 
 namespace {
 
@@ -30,6 +31,48 @@ Options options_from(std::vector<std::string> args) {
   std::vector<const char*> argv{"test"};
   for (const auto& a : args) argv.push_back(a.c_str());
   return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchTrajectory, EntrySingleCoreParsesTheAnnotation) {
+  minim::bench::TrajectoryEntry entry;
+  EXPECT_FALSE(minim::bench::entry_single_core(entry));  // no config at all
+
+  entry.config_json = R"({"runs": 2, "threads": [1], "seed": 2001})";
+  EXPECT_FALSE(minim::bench::entry_single_core(entry));
+
+  entry.config_json =
+      R"({"runs": 2, "threads": [1], "seed": 2001, "single_core": true})";
+  EXPECT_TRUE(minim::bench::entry_single_core(entry));
+
+  entry.config_json = R"({"single_core": false})";
+  EXPECT_FALSE(minim::bench::entry_single_core(entry));
+
+  // Whitespace after the colon must not defeat the scan.
+  entry.config_json = "{\"single_core\":   true}";
+  EXPECT_TRUE(minim::bench::entry_single_core(entry));
+}
+
+TEST(BenchTrajectory, SingleCoreAnnotationRoundTripsThroughTheFile) {
+  minim::bench::TrajectoryEntry entry;
+  entry.label = "one-core";
+  entry.config_json = R"({"runs": 1, "single_core": true})";
+  entry.benchmarks.push_back({"bench.x@t4", 1.0, 0.0, 0.0});
+  std::ostringstream out;
+  minim::bench::write_trajectory(out, {entry});
+
+  const fs::path path =
+      fs::temp_directory_path() / "minim_single_core_roundtrip.json";
+  {
+    std::ofstream file(path);
+    file << out.str();
+  }
+  const auto loaded = minim::bench::load_trajectory(path.string());
+  fs::remove(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(minim::bench::entry_single_core(loaded[0]));
+  const auto* baseline = minim::bench::baseline_for(loaded, "bench.x@t4");
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_EQ(baseline->label, "one-core");
 }
 
 TEST(BenchUtil, SplitListDropsEmptyFields) {
