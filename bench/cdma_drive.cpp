@@ -29,19 +29,38 @@
 // --max-attempts, --worker-timeout, --shard-dir, --resume, --keep-shards,
 // --crash-unit.
 //
+// Serving (see src/serve/):
+//   --serve             run the online assignment engine instead of a grid
+//   --transport=T       stdin (default) | tcp | trace
+//   --trace=F           request file for --transport=trace
+//   --port=P            TCP port for --transport=tcp (default 0 = ephemeral)
+//   --strategy=NAME     recoding strategy (default minim)
+//   --validate          CA1/CA2 check after every event (slow)
+//   --quiet             ingest without response lines
+//   --record-trace=F    write grid point 0's workload as a replayable trace
+//
 // Examples:
 //   cdma_drive --axes=n:40:80:120 --trials=200
 //   cdma_drive --scenario=power --axes=n:60:100,raise_factor:2:4
 //              --orchestrate=8 --split=auto --save-experiment=power_grid.csv
+//   cdma_drive --scenario=move --axes=n:80 --record-trace=move80.trace
+//   cdma_drive --serve --transport=tcp --strategy=bbb-bounded
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "../bench/bench_util.hpp"
+#include "serve/engine.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"
 #include "sim/experiment.hpp"
+#include "sim/trace.hpp"
 #include "util/csv.hpp"
 #include "util/options.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -207,16 +226,99 @@ void print_result(const sim::ExperimentResult& result,
   }
 }
 
+/// --record-trace=F: dump grid point 0's workload as a replayable trace.
+int run_record_trace(const std::string& path, const util::Options& options,
+                     const sim::Experiment& experiment) {
+  sim::ScenarioSpec spec = experiment.spec_for_point(0);
+  if (spec.kind == sim::ScenarioKind::kChurn) {
+    std::cerr << "--record-trace: churn has no phased workload to record "
+                 "(use join|power|move)\n";
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  util::Rng rng = util::Rng::for_stream(seed, 0);
+  const sim::Workload workload = sim::make_scenario_workload(spec, rng);
+  const sim::Trace trace = sim::trace_from_workload(workload);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "--record-trace: cannot open \"" << path << "\"\n";
+    return 2;
+  }
+  out << sim::serialize_trace(trace);
+  std::cout << "[trace] wrote " << path << " (" << trace.size()
+            << " events, scenario " << options.get("scenario", "join")
+            << ", grid point 0, seed " << seed << ")\n";
+  return 0;
+}
+
+/// --serve: the online assignment engine over one of the three transports.
+int run_serve(const util::Options& options) {
+  const std::string strategy = options.get("strategy", "minim");
+  serve::AssignmentEngine::Params params;
+  params.validate = options.has("validate");
+  serve::AssignmentEngine engine(strategy, params);
+
+  const std::string kind = options.get("transport", "stdin");
+  std::unique_ptr<serve::Transport> transport;
+  if (kind == "stdin") {
+    transport = std::make_unique<serve::StreamTransport>(std::cin, std::cout,
+                                                         "stdin");
+  } else if (kind == "tcp") {
+    auto tcp = std::make_unique<serve::TcpServerTransport>(
+        static_cast<std::uint16_t>(options.get_int("port", 0)));
+    // The port line goes to stderr immediately so a script can connect
+    // before any client exists (stdout stays protocol-free).
+    std::cerr << "[serve] listening on " << tcp->describe() << "\n";
+    transport = std::move(tcp);
+  } else if (kind == "trace") {
+    const std::string path = options.get("trace", "");
+    if (path.empty()) {
+      std::cerr << "--transport=trace wants --trace=<path>\n";
+      return 2;
+    }
+    transport = std::make_unique<serve::TraceFileTransport>(path, std::cout);
+  } else {
+    std::cerr << "unknown --transport \"" << kind
+              << "\" (expected stdin|tcp|trace)\n";
+    return 2;
+  }
+
+  serve::SessionOptions session;
+  session.echo = !options.has("quiet");
+  const serve::SessionStats stats = serve::serve_session(engine, *transport,
+                                                         session);
+
+  std::cerr << "[serve] " << transport->describe() << " strategy=" << strategy
+            << ": lines=" << stats.lines << " events=" << stats.events
+            << " queries=" << stats.queries << " errors=" << stats.errors
+            << "\n";
+  using Kind = sim::TraceEvent::Kind;
+  for (Kind k : {Kind::kJoin, Kind::kLeave, Kind::kMove, Kind::kPower}) {
+    const util::LatencyHistogram& h = engine.latency(k);
+    if (h.count() == 0) continue;
+    std::cerr << "[serve] latency " << sim::to_string(k) << " "
+              << h.summary(1e-3, "us") << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+
+  if (options.has("serve")) return run_serve(options);
+
   sim::ExperimentOptions run;
   run.trials = static_cast<std::size_t>(options.get_int("trials", 100));
   run.seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
   run.threads = static_cast<std::size_t>(options.get_int("threads", 0));
 
   const sim::Experiment experiment = make_experiment(options);
+
+  const std::string record = options.get("record-trace", "");
+  if (!record.empty()) return run_record_trace(record, options, experiment);
 
   if (bench::is_worker(options)) {
     if (bench::run_worker_unit(options, experiment, run, "cdma_drive"))

@@ -1,0 +1,294 @@
+// serve_latency: serving-layer latency study for the online assignment
+// engine (src/serve/).
+//
+// Drives an AssignmentEngine through three phases per strategy and reports
+// the per-event-type latency distribution the way a service SLO is written:
+//
+//   1. ramp    — joins up to --target-live nodes (not measured);
+//   2. steady  — --events of mixed churn (join/leave/move/power weighted to
+//                hold the population near the target), per-type
+//                p50/p99/p99.9 plus sustained events/sec;
+//   3. storm   — --storm-rounds of large power raises (range tripled, then
+//                restored), the recolor-storm tail study: each raise drags
+//                a whole neighborhood through recoloring, so its p99.9 is
+//                the latency class a bounded strategy exists to cap.
+//
+// The event sequence is generated from --seed alone (never from engine
+// state), so every strategy serves the identical workload.
+//
+// Flags:
+//   --strategies=...    default minim,bbb-bounded
+//   --events=N          steady-churn events (default 20000)
+//   --target-live=N     steady-state population (default 300)
+//   --storm-rounds=N    power-raise storms (default 200)
+//   --seed=S            workload seed (default 2001)
+//   --append            append a labeled entry to the trajectory
+//   --label=NAME        entry label for --append (default "serve-latency")
+//   --out=FILE          trajectory path (default BENCH_sweep.json)
+//
+// Appended measurements (bench.serve.*) carry the optional latency fields
+// of trajectory.hpp: p50_us/p99_us/p999_us per event type and events_per_s
+// on the throughput record.
+
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+#include "../bench/trajectory.hpp"
+#include "serve/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minim;
+using Kind = sim::TraceEvent::Kind;
+
+/// Deterministic churn-trace generator.  Draws only on its own state (RNG +
+/// live set + per-node ranges), so the same seed yields the same event
+/// sequence for every strategy under test.
+class ChurnTraceGen {
+ public:
+  ChurnTraceGen(std::uint64_t seed, std::size_t target_live)
+      : rng_(util::Rng::for_stream(seed, 0)), target_(target_live) {}
+
+  sim::TraceEvent join_event() {
+    sim::TraceEvent e;
+    e.kind = Kind::kJoin;
+    e.position = {rng_.uniform(0.0, 100.0), rng_.uniform(0.0, 100.0)};
+    e.range = rng_.uniform(10.0, 25.0);
+    live_.push_back(range_of_.size());
+    range_of_.push_back(e.range);
+    return e;
+  }
+
+  /// One steady-churn event: joins/leaves biased to hold the population
+  /// near the target, moves and power tweaks on random live nodes.
+  sim::TraceEvent next_steady() {
+    const double occupancy =
+        static_cast<double>(live_.size()) / static_cast<double>(target_);
+    const double u = rng_.uniform(0.0, 1.0);
+    if (live_.empty() || occupancy < 0.8 || (occupancy <= 1.2 && u < 0.25))
+      return join_event();
+    if (occupancy > 1.2 || u < 0.5) {
+      sim::TraceEvent e;
+      e.kind = Kind::kLeave;
+      e.node = take_random_live();
+      return e;
+    }
+    if (u < 0.8) {
+      sim::TraceEvent e;
+      e.kind = Kind::kMove;
+      e.node = random_live();
+      e.position = {rng_.uniform(0.0, 100.0), rng_.uniform(0.0, 100.0)};
+      return e;
+    }
+    sim::TraceEvent e;
+    e.kind = Kind::kPower;
+    e.node = random_live();
+    e.range = rng_.uniform(10.0, 25.0);
+    range_of_[e.node] = e.range;
+    return e;
+  }
+
+  /// The storm pair: a 3x range raise on a random live node, then the
+  /// restoring power event.  Both belong to the tail study.
+  std::pair<sim::TraceEvent, sim::TraceEvent> storm_pair() {
+    const std::size_t node = random_live();
+    const double before = range_of_[node];
+    sim::TraceEvent raise;
+    raise.kind = Kind::kPower;
+    raise.node = node;
+    raise.range = before * 3.0;
+    sim::TraceEvent restore = raise;
+    restore.range = before;
+    return {raise, restore};
+  }
+
+  std::size_t live_count() const { return live_.size(); }
+
+ private:
+  std::size_t random_live() {
+    return live_[rng_.below(live_.size())];
+  }
+  std::size_t take_random_live() {
+    const std::size_t slot = rng_.below(live_.size());
+    const std::size_t node = live_[slot];
+    live_[slot] = live_.back();
+    live_.pop_back();
+    return node;
+  }
+
+  util::Rng rng_;
+  std::size_t target_;
+  std::vector<std::size_t> live_;      ///< join indices currently live
+  std::vector<double> range_of_;       ///< by join index (stale after leave)
+};
+
+struct StrategyRun {
+  std::string strategy;
+  std::array<util::LatencyHistogram, 4> steady;  ///< by Kind
+  util::LatencyHistogram storm;
+  double steady_wall_s = 0.0;
+  std::size_t steady_events = 0;
+};
+
+StrategyRun run_strategy(const std::string& strategy, std::uint64_t seed,
+                         std::size_t target_live, std::size_t events,
+                         std::size_t storm_rounds) {
+  using Clock = std::chrono::steady_clock;
+  StrategyRun run;
+  run.strategy = strategy;
+
+  serve::AssignmentEngine engine(strategy);
+  ChurnTraceGen gen(seed, target_live);
+
+  for (std::size_t i = 0; i < target_live; ++i) engine.apply(gen.join_event());
+
+  const auto steady_start = Clock::now();
+  for (std::size_t i = 0; i < events; ++i) {
+    const serve::EventReceipt receipt = engine.apply(gen.next_steady());
+    run.steady[static_cast<std::size_t>(receipt.kind)].record(
+        receipt.latency_ns);
+  }
+  run.steady_wall_s =
+      std::chrono::duration<double>(Clock::now() - steady_start).count();
+  run.steady_events = events;
+
+  for (std::size_t i = 0; i < storm_rounds; ++i) {
+    const auto [raise, restore] = gen.storm_pair();
+    run.storm.record(engine.apply(raise).latency_ns);
+    run.storm.record(engine.apply(restore).latency_ns);
+  }
+  return run;
+}
+
+std::string quantile_cell(const util::LatencyHistogram& h, double q) {
+  return util::fmt_fixed(h.quantile(q) * 1e-3, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 2001));
+  const auto events =
+      static_cast<std::size_t>(options.get_int("events", 20000));
+  const auto target_live =
+      static_cast<std::size_t>(options.get_int("target-live", 300));
+  const auto storm_rounds =
+      static_cast<std::size_t>(options.get_int("storm-rounds", 200));
+  const std::vector<std::string> strategies =
+      bench::string_list_from(options, "strategies", {"minim", "bbb-bounded"});
+
+  std::cout << "=== serve_latency: online engine latency study ===\n"
+            << "target_live " << target_live << ", steady events " << events
+            << ", storm rounds " << storm_rounds << ", seed " << seed
+            << "\n\n";
+
+  std::vector<StrategyRun> runs;
+  for (const std::string& strategy : strategies)
+    runs.push_back(
+        run_strategy(strategy, seed, target_live, events, storm_rounds));
+
+  util::TextTable table("per-event-type latency (us)");
+  table.set_header({"strategy", "phase", "type", "n", "p50", "p99", "p99.9",
+                    "max"});
+  for (const StrategyRun& run : runs) {
+    for (Kind kind : {Kind::kJoin, Kind::kLeave, Kind::kMove, Kind::kPower}) {
+      const util::LatencyHistogram& h =
+          run.steady[static_cast<std::size_t>(kind)];
+      if (h.count() == 0) continue;
+      table.add_row({run.strategy, "steady", sim::to_string(kind),
+                     std::to_string(h.count()), quantile_cell(h, 0.50),
+                     quantile_cell(h, 0.99), quantile_cell(h, 0.999),
+                     util::fmt_fixed(static_cast<double>(h.max()) * 1e-3, 1)});
+    }
+    const util::LatencyHistogram& storm = run.storm;
+    table.add_row({run.strategy, "storm", "power",
+                   std::to_string(storm.count()), quantile_cell(storm, 0.50),
+                   quantile_cell(storm, 0.99), quantile_cell(storm, 0.999),
+                   util::fmt_fixed(static_cast<double>(storm.max()) * 1e-3,
+                                   1)});
+  }
+  std::cout << table.render() << "\n";
+
+  for (const StrategyRun& run : runs)
+    std::cout << "[throughput] " << run.strategy << ": "
+              << util::fmt_fixed(static_cast<double>(run.steady_events) /
+                                     run.steady_wall_s,
+                                 0)
+              << " events/s sustained over "
+              << util::fmt_fixed(run.steady_wall_s, 3) << " s\n";
+
+  if (!options.get_bool("append", false)) return 0;
+
+  const std::string out_path = options.get("out", "BENCH_sweep.json");
+  std::vector<bench::TrajectoryEntry> trajectory =
+      bench::load_trajectory(out_path);
+  if (trajectory.empty() && !bench::read_file(out_path).empty()) {
+    std::cerr << out_path
+              << " exists but is not a recognizable trajectory; refusing to "
+                 "overwrite\n";
+    return 1;
+  }
+
+  bench::TrajectoryEntry entry;
+  entry.label = options.get("label", "serve-latency");
+  std::ostringstream config;
+  config << "{\"events\": " << events << ", \"target_live\": " << target_live
+         << ", \"storm_rounds\": " << storm_rounds << ", \"seed\": " << seed
+         << "}";
+  entry.config_json = config.str();
+
+  for (const StrategyRun& run : runs) {
+    for (Kind kind : {Kind::kJoin, Kind::kLeave, Kind::kMove, Kind::kPower}) {
+      const util::LatencyHistogram& h =
+          run.steady[static_cast<std::size_t>(kind)];
+      if (h.count() == 0) continue;
+      bench::Measurement m;
+      m.name = std::string("bench.serve.steady.") + sim::to_string(kind) +
+               "." + run.strategy;
+      m.wall_s = h.mean() * static_cast<double>(h.count()) * 1e-9;
+      m.p50_us = h.quantile(0.50) * 1e-3;
+      m.p99_us = h.quantile(0.99) * 1e-3;
+      m.p999_us = h.quantile(0.999) * 1e-3;
+      entry.benchmarks.push_back(std::move(m));
+    }
+    bench::Measurement throughput;
+    throughput.name = "bench.serve.steady.throughput." + run.strategy;
+    throughput.wall_s = run.steady_wall_s;
+    throughput.events_per_s =
+        static_cast<double>(run.steady_events) / run.steady_wall_s;
+    entry.benchmarks.push_back(std::move(throughput));
+
+    bench::Measurement storm;
+    storm.name = "bench.serve.storm.power." + run.strategy;
+    storm.wall_s =
+        run.storm.mean() * static_cast<double>(run.storm.count()) * 1e-9;
+    storm.p50_us = run.storm.quantile(0.50) * 1e-3;
+    storm.p99_us = run.storm.quantile(0.99) * 1e-3;
+    storm.p999_us = run.storm.quantile(0.999) * 1e-3;
+    entry.benchmarks.push_back(std::move(storm));
+  }
+  trajectory.push_back(std::move(entry));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::write_trajectory(out, trajectory);
+  std::cout << "[json] wrote " << out_path << " (" << trajectory.size()
+            << " entries)\n";
+  return 0;
+}

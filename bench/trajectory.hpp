@@ -9,6 +9,8 @@
 // for the keys we emit is enough — no JSON library in the tree.  v3 of the
 // measurement record adds optional `peak_rss_mb` and `bytes_per_node`
 // fields (emitted only when set); readers of older files see them as 0.
+// The serving-latency harness (serve_latency.cpp) adds optional `p50_us`,
+// `p99_us`, `p999_us` and `events_per_s` under the same rule.
 
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +27,11 @@ struct Measurement {
   double wall_s = 0.0;
   double peak_rss_mb = 0.0;     ///< process VmHWM after the run; 0 = not recorded
   double bytes_per_node = 0.0;  ///< engine footprint / node count; 0 = not recorded
+  // Serving-latency fields (bench.serve.*); 0 = not recorded.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double events_per_s = 0.0;
 };
 
 struct TrajectoryEntry {
@@ -98,6 +105,10 @@ inline std::vector<Measurement> scan_benchmarks(const std::string& text,
     m.wall_s = std::strtod(text.c_str() + wall + 9, nullptr);
     m.peak_rss_mb = scan_number(text, "peak_rss_mb", at, record_end);
     m.bytes_per_node = scan_number(text, "bytes_per_node", at, record_end);
+    m.p50_us = scan_number(text, "p50_us", at, record_end);
+    m.p99_us = scan_number(text, "p99_us", at, record_end);
+    m.p999_us = scan_number(text, "p999_us", at, record_end);
+    m.events_per_s = scan_number(text, "events_per_s", at, record_end);
     out.push_back(std::move(m));
     cursor = wall + 9;
   }
@@ -153,6 +164,14 @@ inline void write_trajectory(std::ostream& out,
         out << ", \"peak_rss_mb\": " << util::fmt_fixed(m.peak_rss_mb, 1);
       if (m.bytes_per_node > 0.0)
         out << ", \"bytes_per_node\": " << util::fmt_fixed(m.bytes_per_node, 1);
+      if (m.p50_us > 0.0)
+        out << ", \"p50_us\": " << util::fmt_fixed(m.p50_us, 2);
+      if (m.p99_us > 0.0)
+        out << ", \"p99_us\": " << util::fmt_fixed(m.p99_us, 2);
+      if (m.p999_us > 0.0)
+        out << ", \"p999_us\": " << util::fmt_fixed(m.p999_us, 2);
+      if (m.events_per_s > 0.0)
+        out << ", \"events_per_s\": " << util::fmt_fixed(m.events_per_s, 0);
       out << "}" << (i + 1 < entry.benchmarks.size() ? "," : "") << "\n";
     }
     out << "      ]\n    }" << (e + 1 < entries.size() ? "," : "") << "\n";

@@ -1,0 +1,152 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/constraints.hpp"
+#include "strategies/bbb.hpp"
+#include "strategies/factory.hpp"
+#include "util/require.hpp"
+
+namespace minim::serve {
+
+namespace {
+
+sim::Simulation::Params simulation_params(const AssignmentEngine::Params& params) {
+  sim::Simulation::Params p;
+  p.width = params.width;
+  p.height = params.height;
+  p.validate_after_each = params.validate;
+  return p;
+}
+
+/// The bounded-BBB fallback counter before an event; 0 for every other
+/// strategy (their counters never move, so the delta stays 0).
+std::uint64_t fallback_count(const core::RecodingStrategy& strategy) {
+  if (const auto* bbb = dynamic_cast<const strategies::BbbStrategy*>(&strategy))
+    return bbb->counters().full_events;
+  return 0;
+}
+
+}  // namespace
+
+AssignmentEngine::AssignmentEngine(const std::string& strategy_name,
+                                   const Params& params)
+    : params_(params),
+      owned_strategy_(strategies::make_strategy(strategy_name)),
+      strategy_(owned_strategy_.get()),
+      strategy_name_(strategy_name) {
+  simulation_.emplace(*strategy_, simulation_params(params_));
+}
+
+AssignmentEngine::AssignmentEngine(core::RecodingStrategy& strategy,
+                                   const Params& params)
+    : params_(params), strategy_(&strategy), strategy_name_(strategy.name()) {
+  simulation_.emplace(*strategy_, simulation_params(params_));
+}
+
+net::NodeId AssignmentEngine::node_id_of(std::size_t node,
+                                         const char* verb) const {
+  MINIM_REQUIRE(node < by_join_order_.size(),
+                std::string(verb) + ": node has not joined yet");
+  MINIM_REQUIRE(!departed_[node], std::string(verb) + ": node already left");
+  return by_join_order_[node];
+}
+
+EventReceipt AssignmentEngine::apply(const sim::TraceEvent& event) {
+  using Clock = std::chrono::steady_clock;
+
+  EventReceipt receipt;
+  receipt.kind = event.kind;
+
+  const std::size_t recodings_before = simulation_->totals().recodings;
+  const std::uint64_t fallbacks_before = fallback_count(*strategy_);
+
+  // Resolve node references (and throw) before the clock starts: a rejected
+  // request is not a served event.
+  net::NodeId subject = net::kInvalidNode;
+  if (event.kind != sim::TraceEvent::Kind::kJoin)
+    subject = node_id_of(event.node, sim::to_string(event.kind));
+
+  const auto start = Clock::now();
+  switch (event.kind) {
+    case sim::TraceEvent::Kind::kJoin:
+      subject = simulation_->join(net::NodeConfig{event.position, event.range});
+      break;
+    case sim::TraceEvent::Kind::kLeave:
+      simulation_->leave(subject);
+      break;
+    case sim::TraceEvent::Kind::kMove:
+      simulation_->move(subject, event.position);
+      break;
+    case sim::TraceEvent::Kind::kPower:
+      simulation_->change_power(subject, event.range);
+      break;
+  }
+  const auto stop = Clock::now();
+
+  if (event.kind == sim::TraceEvent::Kind::kJoin) {
+    receipt.node = by_join_order_.size();
+    by_join_order_.push_back(subject);
+    departed_.push_back(0);
+    if (join_index_of_.size() <= subject) join_index_of_.resize(subject + 1, 0);
+    join_index_of_[subject] = receipt.node;
+  } else {
+    receipt.node = event.node;
+    if (event.kind == sim::TraceEvent::Kind::kLeave) departed_[event.node] = 1;
+  }
+
+  receipt.seq = ++seq_;
+  receipt.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+  receipt.recoded = simulation_->totals().recodings - recodings_before;
+  receipt.fallback = fallback_count(*strategy_) > fallbacks_before;
+  receipt.max_color = simulation_->max_color();
+  receipt.live_nodes = simulation_->network().node_count();
+
+  latency_[static_cast<std::size_t>(event.kind)].record(receipt.latency_ns);
+  return receipt;
+}
+
+net::Color AssignmentEngine::code_of(std::size_t node) const {
+  return simulation_->assignment().color(node_id_of(node, "code"));
+}
+
+std::vector<std::size_t> AssignmentEngine::conflicts_of(std::size_t node) const {
+  const net::NodeId id = node_id_of(node, "conflicts");
+  std::vector<std::size_t> indices;
+  for (net::NodeId partner : net::conflict_partners(simulation_->network(), id))
+    indices.push_back(join_index_of_[partner]);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+AssignmentEngine::Summary AssignmentEngine::summary() const {
+  Summary s;
+  s.live = simulation_->network().node_count();
+  s.joined = by_join_order_.size();
+  s.events = simulation_->totals().events;
+  s.recodings = simulation_->totals().recodings;
+  const std::vector<net::NodeId> nodes = simulation_->network().nodes();
+  s.distinct_colors = simulation_->assignment().distinct_colors(nodes);
+  s.max_color = simulation_->max_color();
+  return s;
+}
+
+util::LatencyHistogram AssignmentEngine::total_latency() const {
+  util::LatencyHistogram total;
+  for (const util::LatencyHistogram& h : latency_) total.merge(h);
+  return total;
+}
+
+void AssignmentEngine::reset() {
+  simulation_.emplace(*strategy_, simulation_params(params_));
+  by_join_order_.clear();
+  departed_.clear();
+  join_index_of_.clear();
+  seq_ = 0;
+  for (util::LatencyHistogram& h : latency_) h.reset();
+}
+
+}  // namespace minim::serve

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+#include "util/latency_histogram.hpp"
+
+/// \file engine.hpp
+/// \brief The online assignment engine: a long-lived serving session.
+///
+/// Everything below sim/ is batch — generate a workload, replay it, write
+/// CSVs — but the paper's minimal-recoding strategies exist because
+/// reconfiguration happens *online* in a live network.  `AssignmentEngine`
+/// wraps `sim::Simulation` + a recoding strategy behind a session API
+/// measured the way a service is measured:
+///
+///   * `apply(TraceEvent) -> EventReceipt`: applies one reconfiguration
+///     event and reports what serving it cost — latency, how many nodes
+///     were recolored, whether the bounded-recoloring path fell back to a
+///     from-scratch recolor — plus the post-event population and max code;
+///   * read-side queries (`code_of`, `conflicts_of`, `summary`) answer
+///     code-assignment questions between events;
+///   * per-event-type `util::LatencyHistogram`s accumulate the latency
+///     distribution (p50/p99/p99.9) without storing samples.
+///
+/// Nodes are named by join order (the `sim/trace` convention), so a session
+/// is meaningful to a client that never sees internal node ids.  Applying a
+/// recorded trace event by event leaves the engine in a state byte-identical
+/// to batch `apply_trace` — the equivalence the serving tests pin down.
+
+namespace minim::serve {
+
+/// What serving one event cost, and where it left the network.
+struct EventReceipt {
+  std::uint64_t seq = 0;       ///< 1-based event number within the session
+  sim::TraceEvent::Kind kind = sim::TraceEvent::Kind::kJoin;
+  std::size_t node = 0;        ///< join-order index of the subject
+  std::uint64_t latency_ns = 0;  ///< wall time to apply + repair
+  std::size_t recoded = 0;     ///< nodes whose color actually changed
+  /// True when a rank-bounded strategy (bbb-bounded) abandoned the bounded
+  /// path and recolored from scratch — the tail-latency event class.
+  bool fallback = false;
+  net::Color max_color = net::kNoColor;  ///< network-wide max after the event
+  std::size_t live_nodes = 0;  ///< population after the event
+};
+
+class AssignmentEngine {
+ public:
+  struct Params {
+    double width = 100.0;
+    double height = 100.0;
+    /// Validate CA1/CA2 after every event (slow; tests and debugging).
+    bool validate = false;
+  };
+
+  /// Owns the strategy, constructed by name via `strategies::make_strategy`
+  /// (throws std::invalid_argument for unknown names).
+  explicit AssignmentEngine(const std::string& strategy_name)
+      : AssignmentEngine(strategy_name, Params()) {}
+  AssignmentEngine(const std::string& strategy_name, const Params& params);
+  /// Borrows `strategy` (must outlive the engine) — for tests that need to
+  /// inspect a configured strategy instance.
+  explicit AssignmentEngine(core::RecodingStrategy& strategy)
+      : AssignmentEngine(strategy, Params()) {}
+  AssignmentEngine(core::RecodingStrategy& strategy, const Params& params);
+
+  /// Applies one event and repairs the assignment.  Throws
+  /// std::invalid_argument when the event references a node that has not
+  /// joined or has already left (the engine state is untouched).
+  EventReceipt apply(const sim::TraceEvent& event);
+
+  // ------------------------------------------------------------- queries
+  /// Nodes joined so far; join-order indices are [0, joined()).
+  std::size_t joined() const { return by_join_order_.size(); }
+  bool is_live(std::size_t node) const {
+    return node < by_join_order_.size() && !departed_[node];
+  }
+  /// Current code of a live node (throws std::invalid_argument otherwise).
+  net::Color code_of(std::size_t node) const;
+  /// Join-order indices of every live node in conflict with `node`
+  /// (ascending).  Throws std::invalid_argument for dead/unknown nodes.
+  std::vector<std::size_t> conflicts_of(std::size_t node) const;
+
+  struct Summary {
+    std::size_t live = 0;
+    std::size_t joined = 0;     ///< total joins ever (the index space)
+    std::size_t events = 0;
+    std::size_t recodings = 0;
+    std::size_t distinct_colors = 0;
+    net::Color max_color = net::kNoColor;
+  };
+  Summary summary() const;
+
+  // ------------------------------------------------------- instrumentation
+  /// Latency distribution of every event of `kind` served so far.
+  const util::LatencyHistogram& latency(sim::TraceEvent::Kind kind) const {
+    return latency_[static_cast<std::size_t>(kind)];
+  }
+  /// All four event-type histograms merged (allocation per call).
+  util::LatencyHistogram total_latency() const;
+
+  std::uint64_t events_served() const { return seq_; }
+  const std::string& strategy_name() const { return strategy_name_; }
+  const sim::Simulation& simulation() const { return *simulation_; }
+
+  /// Ends the session and starts a fresh one on the same strategy/params:
+  /// clears the network, the join-order index space, and the latency
+  /// histograms.  (The strategy keeps its identity; its caches re-seed on
+  /// the first event of the new session.)
+  void reset();
+
+ private:
+  net::NodeId node_id_of(std::size_t node, const char* verb) const;
+
+  Params params_;
+  core::StrategyPtr owned_strategy_;        ///< null when borrowed
+  core::RecodingStrategy* strategy_;        ///< never null
+  std::string strategy_name_;
+  std::optional<sim::Simulation> simulation_;
+  std::vector<net::NodeId> by_join_order_;  ///< join index -> engine node id
+  std::vector<char> departed_;              ///< by join index
+  std::vector<std::size_t> join_index_of_;  ///< engine node id -> join index
+  std::uint64_t seq_ = 0;
+  std::array<util::LatencyHistogram, 4> latency_;  ///< by TraceEvent::Kind
+};
+
+}  // namespace minim::serve

@@ -1,0 +1,146 @@
+#include "serve/session.hpp"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+
+#include "sim/trace.hpp"
+
+namespace minim::serve {
+
+namespace {
+
+/// First whitespace-delimited token of `line` with comments stripped;
+/// empty for blank/comment lines.
+std::string first_token(const std::string& line) {
+  std::string text = line;
+  const std::size_t hash = text.find('#');
+  if (hash != std::string::npos) text.erase(hash);
+  std::istringstream fields(text);
+  std::string token;
+  fields >> token;
+  return token;
+}
+
+/// Parses the single `<node>` argument of a query; nullopt (with `reason`
+/// set) on missing/invalid/trailing input or a dead node.
+std::optional<std::size_t> query_node(const AssignmentEngine& engine,
+                                      const std::string& line,
+                                      const std::string& verb,
+                                      std::string& reason) {
+  std::string text = line;
+  const std::size_t hash = text.find('#');
+  if (hash != std::string::npos) text.erase(hash);
+  std::istringstream fields(text);
+  std::string seen_verb;
+  fields >> seen_verb;
+  long long value = 0;
+  if (!(fields >> value) || value < 0) {
+    reason = verb + ": missing/invalid node";
+    return std::nullopt;
+  }
+  std::string trailing;
+  if (fields >> trailing) {
+    reason = verb + ": trailing tokens";
+    return std::nullopt;
+  }
+  const auto node = static_cast<std::size_t>(value);
+  if (node >= engine.joined()) {
+    reason = verb + ": node has not joined yet";
+    return std::nullopt;
+  }
+  if (!engine.is_live(node)) {
+    reason = verb + ": node already left";
+    return std::nullopt;
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string format_receipt(const EventReceipt& receipt) {
+  std::ostringstream os;
+  os << "ok " << receipt.seq << " " << sim::to_string(receipt.kind)
+     << " node=" << receipt.node << " recoded=" << receipt.recoded
+     << " maxc=" << receipt.max_color << " live=" << receipt.live_nodes
+     << " fallback=" << (receipt.fallback ? 1 : 0);
+  return os.str();
+}
+
+SessionStats serve_session(AssignmentEngine& engine, Transport& transport,
+                           const SessionOptions& options) {
+  sim::TraceLineParser parser;
+  SessionStats stats;
+  std::string line;
+
+  const auto respond = [&](const std::string& response) {
+    if (options.echo) transport.write_line(response);
+  };
+  const auto error = [&](const std::string& reason) {
+    ++stats.errors;
+    respond("err line=" + std::to_string(stats.lines) + " " + reason);
+  };
+
+  while (transport.read_line(line)) {
+    ++stats.lines;
+    const std::string verb = first_token(line);
+
+    if (verb == "quit") {
+      ++stats.queries;
+      respond("bye");
+      break;
+    }
+    if (verb == "stats") {
+      ++stats.queries;
+      const AssignmentEngine::Summary s = engine.summary();
+      std::ostringstream os;
+      os << "stats live=" << s.live << " joined=" << s.joined
+         << " maxc=" << s.max_color << " colors=" << s.distinct_colors
+         << " events=" << s.events << " recodings=" << s.recodings;
+      respond(os.str());
+      continue;
+    }
+    if (verb == "code" || verb == "conflicts") {
+      ++stats.queries;
+      std::string reason;
+      const auto node = query_node(engine, line, verb, reason);
+      if (!node) {
+        error(reason);
+        continue;
+      }
+      if (verb == "code") {
+        respond("code node=" + std::to_string(*node) +
+                " color=" + std::to_string(engine.code_of(*node)));
+      } else {
+        const std::vector<std::size_t> partners = engine.conflicts_of(*node);
+        std::ostringstream os;
+        os << "conflicts node=" << *node << " count=" << partners.size()
+           << " partners=";
+        if (partners.empty()) os << "-";
+        for (std::size_t i = 0; i < partners.size(); ++i)
+          os << (i ? "," : "") << partners[i];
+        respond(os.str());
+      }
+      continue;
+    }
+
+    // Everything else is the trace grammar (or a reportable parse error).
+    try {
+      const std::optional<sim::TraceEvent> event =
+          parser.parse_line(line, stats.lines);
+      if (!event) continue;  // blank/comment: no response line
+      const EventReceipt receipt = engine.apply(*event);
+      ++stats.events;
+      respond(format_receipt(receipt));
+    } catch (const sim::TraceParseError& parse_error) {
+      error(parse_error.reason());
+    } catch (const std::exception& unexpected) {
+      // The parser validated the reference, so the engine should never
+      // throw here; surface it rather than killing the session.
+      error(unexpected.what());
+    }
+  }
+  return stats;
+}
+
+}  // namespace minim::serve

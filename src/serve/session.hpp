@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/engine.hpp"
+#include "serve/transport.hpp"
+
+/// \file session.hpp
+/// \brief The serving line protocol: trace grammar in, one receipt out.
+///
+/// A session reads request lines from a transport and answers each event or
+/// query with exactly one response line.  Requests are the `sim/trace`
+/// grammar (join/leave/move/power — parsed by the same `TraceLineParser`
+/// as batch ingestion, so validation and error text are identical) plus
+/// read-side queries:
+///
+///   code <node>        -> code node=<n> color=<c>
+///   conflicts <node>   -> conflicts node=<n> count=<k> partners=<a>,<b>,...
+///   stats              -> stats live=.. joined=.. maxc=.. colors=..
+///                               events=.. recodings=..
+///   quit               -> bye (and the session ends)
+///
+/// Events answer with a receipt line:
+///
+///   ok <seq> <verb> node=<n> recoded=<k> maxc=<c> live=<l> fallback=<0|1>
+///
+/// Malformed lines answer `err line=<n> <reason>` and the session keeps
+/// serving — a live network does not go down because one client sent a
+/// typo.  Latency is deliberately absent from receipt lines (they would
+/// never diff against a golden transcript); it lives in the engine's
+/// histograms and the `stats`-side summaries.
+///
+/// Blank and `#`-comment lines get no response, so a recorded trace file
+/// can be piped through a session unmodified.
+
+namespace minim::serve {
+
+struct SessionOptions {
+  /// Write a response line per event/query.  Off = ingest-only (benches
+  /// that measure engine latency without protocol formatting).
+  bool echo = true;
+};
+
+struct SessionStats {
+  std::size_t lines = 0;    ///< request lines consumed (incl. blank/comment)
+  std::size_t events = 0;   ///< reconfiguration events applied
+  std::size_t queries = 0;  ///< read-side queries answered
+  std::size_t errors = 0;   ///< err responses written
+};
+
+/// The receipt line for one applied event (the protocol's `ok` response).
+std::string format_receipt(const EventReceipt& receipt);
+
+/// Serves `transport` until end of input or `quit`.  Returns what happened.
+SessionStats serve_session(AssignmentEngine& engine, Transport& transport,
+                           const SessionOptions& options = {});
+
+}  // namespace minim::serve

@@ -1,0 +1,164 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/require.hpp"
+
+namespace minim::serve {
+
+// ----------------------------------------------------------- StreamTransport
+
+StreamTransport::StreamTransport(std::istream& in, std::ostream& out,
+                                 std::string name)
+    : in_(&in), out_(&out), name_(std::move(name)) {}
+
+bool StreamTransport::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(*in_, line));
+}
+
+void StreamTransport::write_line(std::string_view line) {
+  *out_ << line << "\n";
+  out_->flush();  // a served client must never wait on a buffer
+}
+
+// -------------------------------------------------------- TraceFileTransport
+
+TraceFileTransport::TraceFileTransport(const std::string& path,
+                                       std::ostream& out)
+    : path_(path), file_(path), out_(&out) {
+  MINIM_REQUIRE(file_.good(), "cannot open trace file '" + path + "'");
+}
+
+bool TraceFileTransport::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(file_, line));
+}
+
+void TraceFileTransport::write_line(std::string_view line) {
+  *out_ << line << "\n";
+}
+
+// -------------------------------------------------------- TcpServerTransport
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpServerTransport::TcpServerTransport(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind 127.0.0.1");
+  }
+  if (::listen(listen_fd_, 1) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpServerTransport::~TcpServerTransport() {
+  if (client_fd_ >= 0) ::close(client_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServerTransport::disconnect() {
+  if (client_fd_ >= 0) {
+    ::close(client_fd_);
+    client_fd_ = -1;
+  }
+  eof_ = true;  // no replacement client: the session is over
+}
+
+bool TcpServerTransport::accept_client() {
+  while (true) {
+    client_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd_ >= 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool TcpServerTransport::read_line(std::string& line) {
+  if (client_fd_ < 0 && (eof_ || !accept_client())) return false;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (eof_) {
+      // Final unterminated line (a client that closed without a newline).
+      if (buffer_.empty()) return false;
+      line = std::exchange(buffer_, {});
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(client_fd_, chunk, sizeof chunk, 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      eof_ = true;
+    } else if (errno != EINTR) {
+      eof_ = true;  // connection error: treat as disconnect
+    }
+  }
+}
+
+void TcpServerTransport::write_line(std::string_view line) {
+  if (client_fd_ < 0) return;  // nothing connected; response has no reader
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t wrote = ::send(client_fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+    } else if (errno != EINTR) {
+      return;  // client went away mid-response; the next read sees EOF
+    }
+  }
+}
+
+std::string TcpServerTransport::describe() const {
+  return "tcp:127.0.0.1:" + std::to_string(port_);
+}
+
+}  // namespace minim::serve

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+/// \file transport.hpp
+/// \brief Line transports for the serving session.
+///
+/// A serving session is transport-agnostic: it reads request lines and
+/// writes one response line per event/query (see session.hpp).  Three
+/// transports cover the deployment shapes:
+///
+///   * `StreamTransport` — any istream/ostream pair: stdin/stdout for
+///     `cdma_drive --serve --transport=stdin`, stringstreams in tests;
+///   * `TraceFileTransport` — requests from a recorded trace file,
+///     responses to a stream (batch ingestion through the online path);
+///   * `TcpServerTransport` — a localhost TCP socket speaking the same
+///     line protocol; binds eagerly (so the port is known before a client
+///     exists) and accepts its single client lazily on the first read.
+///
+/// Transports are deliberately single-client: the engine is a sequenced
+/// event log (the paper's one-at-a-time reconfiguration model), so there is
+/// nothing for a second concurrent client to safely do.
+
+namespace minim::serve {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks for the next request line (without the terminator); false on
+  /// end of input / client disconnect.
+  virtual bool read_line(std::string& line) = 0;
+
+  /// Writes one response line (terminator appended).
+  virtual void write_line(std::string_view line) = 0;
+
+  /// Human-readable endpoint ("stdin", "trace:<path>", "tcp:127.0.0.1:<p>").
+  virtual std::string describe() const = 0;
+};
+
+/// Requests from `in`, responses to `out`.  Borrows both streams.
+class StreamTransport final : public Transport {
+ public:
+  StreamTransport(std::istream& in, std::ostream& out,
+                  std::string name = "stream");
+
+  bool read_line(std::string& line) override;
+  void write_line(std::string_view line) override;
+  std::string describe() const override { return name_; }
+
+ private:
+  std::istream* in_;
+  std::ostream* out_;
+  std::string name_;
+};
+
+/// Requests from a trace file, responses to `out` (borrowed).  Throws
+/// std::invalid_argument when the file cannot be opened.
+class TraceFileTransport final : public Transport {
+ public:
+  TraceFileTransport(const std::string& path, std::ostream& out);
+
+  bool read_line(std::string& line) override;
+  void write_line(std::string_view line) override;
+  std::string describe() const override { return "trace:" + path_; }
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  std::ostream* out_;
+};
+
+/// One-shot localhost TCP server.  The constructor binds and listens on
+/// 127.0.0.1 (`port` 0 = kernel-assigned, read back via `port()`); the
+/// first `read_line` blocks in accept() for the single client.  Lines are
+/// newline-terminated; a trailing carriage return is stripped so `telnet`
+/// and `nc -C` sessions work unmodified.  Throws std::runtime_error on
+/// socket errors at setup.
+class TcpServerTransport final : public Transport {
+ public:
+  explicit TcpServerTransport(std::uint16_t port = 0);
+  ~TcpServerTransport() override;
+
+  TcpServerTransport(const TcpServerTransport&) = delete;
+  TcpServerTransport& operator=(const TcpServerTransport&) = delete;
+
+  /// The bound port (the kernel's pick when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Closes the client connection (the client sees EOF).  The server keeps
+  /// listening state but accepts no replacement — one session, one client.
+  void disconnect();
+
+  bool read_line(std::string& line) override;
+  void write_line(std::string_view line) override;
+  std::string describe() const override;
+
+ private:
+  bool accept_client();
+
+  int listen_fd_ = -1;
+  int client_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string buffer_;  ///< received bytes not yet returned as lines
+  bool eof_ = false;
+};
+
+}  // namespace minim::serve

@@ -6,6 +6,16 @@
 
 namespace minim::sim {
 
+const char* to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kJoin: return "join";
+    case TraceEvent::Kind::kLeave: return "leave";
+    case TraceEvent::Kind::kMove: return "move";
+    case TraceEvent::Kind::kPower: return "power";
+  }
+  return "?";
+}
+
 std::string serialize_trace(const Trace& trace) {
   std::ostringstream os;
   os.precision(17);  // exact double round-trip
@@ -30,76 +40,84 @@ std::string serialize_trace(const Trace& trace) {
   return os.str();
 }
 
-namespace {
-
-[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
-  MINIM_REQUIRE(false,
-                "trace line " + std::to_string(line_number) + ": " + message);
-  throw std::logic_error("unreachable");
+std::optional<TraceEvent> TraceLineParser::parse_line(std::string_view line) {
+  return parse_line(line, line_number_ + 1);
 }
 
-}  // namespace
+std::optional<TraceEvent> TraceLineParser::parse_line(
+    std::string_view line, std::size_t line_number) {
+  // The counter advances even when the line turns out malformed: the line
+  // was consumed, and the next error must not reuse its number.
+  line_number_ = line_number;
+
+  std::string text(line);
+  const auto hash = text.find('#');
+  if (hash != std::string::npos) text.erase(hash);
+  std::istringstream fields(text);
+  std::string verb;
+  if (!(fields >> verb)) return std::nullopt;  // blank/comment line
+
+  const auto fail = [line_number](const std::string& message) -> void {
+    throw TraceParseError(line_number, message);
+  };
+  auto read_double = [&](const char* what) {
+    double value;
+    if (!(fields >> value)) fail(std::string("missing ") + what);
+    return value;
+  };
+  auto read_node = [&]() {
+    long long value;
+    if (!(fields >> value) || value < 0) fail("missing/invalid node");
+    const auto node = static_cast<std::size_t>(value);
+    if (node >= joined_) fail("node has not joined yet");
+    if (departed_[node]) fail("node already left");
+    return node;
+  };
+
+  // Parse and validate the full line before committing any state, so a
+  // throwing line leaves the parser exactly where it was.
+  TraceEvent event;
+  if (verb == "join") {
+    event.kind = TraceEvent::Kind::kJoin;
+    event.position.x = read_double("x");
+    event.position.y = read_double("y");
+    event.range = read_double("range");
+    if (event.range < 0) fail("negative range");
+  } else if (verb == "leave") {
+    event.kind = TraceEvent::Kind::kLeave;
+    event.node = read_node();
+  } else if (verb == "move") {
+    event.kind = TraceEvent::Kind::kMove;
+    event.node = read_node();
+    event.position.x = read_double("x");
+    event.position.y = read_double("y");
+  } else if (verb == "power") {
+    event.kind = TraceEvent::Kind::kPower;
+    event.node = read_node();
+    event.range = read_double("range");
+    if (event.range < 0) fail("negative range");
+  } else {
+    fail("unknown verb '" + verb + "'");
+  }
+  std::string trailing;
+  if (fields >> trailing) fail("trailing tokens");
+
+  if (event.kind == TraceEvent::Kind::kJoin) {
+    ++joined_;
+    departed_.push_back(0);
+  } else if (event.kind == TraceEvent::Kind::kLeave) {
+    departed_[event.node] = 1;
+  }
+  return event;
+}
 
 Trace parse_trace(const std::string& text) {
   Trace trace;
+  TraceLineParser parser;
   std::istringstream input(text);
   std::string line;
-  std::size_t line_number = 0;
-  std::size_t joined = 0;             // nodes seen so far
-  std::vector<char> departed;         // by join index
-
-  while (std::getline(input, line)) {
-    ++line_number;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream fields(line);
-    std::string verb;
-    if (!(fields >> verb)) continue;  // blank/comment line
-
-    auto read_double = [&](const char* what) {
-      double value;
-      if (!(fields >> value)) fail(line_number, std::string("missing ") + what);
-      return value;
-    };
-    auto read_node = [&]() {
-      long long value;
-      if (!(fields >> value) || value < 0) fail(line_number, "missing/invalid node");
-      const auto node = static_cast<std::size_t>(value);
-      if (node >= joined) fail(line_number, "node has not joined yet");
-      if (departed[node]) fail(line_number, "node already left");
-      return node;
-    };
-
-    TraceEvent event;
-    if (verb == "join") {
-      event.kind = TraceEvent::Kind::kJoin;
-      event.position.x = read_double("x");
-      event.position.y = read_double("y");
-      event.range = read_double("range");
-      if (event.range < 0) fail(line_number, "negative range");
-      ++joined;
-      departed.push_back(0);
-    } else if (verb == "leave") {
-      event.kind = TraceEvent::Kind::kLeave;
-      event.node = read_node();
-      departed[event.node] = 1;
-    } else if (verb == "move") {
-      event.kind = TraceEvent::Kind::kMove;
-      event.node = read_node();
-      event.position.x = read_double("x");
-      event.position.y = read_double("y");
-    } else if (verb == "power") {
-      event.kind = TraceEvent::Kind::kPower;
-      event.node = read_node();
-      event.range = read_double("range");
-      if (event.range < 0) fail(line_number, "negative range");
-    } else {
-      fail(line_number, "unknown verb '" + verb + "'");
-    }
-    std::string trailing;
-    if (fields >> trailing) fail(line_number, "trailing tokens");
-    trace.push_back(event);
-  }
+  while (std::getline(input, line))
+    if (const auto event = parser.parse_line(line)) trace.push_back(*event);
   return trace;
 }
 

@@ -1,0 +1,126 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace minim::util {
+
+namespace {
+
+/// 64 exact unit buckets + 64 sub-buckets per octave [2^6, 2^64).
+constexpr std::size_t kBucketCount =
+    LatencyHistogram::kSubBuckets +
+    (64 - LatencyHistogram::kSubBits) * LatencyHistogram::kSubBuckets;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kBucketCount, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned exponent = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const std::uint64_t sub = (value - (1ull << exponent)) >> (exponent - kSubBits);
+  return static_cast<std::size_t>(kSubBuckets +
+                                  (exponent - kSubBits) * kSubBuckets + sub);
+}
+
+void LatencyHistogram::bucket_bounds(std::size_t index, std::uint64_t& lo,
+                                     std::uint64_t& width) {
+  if (index < kSubBuckets) {
+    lo = index;
+    width = 1;
+    return;
+  }
+  const std::size_t k = index - kSubBuckets;
+  const unsigned exponent = kSubBits + static_cast<unsigned>(k / kSubBuckets);
+  const std::uint64_t sub = k % kSubBuckets;
+  width = 1ull << (exponent - kSubBits);
+  lo = (1ull << exponent) + sub * width;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++counts_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  MINIM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile wants q in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // The ceil(q * n)-th smallest sample, clamped to a real rank.
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(count_))),
+      1, count_);
+  // The extreme ranks are the tracked extremes themselves — q=0 and q=1
+  // (and every quantile of a single sample) are exact.
+  if (rank == 1) return static_cast<double>(min_);
+  if (rank == count_) return static_cast<double>(max_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      std::uint64_t lo = 0;
+      std::uint64_t width = 0;
+      bucket_bounds(i, lo, width);
+      // Unit buckets hold one integer value exactly; log buckets estimate
+      // at the midpoint.
+      const double middle =
+          width == 1 ? static_cast<double>(lo)
+                     : static_cast<double>(lo) + static_cast<double>(width) / 2.0;
+      return std::clamp(middle, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable: counts_ sums to count_
+}
+
+std::string LatencyHistogram::summary(double unit, const char* suffix) const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ == 0) return os.str();
+  os << " p50=" << fmt_fixed(quantile(0.50) * unit, 1) << suffix
+     << " p99=" << fmt_fixed(quantile(0.99) * unit, 1) << suffix
+     << " p99.9=" << fmt_fixed(quantile(0.999) * unit, 1) << suffix
+     << " max=" << fmt_fixed(static_cast<double>(max_) * unit, 1) << suffix;
+  return os.str();
+}
+
+}  // namespace minim::util

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file latency_histogram.hpp
+/// \brief Log-bucketed quantile histogram for per-event latency SLOs.
+///
+/// The serving layer needs p50/p99/p99.9 over millions of per-event
+/// latencies without storing samples.  `LatencyHistogram` is an HDR-style
+/// fixed-layout histogram over non-negative integer values (nanoseconds by
+/// convention): values below 2^6 get exact unit buckets, and every octave
+/// above is split into 64 logarithmic sub-buckets, bounding the relative
+/// quantile error at 1/64 (~1.6%) across the full uint64 range.  The layout
+/// is value-independent, so two histograms merge by adding counts — the
+/// same mergeability contract as `RunningStats`, letting sharded serving
+/// lanes combine their tails exactly.
+///
+/// Exact min/max/sum ride alongside the buckets, and `quantile` clamps its
+/// bucket-midpoint estimate into [min, max] — so q=0 and q=1 are exact and
+/// small-sample tails (p99.9 of 100 events) report the true maximum rather
+/// than a bucket edge.
+
+namespace minim::util {
+
+class LatencyHistogram {
+ public:
+  /// Exact unit buckets below 2^kSubBits; 2^kSubBits sub-buckets per octave
+  /// above — the relative error bound of every quantile estimate.
+  static constexpr unsigned kSubBits = 6;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+
+  LatencyHistogram();
+
+  /// Records one value.  All of uint64 is trackable; no saturation.
+  void record(std::uint64_t value);
+
+  /// Adds every count of `other` into this histogram (exact: the layouts
+  /// are identical by construction).
+  void merge(const LatencyHistogram& other);
+
+  /// Drops all samples (counts, min/max/sum), keeping the bucket storage.
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  /// 0 when empty.
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+
+  /// Value at quantile `q` in [0, 1] (type-1 / inverse-CDF over buckets:
+  /// the bucket holding the ceil(q * count)-th smallest sample, estimated
+  /// at the bucket midpoint and clamped to [min, max]).  Relative error is
+  /// at most 1/kSubBuckets.  Returns 0 when empty; throws
+  /// std::invalid_argument when q is outside [0, 1].
+  double quantile(double q) const;
+
+  /// One-line "n=... p50=... p99=... p99.9=... max=..." rendering with the
+  /// values scaled by `unit` (e.g. 1e-3 for ns -> us) — log/table output.
+  std::string summary(double unit = 1.0, const char* suffix = "") const;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive lower edge and width of bucket `index`.
+  static void bucket_bounds(std::size_t index, std::uint64_t& lo,
+                            std::uint64_t& width);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;  ///< double: 2^53 ns ~ 104 days of accumulated latency
+};
+
+}  // namespace minim::util

@@ -111,6 +111,30 @@ double Histogram::bucket_lo(std::size_t i) const {
   return lo_ + static_cast<double>(i) * width_;
 }
 
+double Histogram::quantile(double q) const {
+  MINIM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile wants q in [0, 1]");
+  if (total_ == 0) return 0.0;
+  // The ceil(q * total)-th smallest sample, clamped to a real rank; walk
+  // the cumulative counts with underflow before and overflow after the
+  // in-range buckets.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  rank = std::max<std::uint64_t>(1, std::min(rank, total_));
+  if (rank <= underflow_) return lo_;
+  std::uint64_t seen = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (rank <= seen + counts_[i]) {
+      // Interpolate at the rank's position within the bucket (sample
+      // centers, so a uniformly filled bucket reports its middle).
+      const double within = (static_cast<double>(rank - seen) - 0.5) /
+                            static_cast<double>(counts_[i]);
+      return bucket_lo(i) + width_ * within;
+    }
+    seen += counts_[i];
+  }
+  return hi_;  // the rank lands in the overflow counter
+}
+
 std::string Histogram::render(std::size_t bar_width) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);

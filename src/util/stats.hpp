@@ -82,6 +82,13 @@ class Histogram {
   /// Inclusive lower edge of bucket `i`.
   double bucket_lo(std::size_t i) const;
 
+  /// Value at quantile `q` in [0, 1] over everything recorded: the bucket
+  /// holding the ceil(q * total)-th smallest sample, linearly interpolated
+  /// within the bucket.  Underflow samples count at `lo`, overflow at `hi`
+  /// (the histogram does not know their real values).  Returns 0 for an
+  /// empty histogram; throws std::invalid_argument for q outside [0, 1].
+  double quantile(double q) const;
+
   /// ASCII rendering with proportional bars (for example programs).
   std::string render(std::size_t bar_width = 40) const;
 

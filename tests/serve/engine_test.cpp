@@ -1,0 +1,240 @@
+// AssignmentEngine: the online serving core.  The load-bearing property is
+// batch equivalence — feeding a recorded trace event by event through
+// `apply` must leave the network and assignment byte-identical to batch
+// `apply_trace` on a fresh simulation.
+
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/constraints.hpp"
+#include "sim/trace.hpp"
+#include "strategies/bbb.hpp"
+#include "strategies/factory.hpp"
+#include "util/rng.hpp"
+
+namespace minim::serve {
+namespace {
+
+/// A deterministic churn trace: ramp joins, then a mixed phase.
+sim::Trace churn_trace(std::uint64_t seed, std::size_t ramp,
+                       std::size_t events) {
+  util::Rng rng(seed);
+  sim::Trace trace;
+  std::vector<std::size_t> live;
+  std::size_t joined = 0;
+  const auto join = [&] {
+    sim::TraceEvent e;
+    e.kind = sim::TraceEvent::Kind::kJoin;
+    e.position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    e.range = rng.uniform(10.0, 30.0);
+    live.push_back(joined++);
+    trace.push_back(e);
+  };
+  for (std::size_t i = 0; i < ramp; ++i) join();
+  for (std::size_t i = 0; i < events; ++i) {
+    const double u = rng.uniform01();
+    if (live.size() < 5 || u < 0.3) {
+      join();
+      continue;
+    }
+    const std::size_t slot = static_cast<std::size_t>(rng.below(live.size()));
+    sim::TraceEvent e;
+    e.node = live[slot];
+    if (u < 0.5) {
+      e.kind = sim::TraceEvent::Kind::kLeave;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(slot));
+    } else if (u < 0.8) {
+      e.kind = sim::TraceEvent::Kind::kMove;
+      e.position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    } else {
+      e.kind = sim::TraceEvent::Kind::kPower;
+      e.range = rng.uniform(10.0, 30.0);
+    }
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+TEST(AssignmentEngine, MatchesBatchApplyTraceExactly) {
+  for (const char* strategy : {"minim", "cp", "bbb", "bbb-bounded"}) {
+    const sim::Trace trace = churn_trace(2001, 40, 300);
+
+    AssignmentEngine engine{std::string(strategy)};
+    for (const sim::TraceEvent& event : trace) engine.apply(event);
+
+    core::StrategyPtr batch_strategy = strategies::make_strategy(strategy);
+    sim::Simulation batch(*batch_strategy);
+    sim::apply_trace(trace, batch);
+
+    // Identical totals, population, and every per-node color.
+    EXPECT_EQ(engine.simulation().totals().events, batch.totals().events)
+        << strategy;
+    EXPECT_EQ(engine.simulation().totals().recodings,
+              batch.totals().recodings)
+        << strategy;
+    EXPECT_EQ(engine.simulation().max_color(), batch.max_color()) << strategy;
+    std::vector<net::NodeId> served = engine.simulation().network().nodes();
+    std::vector<net::NodeId> batched = batch.network().nodes();
+    std::sort(served.begin(), served.end());
+    std::sort(batched.begin(), batched.end());
+    ASSERT_EQ(served, batched) << strategy;
+    for (net::NodeId v : served)
+      EXPECT_EQ(engine.simulation().assignment().color(v),
+                batch.assignment().color(v))
+          << strategy << " node " << v;
+  }
+}
+
+TEST(AssignmentEngine, ReceiptsDescribeEachEvent) {
+  AssignmentEngine engine{std::string("minim")};
+
+  sim::TraceEvent join;
+  join.kind = sim::TraceEvent::Kind::kJoin;
+  join.position = {10, 10};
+  join.range = 20;
+  const EventReceipt first = engine.apply(join);
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(first.kind, sim::TraceEvent::Kind::kJoin);
+  EXPECT_EQ(first.node, 0u);
+  EXPECT_EQ(first.recoded, 1u);  // the joiner gets its first code
+  EXPECT_EQ(first.live_nodes, 1u);
+  EXPECT_FALSE(first.fallback);
+  EXPECT_EQ(first.max_color, 1u);
+
+  join.position = {12, 10};
+  const EventReceipt second = engine.apply(join);
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_EQ(second.node, 1u);
+  EXPECT_EQ(second.live_nodes, 2u);
+  EXPECT_EQ(second.max_color, 2u);  // CA1: neighbors need distinct codes
+
+  sim::TraceEvent leave;
+  leave.kind = sim::TraceEvent::Kind::kLeave;
+  leave.node = 0;
+  const EventReceipt third = engine.apply(leave);
+  EXPECT_EQ(third.seq, 3u);
+  EXPECT_EQ(third.node, 0u);
+  EXPECT_EQ(third.live_nodes, 1u);
+  EXPECT_EQ(engine.events_served(), 3u);
+}
+
+TEST(AssignmentEngine, RejectsBadReferencesWithoutStateDamage) {
+  AssignmentEngine engine{std::string("minim")};
+  sim::TraceEvent join;
+  join.kind = sim::TraceEvent::Kind::kJoin;
+  join.position = {10, 10};
+  join.range = 20;
+  engine.apply(join);
+
+  sim::TraceEvent bad;
+  bad.kind = sim::TraceEvent::Kind::kLeave;
+  bad.node = 7;  // never joined
+  EXPECT_THROW(engine.apply(bad), std::invalid_argument);
+  EXPECT_EQ(engine.events_served(), 1u);  // the rejected event never counted
+  EXPECT_TRUE(engine.is_live(0));
+
+  bad.node = 0;
+  engine.apply(bad);  // leave 0
+  EXPECT_THROW(engine.apply(bad), std::invalid_argument);  // already left
+  EXPECT_THROW(engine.code_of(0), std::invalid_argument);
+  EXPECT_THROW(engine.conflicts_of(7), std::invalid_argument);
+}
+
+TEST(AssignmentEngine, ConflictsMatchTheConstraintOracle) {
+  AssignmentEngine engine{std::string("minim")};
+  const sim::Trace trace = churn_trace(7, 30, 120);
+  for (const sim::TraceEvent& event : trace) engine.apply(event);
+
+  // For every live join index, conflicts_of must agree with the net-layer
+  // conflict_partners oracle mapped through the engine's own naming.
+  std::size_t checked = 0;
+  for (std::size_t node = 0; node < engine.joined(); ++node) {
+    if (!engine.is_live(node)) continue;
+    const std::vector<std::size_t> got = engine.conflicts_of(node);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    // Symmetry: conflict is a mutual relation under join-order naming.
+    for (std::size_t partner : got) {
+      const std::vector<std::size_t> back = engine.conflicts_of(partner);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), node))
+          << node << " <-> " << partner;
+    }
+    checked += got.size();
+  }
+  EXPECT_GT(checked, 0u) << "trace produced no conflicts to check";
+}
+
+TEST(AssignmentEngine, FallbackFlagTracksBoundedStrategyCounters) {
+  strategies::BbbStrategy::Params params;
+  params.bounded_propagation = true;
+  strategies::BbbStrategy bounded(strategies::ColoringOrder::kSmallestLast,
+                                  params);
+  AssignmentEngine engine(bounded);
+
+  const sim::Trace trace = churn_trace(42, 50, 400);
+  std::size_t flagged = 0;
+  std::uint64_t counter_before = bounded.counters().full_events;
+  for (const sim::TraceEvent& event : trace) {
+    const EventReceipt receipt = engine.apply(event);
+    const std::uint64_t counter_after = bounded.counters().full_events;
+    EXPECT_EQ(receipt.fallback, counter_after > counter_before)
+        << "event " << receipt.seq;
+    counter_before = counter_after;
+    if (receipt.fallback) ++flagged;
+  }
+  EXPECT_EQ(flagged, bounded.counters().full_events);
+}
+
+TEST(AssignmentEngine, SummaryAndLatencyInstrumentation) {
+  AssignmentEngine engine{std::string("minim")};
+  const sim::Trace trace = churn_trace(3, 20, 60);
+  std::size_t moves = 0;
+  for (const sim::TraceEvent& event : trace) {
+    engine.apply(event);
+    if (event.kind == sim::TraceEvent::Kind::kMove) ++moves;
+  }
+
+  const AssignmentEngine::Summary s = engine.summary();
+  EXPECT_EQ(s.events, trace.size());
+  EXPECT_EQ(s.joined, engine.joined());
+  EXPECT_GT(s.live, 0u);
+  EXPECT_GE(s.joined, s.live);
+  EXPECT_GT(s.distinct_colors, 0u);
+  EXPECT_GE(s.max_color, 1u);
+
+  EXPECT_EQ(engine.latency(sim::TraceEvent::Kind::kMove).count(), moves);
+  EXPECT_EQ(engine.total_latency().count(), trace.size());
+}
+
+TEST(AssignmentEngine, ResetStartsAFreshSession) {
+  AssignmentEngine engine{std::string("minim")};
+  const sim::Trace trace = churn_trace(5, 10, 30);
+  for (const sim::TraceEvent& event : trace) engine.apply(event);
+  ASSERT_GT(engine.joined(), 0u);
+
+  engine.reset();
+  EXPECT_EQ(engine.joined(), 0u);
+  EXPECT_EQ(engine.events_served(), 0u);
+  EXPECT_EQ(engine.total_latency().count(), 0u);
+  EXPECT_EQ(engine.summary().live, 0u);
+
+  // The fresh session renames from zero and serves normally.
+  sim::TraceEvent join;
+  join.kind = sim::TraceEvent::Kind::kJoin;
+  join.position = {1, 1};
+  join.range = 5;
+  EXPECT_EQ(engine.apply(join).node, 0u);
+}
+
+TEST(AssignmentEngine, UnknownStrategyNameThrows) {
+  EXPECT_THROW(AssignmentEngine{std::string("no-such-strategy")},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minim::serve

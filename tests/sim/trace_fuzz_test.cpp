@@ -1,0 +1,170 @@
+// Round-trip fuzz for the trace grammar: serialize(parse(serialize)) must
+// be the identity on randomly generated churn histories, and malformed
+// input must fail with the right 1-based line number while leaving the
+// incremental parser's state untouched (the property a long-lived serving
+// session depends on).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../helpers/event_fuzz.hpp"
+#include "sim/trace.hpp"
+
+namespace minim::sim {
+namespace {
+
+/// Converts a fuzz event stream into a join-order-indexed Trace by
+/// mirroring the replayer's live-list semantics (victim = live[pick % n],
+/// leaves erase in place).
+Trace trace_from_fuzz(const std::vector<test::FuzzEvent>& events) {
+  Trace trace;
+  std::vector<std::size_t> live;  // join indices currently live
+  std::size_t joined = 0;
+  for (const test::FuzzEvent& e : events) {
+    TraceEvent out;
+    if (e.kind == test::FuzzKind::kJoin) {
+      out.kind = TraceEvent::Kind::kJoin;
+      out.position = {e.x, e.y};
+      out.range = e.range;
+      live.push_back(joined++);
+    } else {
+      if (live.empty()) continue;
+      const std::size_t slot = static_cast<std::size_t>(e.pick % live.size());
+      out.node = live[slot];
+      switch (e.kind) {
+        case test::FuzzKind::kLeave:
+          out.kind = TraceEvent::Kind::kLeave;
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(slot));
+          break;
+        case test::FuzzKind::kMove:
+          out.kind = TraceEvent::Kind::kMove;
+          out.position = {e.x, e.y};
+          break;
+        case test::FuzzKind::kPower:
+          out.kind = TraceEvent::Kind::kPower;
+          out.range = e.range;
+          break;
+        case test::FuzzKind::kJoin:
+          break;  // unreachable
+      }
+    }
+    trace.push_back(out);
+  }
+  return trace;
+}
+
+/// Bitwise event equality — serialize_trace prints doubles at exact
+/// round-trip precision, so nothing weaker than memcmp-equality is owed.
+void expect_same(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "event " << i;
+    EXPECT_EQ(std::memcmp(&a[i].position.x, &b[i].position.x, sizeof(double)),
+              0)
+        << "event " << i << " x";
+    EXPECT_EQ(std::memcmp(&a[i].position.y, &b[i].position.y, sizeof(double)),
+              0)
+        << "event " << i << " y";
+    EXPECT_EQ(std::memcmp(&a[i].range, &b[i].range, sizeof(double)), 0)
+        << "event " << i << " range";
+  }
+}
+
+TEST(TraceFuzz, SerializeParseRoundTripsExactly) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 2001u}) {
+    for (test::FuzzPlacement placement :
+         {test::FuzzPlacement::kUniform, test::FuzzPlacement::kClustered,
+          test::FuzzPlacement::kPoissonDisk}) {
+      test::FuzzConfig cfg;
+      cfg.seed = seed;
+      cfg.events = 1500;
+      cfg.placement = placement;
+      cfg.storm_chance = 0.01;  // storms exercise dense power/move runs
+      const Trace trace = trace_from_fuzz(test::generate_events(cfg));
+      ASSERT_FALSE(trace.empty());
+
+      const std::string text = serialize_trace(trace);
+      const Trace reparsed = parse_trace(text);
+      expect_same(trace, reparsed);
+      // And the fixpoint: a second round-trip renders identical text.
+      EXPECT_EQ(serialize_trace(reparsed), text)
+          << "seed " << seed << " placement " << to_string(placement);
+    }
+  }
+}
+
+TEST(TraceFuzz, MalformedLinesCarryTheirLineNumber) {
+  struct Case {
+    const char* text;
+    std::size_t line;
+    const char* reason;
+  };
+  const Case cases[] = {
+      {"join 1 2\n", 1, "missing range"},
+      {"join 1 2 3\nleave 1\n", 2, "node has not joined yet"},
+      {"join 1 2 3\nleave 0\nleave 0\n", 3, "node already left"},
+      {"join 1 2 3\n\n# comment\nmove 0 1\n", 4, "missing y"},
+      {"join 1 2 3\npower 0 -4\n", 2, "negative range"},
+      {"join 1 2 3\njoin 4 5 6 7\n", 2, "trailing tokens"},
+      {"warp 0\n", 1, "unknown verb 'warp'"},
+      {"leave -1\n", 1, "missing/invalid node"},
+  };
+  for (const Case& c : cases) {
+    try {
+      parse_trace(c.text);
+      FAIL() << "expected TraceParseError for: " << c.text;
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.text;
+      EXPECT_EQ(e.reason(), c.reason) << c.text;
+      // what() keeps the historical "line <n>" phrasing.
+      EXPECT_NE(std::string(e.what()).find("line " + std::to_string(c.line)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TraceFuzz, ParserStateSurvivesMalformedLines) {
+  TraceLineParser parser;
+  ASSERT_TRUE(parser.parse_line("join 1 2 3").has_value());
+  ASSERT_EQ(parser.joined(), 1u);
+
+  // A join that fails validation must not count as joined.
+  EXPECT_THROW(parser.parse_line("join 9 9"), TraceParseError);
+  EXPECT_EQ(parser.joined(), 1u);
+  // A leave that fails validation must not mark anything departed.
+  EXPECT_THROW(parser.parse_line("leave 5"), TraceParseError);
+  EXPECT_TRUE(parser.is_live(0));
+  // A valid leave with trailing garbage must not commit the leave.
+  EXPECT_THROW(parser.parse_line("leave 0 junk"), TraceParseError);
+  EXPECT_TRUE(parser.is_live(0));
+
+  // The session keeps serving: the node is still leavable, and the line
+  // counter kept advancing through the failures.
+  const auto event = parser.parse_line("leave 0");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, TraceEvent::Kind::kLeave);
+  EXPECT_EQ(parser.line_number(), 5u);
+  EXPECT_FALSE(parser.is_live(0));
+}
+
+TEST(TraceFuzz, ExplicitLineNumbersFollowInterleavedStreams) {
+  // A serving session hands the parser its own line numbering because the
+  // input stream interleaves queries the parser never sees.
+  TraceLineParser parser;
+  ASSERT_TRUE(parser.parse_line("join 1 2 3", 10).has_value());
+  try {
+    parser.parse_line("leave 7", 12);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 12u);
+  }
+  EXPECT_EQ(parser.line_number(), 12u);
+}
+
+}  // namespace
+}  // namespace minim::sim

@@ -1,0 +1,142 @@
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace minim::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, QuantileRejectsOutOfRange) {
+  LatencyHistogram h;
+  h.record(42);
+  EXPECT_THROW(h.quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.01), std::invalid_argument);
+  EXPECT_THROW(h.quantile(2.0), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, SingleSampleIsExactAtEveryQuantile) {
+  LatencyHistogram h;
+  h.record(777);
+  for (double q : {0.0, 0.1, 0.5, 0.99, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 777.0) << "q=" << q;
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+}
+
+TEST(LatencyHistogram, SmallValuesUseExactUnitBuckets) {
+  // Below 2^kSubBits every value has its own bucket, so quantiles over
+  // small samples are exact, not approximate.
+  LatencyHistogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 1.0);   // ceil(0.2*5) = 1st sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedMinMax) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(1001);
+  // Both land in one log bucket; the midpoint estimate must still be
+  // clamped into [min, max].
+  EXPECT_GE(h.quantile(0.5), 1000.0);
+  EXPECT_LE(h.quantile(0.5), 1001.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1001.0);
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedAcrossMagnitudes) {
+  // Against a sorted-sample oracle: every quantile estimate must land
+  // within 1/kSubBuckets of the true order statistic.
+  util::Rng rng(7);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~6 decades, the shape of real latency data.
+    const double log_value = rng.uniform(0.0, 20.0);
+    const auto v = static_cast<std::uint64_t>(std::exp2(log_value));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double tolerance = 1.0 / static_cast<double>(LatencyHistogram::kSubBuckets);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double exact = static_cast<double>(samples[rank - 1]);
+    const double estimate = h.quantile(q);
+    EXPECT_NEAR(estimate, exact, exact * tolerance) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  util::Rng rng(11);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(1u << 20);
+    combined.record(v);
+    (i % 2 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyHistogram, ResetDropsEverything) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(1u << 30);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  h.record(9);  // still usable after reset
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 9.0);
+}
+
+TEST(LatencyHistogram, HandlesExtremeValues) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                   static_cast<double>(~std::uint64_t{0}));
+}
+
+TEST(LatencyHistogram, SummaryMentionsTheQuantiles) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 1000);
+  const std::string line = h.summary(1e-3, "us");
+  EXPECT_NE(line.find("n=100"), std::string::npos) << line;
+  EXPECT_NE(line.find("p50="), std::string::npos) << line;
+  EXPECT_NE(line.find("p99.9="), std::string::npos) << line;
+  EXPECT_NE(line.find("us"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace minim::util

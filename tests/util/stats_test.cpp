@@ -153,4 +153,48 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeQ) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileOfSingleBucket) {
+  // One sample in one bucket interpolates to the bucket's middle — the
+  // best unbiased estimate when only the bucket is known.
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.7);  // bucket [2, 4)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileWalksCumulativeCounts) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5})
+    h.add(x);
+  // One sample per unit bucket: quantiles land on the sample centers.
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
+}
+
+TEST(Histogram, QuantileClampsUnderflowAndOverflowToTheEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);  // underflow: real value unknown, counted at lo
+  h.add(5.0);
+  h.add(999.0);   // overflow: counted at hi
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
 }  // namespace
