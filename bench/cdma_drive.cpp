@@ -37,6 +37,8 @@
 //   --strategy=NAME     recoding strategy (default minim)
 //   --validate          CA1/CA2 check after every event (slow)
 //   --quiet             ingest without response lines
+//   --flush-each        apply + flush per request line (no pipelining)
+//   --max-batch=K       most events coalesced per engine batch (default 512)
 //   --record-trace=F    write grid point 0's workload as a replayable trace
 //
 // Examples:
@@ -46,6 +48,7 @@
 //   cdma_drive --scenario=move --axes=n:80 --record-trace=move80.trace
 //   cdma_drive --serve --transport=tcp --strategy=bbb-bounded
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -262,6 +265,10 @@ int run_serve(const util::Options& options) {
   const std::string kind = options.get("transport", "stdin");
   std::unique_ptr<serve::Transport> transport;
   if (kind == "stdin") {
+    // Unsynced iostreams let the stream transport see how much of a piped
+    // request burst is already buffered (pipelined batching); stdout is
+    // flushed once per burst by the session either way.
+    std::ios::sync_with_stdio(false);
     transport = std::make_unique<serve::StreamTransport>(std::cin, std::cout,
                                                          "stdin");
   } else if (kind == "tcp") {
@@ -286,13 +293,17 @@ int run_serve(const util::Options& options) {
 
   serve::SessionOptions session;
   session.echo = !options.has("quiet");
+  session.flush_each = options.has("flush-each");
+  session.max_batch = static_cast<std::size_t>(
+      std::max<long long>(1, options.get_int("max-batch", 512)));
   const serve::SessionStats stats = serve::serve_session(engine, *transport,
                                                          session);
 
   std::cerr << "[serve] " << transport->describe() << " strategy=" << strategy
             << ": lines=" << stats.lines << " events=" << stats.events
             << " queries=" << stats.queries << " errors=" << stats.errors
-            << "\n";
+            << " batches=" << stats.batches
+            << " coalesced=" << stats.coalesced_events << "\n";
   using Kind = sim::TraceEvent::Kind;
   for (Kind k : {Kind::kJoin, Kind::kLeave, Kind::kMove, Kind::kPower}) {
     const util::LatencyHistogram& h = engine.latency(k);

@@ -182,43 +182,18 @@ int main(int argc, char** argv) {
   if (check) {
     std::cout << "checking against " << check_path << " (factor "
               << util::fmt_fixed(check_factor, 2) << ")\n";
-    bool ok = true;
-    std::size_t compared = 0;
-    for (const Measurement& m : measurements) {
-      const TrajectoryEntry* entry = bench::baseline_for(trajectory, m.name);
-      if (entry == nullptr) {
-        std::cout << "  " << m.name << ": no baseline (skipped)\n";
-        continue;
-      }
-      // Scaling ("@tN") baselines recorded on a 1-core machine are the
-      // serial workload under another name — comparing against them gates
-      // nothing real.  Skip them; the unsuffixed serial names still gate.
-      if (m.name.find("@t") != std::string::npos &&
-          bench::entry_single_core(*entry)) {
-        std::cout << "  " << m.name << ": baseline \"" << entry->label
-                  << "\" was recorded single-core (scaling comparison "
-                     "skipped)\n";
-        continue;
-      }
-      ++compared;
-      const auto ref = std::find_if(
-          entry->benchmarks.begin(), entry->benchmarks.end(),
-          [&m](const Measurement& b) { return b.name == m.name; });
-      const bool regressed = m.wall_s > ref->wall_s * check_factor;
-      std::cout << "  " << m.name << ": " << util::fmt_fixed(m.wall_s, 2)
-                << " s vs baseline \"" << entry->label << "\" "
-                << util::fmt_fixed(ref->wall_s, 2) << " s"
-                << (regressed ? "  REGRESSION" : "") << "\n";
-      ok = ok && !regressed;
-    }
-    // A gate that compared nothing gates nothing — refuse to pass
-    // vacuously (e.g. thread-suffixed names with no recorded counterpart).
-    if (compared == 0) {
+    // The shared gate (bench/trajectory.hpp): wall clocks above
+    // baseline * factor fail, "@tN" scaling names skip single-core
+    // baselines, and a run where nothing compared (and nothing was
+    // legitimately skipped) fails rather than passing vacuously.
+    const bench::CheckResult outcome =
+        bench::check_measurements(trajectory, measurements, check_factor);
+    if (outcome.compared == 0 && outcome.skipped == 0)
       std::cout << "perf check: FAIL (no measurement had a baseline)\n";
-      return 1;
-    }
-    std::cout << (ok ? "perf check: PASS\n" : "perf check: FAIL\n");
-    return ok ? 0 : 1;
+    else
+      std::cout << (outcome.pass() ? "perf check: PASS\n"
+                                   : "perf check: FAIL\n");
+    return outcome.pass() ? 0 : 1;
   }
 
   std::ostringstream config;

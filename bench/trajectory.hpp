@@ -12,10 +12,13 @@
 // The serving-latency harness (serve_latency.cpp) adds optional `p50_us`,
 // `p99_us`, `p999_us` and `events_per_s` under the same rule.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/table.hpp"
@@ -203,6 +206,85 @@ inline bool entry_single_core(const TrajectoryEntry& entry) {
       " \t", at + std::string("\"single_core\":").size());
   return value != std::string::npos &&
          entry.config_json.compare(value, 4, "true") == 0;
+}
+
+/// Outcome of one `check_measurements` run.
+struct CheckResult {
+  bool ok = true;          ///< no compared measurement regressed
+  std::size_t compared = 0;
+  /// Baseline existed but a rule suppressed the comparison (single-core
+  /// scaling baselines, hardware-mismatched throughput baselines).  Kept
+  /// separate from "no baseline" so callers can distinguish "everything
+  /// legitimately skipped" from "the gate compared nothing at all".
+  std::size_t skipped = 0;
+
+  /// A gate that compared nothing gates nothing — fail unless every miss
+  /// was a legitimate rule-based skip.
+  bool pass() const { return ok && (compared > 0 || skipped > 0); }
+};
+
+/// The shared regression gate: compares `measurements` against the most
+/// recent trajectory entry covering each name.
+///
+///   * wall_s regresses when measured > baseline * factor;
+///   * events_per_s (throughput) regresses when measured < baseline / factor
+///     — a throughput COLLAPSE, not just wall-clock noise;
+///   * "@tN" scaling names skip single-core baselines (the baseline's
+///     threads sweep collapsed to the serial column);
+///   * throughput comparisons skip when the baseline's single-core
+///     annotation disagrees with this machine — events/s across different
+///     core counts measures the hardware, not the code.
+///
+/// Logs one line per measurement to `log` in the established --check style.
+inline CheckResult check_measurements(
+    const std::vector<TrajectoryEntry>& trajectory,
+    const std::vector<Measurement>& measurements, double factor,
+    std::ostream& log = std::cout) {
+  const bool this_machine_single_core =
+      std::thread::hardware_concurrency() <= 1;
+  CheckResult result;
+  for (const Measurement& m : measurements) {
+    const TrajectoryEntry* entry = baseline_for(trajectory, m.name);
+    if (entry == nullptr) {
+      log << "  " << m.name << ": no baseline (skipped)\n";
+      continue;
+    }
+    if (m.name.find("@t") != std::string::npos && entry_single_core(*entry)) {
+      log << "  " << m.name << ": baseline \"" << entry->label
+          << "\" was recorded single-core (scaling comparison skipped)\n";
+      ++result.skipped;
+      continue;
+    }
+    const auto ref =
+        std::find_if(entry->benchmarks.begin(), entry->benchmarks.end(),
+                     [&m](const Measurement& b) { return b.name == m.name; });
+    const bool gate_throughput = m.events_per_s > 0.0 && ref->events_per_s > 0.0;
+    if (gate_throughput &&
+        entry_single_core(*entry) != this_machine_single_core) {
+      log << "  " << m.name << ": baseline \"" << entry->label
+          << "\" core count differs from this machine (throughput comparison "
+             "skipped)\n";
+      ++result.skipped;
+      continue;
+    }
+    ++result.compared;
+    bool regressed = false;
+    if (gate_throughput) {
+      regressed = m.events_per_s < ref->events_per_s / factor;
+      log << "  " << m.name << ": " << util::fmt_fixed(m.events_per_s, 0)
+          << " ev/s vs baseline \"" << entry->label << "\" "
+          << util::fmt_fixed(ref->events_per_s, 0) << " ev/s"
+          << (regressed ? "  REGRESSION" : "") << "\n";
+    } else {
+      regressed = m.wall_s > ref->wall_s * factor;
+      log << "  " << m.name << ": " << util::fmt_fixed(m.wall_s, 2)
+          << " s vs baseline \"" << entry->label << "\" "
+          << util::fmt_fixed(ref->wall_s, 2) << " s"
+          << (regressed ? "  REGRESSION" : "") << "\n";
+    }
+    result.ok = result.ok && !regressed;
+  }
+  return result;
 }
 
 }  // namespace minim::bench

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 
 #include "core/recode_report.hpp"
@@ -16,8 +18,48 @@
 /// the post-event network plus whatever pre-event facts the algorithms need
 /// (CP's power-increase rule needs the old range to identify *new*
 /// constraints).  Strategies mutate only the assignment, never the network.
+///
+/// ## Batched repair
+///
+/// Strategies whose per-event result is a pure function of the current
+/// graph (the BBB family: every handler replays the from-scratch greedy
+/// over the current network) can repair a whole batch of events with ONE
+/// pass instead of one per event.  Such a strategy overrides
+/// `supports_batch()` to return true and implements `on_batch`: the engine
+/// then applies ALL the batch's network mutations first and asks for a
+/// single repair over the final graph.  Strategies that keep history-
+/// dependent state (minim, CP, gossip — a kept color depends on the color
+/// held before the event) leave the default false and the engine delivers
+/// events one at a time.
 
 namespace minim::core {
+
+/// One already-applied event inside a batch, as the strategy sees it:
+/// engine node ids (not join-order indices), mutations already in the
+/// network.
+struct BatchedEvent {
+  EventType event = EventType::kJoin;
+  net::NodeId subject = net::kInvalidNode;
+  double old_range = 0.0;  ///< power events: the pre-event range
+};
+
+/// The membership facts a batch repair cannot recover from the final graph
+/// alone (node ids are reused, so the final graph does not say which live
+/// ids are new or reincarnated).
+struct BatchRepairContext {
+  /// Every event of the batch, in application order.
+  std::span<const BatchedEvent> events;
+  /// Ids that joined during the batch and are live at batch end, ordered by
+  /// their (last) join event — the order a sequential replay would have
+  /// appended them in.
+  std::span<const net::NodeId> joiners;
+  /// Ids that departed during the batch and are live again at batch end
+  /// (the network freed the id and a later join reused it).  A strategy
+  /// holding per-id snapshot state must blank these exactly as a sequential
+  /// leave would have, or it would attribute the old occupant's state to
+  /// the new one.  Sorted ascending; a subset of `joiners`.
+  std::span<const net::NodeId> reborn;
+};
 
 class RecodingStrategy {
  public:
@@ -25,6 +67,22 @@ class RecodingStrategy {
 
   /// Human-readable strategy name ("Minim", "CP", "BBB", ...).
   virtual std::string name() const = 0;
+
+  /// True when `on_batch` produces the same final assignment a sequential
+  /// replay of the batch's events would — the engine then coalesces whole
+  /// batches into one repair call.
+  virtual bool supports_batch() const { return false; }
+
+  /// Repairs the assignment after ALL of `context.events` have been applied
+  /// to `net`.  Only called when `supports_batch()`; the default rejects.
+  virtual RecodeReport on_batch(const net::AdhocNetwork& net,
+                                net::CodeAssignment& assignment,
+                                const BatchRepairContext& context) {
+    (void)net;
+    (void)assignment;
+    (void)context;
+    throw std::logic_error(name() + ": batched repair is not supported");
+  }
 
   /// Node `n` just joined (present in `net`, uncolored in `assignment`).
   virtual RecodeReport on_join(const net::AdhocNetwork& net,

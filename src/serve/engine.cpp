@@ -109,6 +109,89 @@ EventReceipt AssignmentEngine::apply(const sim::TraceEvent& event) {
   return receipt;
 }
 
+BatchReceipt AssignmentEngine::apply_batch(
+    std::span<const sim::TraceEvent> events) {
+  using Clock = std::chrono::steady_clock;
+
+  BatchReceipt receipt;
+  receipt.events = events.size();
+  receipt.max_color = simulation_->max_color();
+  receipt.live_nodes = simulation_->network().node_count();
+  if (events.empty()) return receipt;
+
+  // All-or-nothing validation against the *projected* state — joins extend
+  // the index space, leaves depart, both visible to later events of the
+  // same batch — before any mutation reaches the network.  A mid-batch
+  // invalid reference therefore rejects the whole batch with the engine
+  // untouched (the batch generalization of apply()'s "a rejected request is
+  // not a served event").
+  departed_projection_.assign(departed_.begin(), departed_.end());
+  std::size_t projected_joined = by_join_order_.size();
+  for (const sim::TraceEvent& e : events) {
+    if (e.kind == sim::TraceEvent::Kind::kJoin) {
+      ++projected_joined;
+      departed_projection_.push_back(0);
+      continue;
+    }
+    const char* verb = sim::to_string(e.kind);
+    MINIM_REQUIRE(e.node < projected_joined,
+                  std::string(verb) + ": node has not joined yet");
+    MINIM_REQUIRE(!departed_projection_[e.node],
+                  std::string(verb) + ": node already left");
+    if (e.kind == sim::TraceEvent::Kind::kLeave)
+      departed_projection_[e.node] = 1;
+  }
+
+  const std::uint64_t fallbacks_before = fallback_count(*strategy_);
+  const std::size_t joined_before = by_join_order_.size();
+
+  const auto start = Clock::now();
+  simulation_->apply_batch(events, by_join_order_, batch_scratch_);
+  const auto stop = Clock::now();
+
+  // Join bookkeeping for the ids the batch appended.
+  for (std::size_t i = joined_before; i < by_join_order_.size(); ++i) {
+    departed_.push_back(0);
+    const net::NodeId id = by_join_order_[i];
+    if (join_index_of_.size() <= id) join_index_of_.resize(id + 1, 0);
+    join_index_of_[id] = i;
+  }
+
+  receipt.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+  receipt.recoded = batch_scratch_.recoded;
+  receipt.repairs = batch_scratch_.repairs;
+  receipt.coalesced = batch_scratch_.coalesced;
+  receipt.fallback = fallback_count(*strategy_) > fallbacks_before;
+  receipt.max_color = simulation_->max_color();
+  receipt.live_nodes = simulation_->network().node_count();
+
+  const std::uint64_t per_event_ns = receipt.latency_ns / events.size();
+  std::size_t next_join = joined_before;
+  receipt.outcomes.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const sim::TraceEvent& e = events[i];
+    const sim::BatchEventOutcome& applied = batch_scratch_.outcomes[i];
+    BatchEventOutcome outcome;
+    outcome.seq = ++seq_;
+    outcome.kind = e.kind;
+    if (e.kind == sim::TraceEvent::Kind::kJoin) {
+      outcome.node = next_join++;
+    } else {
+      outcome.node = e.node;
+      if (e.kind == sim::TraceEvent::Kind::kLeave) departed_[e.node] = 1;
+    }
+    outcome.recoded = applied.recoded;
+    outcome.max_color = applied.max_color;
+    outcome.live_nodes = applied.live_nodes;
+    outcome.exact = applied.exact;
+    receipt.outcomes.push_back(outcome);
+    latency_[static_cast<std::size_t>(e.kind)].record(per_event_ns);
+  }
+  return receipt;
+}
+
 net::Color AssignmentEngine::code_of(std::size_t node) const {
   return simulation_->assignment().color(node_id_of(node, "code"));
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,37 @@ struct EventReceipt {
   std::size_t live_nodes = 0;  ///< population after the event
 };
 
+/// One event's outcome inside a batch.  On the exact path (single event,
+/// or a strategy without batched repair) the fields are post-THIS-event;
+/// on the coalesced path they are post-batch (`exact` says which).
+struct BatchEventOutcome {
+  std::uint64_t seq = 0;
+  sim::TraceEvent::Kind kind = sim::TraceEvent::Kind::kJoin;
+  std::size_t node = 0;        ///< join-order index of the subject
+  std::size_t recoded = 0;     ///< exact: this event's; else the batch net
+  net::Color max_color = net::kNoColor;
+  std::size_t live_nodes = 0;
+  bool exact = false;
+};
+
+/// What serving one batch cost.  All-or-nothing: a batch containing any
+/// invalid reference is rejected up front (std::invalid_argument) with the
+/// engine untouched, so `outcomes` always covers every event.
+struct BatchReceipt {
+  std::size_t events = 0;
+  std::uint64_t latency_ns = 0;  ///< wall time for the whole batch
+  std::size_t recoded = 0;       ///< net recolors across the batch
+  std::size_t repairs = 0;       ///< strategy repair invocations
+  bool coalesced = false;        ///< one repair covered the whole batch
+  /// A rank-bounded strategy fell back to a from-scratch recolor somewhere
+  /// in the batch (batch-level: per-event attribution does not exist on
+  /// the coalesced path).
+  bool fallback = false;
+  net::Color max_color = net::kNoColor;  ///< post-batch network-wide max
+  std::size_t live_nodes = 0;            ///< post-batch population
+  std::vector<BatchEventOutcome> outcomes;
+};
+
 class AssignmentEngine {
  public:
   struct Params {
@@ -75,6 +107,15 @@ class AssignmentEngine {
   /// std::invalid_argument when the event references a node that has not
   /// joined or has already left (the engine state is untouched).
   EventReceipt apply(const sim::TraceEvent& event);
+
+  /// Applies a whole batch — with a batch-capable strategy, one repair pass
+  /// covers every event (see sim::Simulation::apply_batch).  Every node
+  /// reference is validated against the projected state (joins and leaves
+  /// earlier in the batch count) BEFORE any mutation; an invalid reference
+  /// throws std::invalid_argument and leaves the engine untouched.  An
+  /// empty batch is a no-op receipt.  Per-event latency histograms receive
+  /// the batch's amortized per-event latency.
+  BatchReceipt apply_batch(std::span<const sim::TraceEvent> events);
 
   // ------------------------------------------------------------- queries
   /// Nodes joined so far; join-order indices are [0, joined()).
@@ -129,6 +170,10 @@ class AssignmentEngine {
   std::vector<std::size_t> join_index_of_;  ///< engine node id -> join index
   std::uint64_t seq_ = 0;
   std::array<util::LatencyHistogram, 4> latency_;  ///< by TraceEvent::Kind
+
+  // apply_batch scratch (reused across batches).
+  sim::BatchResult batch_scratch_;
+  std::vector<char> departed_projection_;
 };
 
 }  // namespace minim::serve

@@ -3,6 +3,7 @@
 #include <exception>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "sim/trace.hpp"
 
@@ -67,78 +68,131 @@ std::string format_receipt(const EventReceipt& receipt) {
   return os.str();
 }
 
+std::string format_receipt(const BatchReceipt& receipt, std::size_t index) {
+  const BatchEventOutcome& outcome = receipt.outcomes[index];
+  std::ostringstream os;
+  os << "ok " << outcome.seq << " " << sim::to_string(outcome.kind)
+     << " node=" << outcome.node << " recoded=" << outcome.recoded
+     << " maxc=" << outcome.max_color << " live=" << outcome.live_nodes
+     << " fallback=" << (receipt.fallback ? 1 : 0);
+  if (!outcome.exact) os << " batch=" << receipt.events;
+  return os.str();
+}
+
 SessionStats serve_session(AssignmentEngine& engine, Transport& transport,
                            const SessionOptions& options) {
   sim::TraceLineParser parser;
   SessionStats stats;
   std::string line;
+  std::vector<std::string> burst;
+  std::vector<sim::TraceEvent> pending;       // parsed, not yet applied
+  std::vector<std::size_t> pending_lines;     // their request line numbers
+  bool done = false;
 
   const auto respond = [&](const std::string& response) {
     if (options.echo) transport.write_line(response);
   };
-  const auto error = [&](const std::string& reason) {
+  const auto error_at = [&](std::size_t line_number,
+                            const std::string& reason) {
     ++stats.errors;
-    respond("err line=" + std::to_string(stats.lines) + " " + reason);
+    respond("err line=" + std::to_string(line_number) + " " + reason);
   };
 
-  while (transport.read_line(line)) {
-    ++stats.lines;
-    const std::string verb = first_token(line);
+  // Applies every pending event as one engine batch and answers each with
+  // its receipt, in request order.  Called at every batch boundary: a
+  // query/quit (which must see the preceding events applied), a parse error
+  // (whose err line must follow the receipts of earlier requests), a full
+  // batch, and the end of each burst.
+  const auto flush_pending = [&] {
+    if (pending.empty()) return;
+    try {
+      const BatchReceipt receipt = engine.apply_batch(pending);
+      stats.events += receipt.events;
+      ++stats.batches;
+      if (receipt.coalesced) stats.coalesced_events += receipt.events;
+      for (std::size_t i = 0; i < receipt.outcomes.size(); ++i)
+        respond(format_receipt(receipt, i));
+    } catch (const std::exception& unexpected) {
+      // The parser pre-validates every reference with the same projection
+      // the engine applies, so this is defense in depth: the engine
+      // rejected the batch whole (state untouched) — answer every pending
+      // request with the reason and keep serving.
+      for (const std::size_t line_number : pending_lines)
+        error_at(line_number, unexpected.what());
+    }
+    pending.clear();
+    pending_lines.clear();
+  };
 
-    if (verb == "quit") {
-      ++stats.queries;
-      respond("bye");
-      break;
-    }
-    if (verb == "stats") {
-      ++stats.queries;
-      const AssignmentEngine::Summary s = engine.summary();
-      std::ostringstream os;
-      os << "stats live=" << s.live << " joined=" << s.joined
-         << " maxc=" << s.max_color << " colors=" << s.distinct_colors
-         << " events=" << s.events << " recodings=" << s.recodings;
-      respond(os.str());
-      continue;
-    }
-    if (verb == "code" || verb == "conflicts") {
-      ++stats.queries;
-      std::string reason;
-      const auto node = query_node(engine, line, verb, reason);
-      if (!node) {
-        error(reason);
+  while (!done && transport.read_line(line)) {
+    burst.clear();
+    burst.push_back(line);
+    if (!options.flush_each && options.max_batch > 1)
+      transport.read_available(burst, options.max_batch - 1);
+
+    for (const std::string& request : burst) {
+      ++stats.lines;
+      const std::string verb = first_token(request);
+
+      if (verb == "quit") {
+        ++stats.queries;
+        flush_pending();
+        respond("bye");
+        done = true;
+        break;  // drained-but-unprocessed lines die with the session
+      }
+      if (verb == "stats") {
+        ++stats.queries;
+        flush_pending();
+        const AssignmentEngine::Summary s = engine.summary();
+        std::ostringstream os;
+        os << "stats live=" << s.live << " joined=" << s.joined
+           << " maxc=" << s.max_color << " colors=" << s.distinct_colors
+           << " events=" << s.events << " recodings=" << s.recodings;
+        respond(os.str());
         continue;
       }
-      if (verb == "code") {
-        respond("code node=" + std::to_string(*node) +
-                " color=" + std::to_string(engine.code_of(*node)));
-      } else {
-        const std::vector<std::size_t> partners = engine.conflicts_of(*node);
-        std::ostringstream os;
-        os << "conflicts node=" << *node << " count=" << partners.size()
-           << " partners=";
-        if (partners.empty()) os << "-";
-        for (std::size_t i = 0; i < partners.size(); ++i)
-          os << (i ? "," : "") << partners[i];
-        respond(os.str());
+      if (verb == "code" || verb == "conflicts") {
+        ++stats.queries;
+        flush_pending();
+        std::string reason;
+        const auto node = query_node(engine, request, verb, reason);
+        if (!node) {
+          error_at(stats.lines, reason);
+          continue;
+        }
+        if (verb == "code") {
+          respond("code node=" + std::to_string(*node) +
+                  " color=" + std::to_string(engine.code_of(*node)));
+        } else {
+          const std::vector<std::size_t> partners = engine.conflicts_of(*node);
+          std::ostringstream os;
+          os << "conflicts node=" << *node << " count=" << partners.size()
+             << " partners=";
+          if (partners.empty()) os << "-";
+          for (std::size_t i = 0; i < partners.size(); ++i)
+            os << (i ? "," : "") << partners[i];
+          respond(os.str());
+        }
+        continue;
       }
-      continue;
+
+      // Everything else is the trace grammar (or a reportable parse error).
+      try {
+        const std::optional<sim::TraceEvent> event =
+            parser.parse_line(request, stats.lines);
+        if (!event) continue;  // blank/comment: no response line
+        pending.push_back(*event);
+        pending_lines.push_back(stats.lines);
+        if (pending.size() >= options.max_batch) flush_pending();
+      } catch (const sim::TraceParseError& parse_error) {
+        flush_pending();  // earlier requests answer before this line's err
+        error_at(stats.lines, parse_error.reason());
+      }
     }
 
-    // Everything else is the trace grammar (or a reportable parse error).
-    try {
-      const std::optional<sim::TraceEvent> event =
-          parser.parse_line(line, stats.lines);
-      if (!event) continue;  // blank/comment: no response line
-      const EventReceipt receipt = engine.apply(*event);
-      ++stats.events;
-      respond(format_receipt(receipt));
-    } catch (const sim::TraceParseError& parse_error) {
-      error(parse_error.reason());
-    } catch (const std::exception& unexpected) {
-      // The parser validated the reference, so the engine should never
-      // throw here; surface it rather than killing the session.
-      error(unexpected.what());
-    }
+    flush_pending();
+    transport.flush();  // one delivery per burst (per line with flush_each)
   }
   return stats;
 }

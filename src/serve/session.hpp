@@ -33,6 +33,20 @@
 ///
 /// Blank and `#`-comment lines get no response, so a recorded trace file
 /// can be piped through a session unmodified.
+///
+/// ## Pipelining
+///
+/// By default the session is pipelined: after each blocking read it drains
+/// every request line the client already sent (`Transport::read_available`)
+/// into one burst, coalesces consecutive events into one
+/// `AssignmentEngine::apply_batch` call, answers every request in order,
+/// and flushes the transport ONCE per burst.  Responses are byte-identical
+/// per line to the line-at-a-time session for strategies on the exact
+/// per-event path; a coalesced multi-event repair marks its receipts with a
+/// trailing ` batch=<k>`.  Queries, parse errors, and `quit` are batch
+/// boundaries — they apply everything pending first, so a query always sees
+/// the state of every request before it.  `flush_each` restores the
+/// pre-pipelining behavior: one request applied and one flush per line.
 
 namespace minim::serve {
 
@@ -40,6 +54,12 @@ struct SessionOptions {
   /// Write a response line per event/query.  Off = ingest-only (benches
   /// that measure engine latency without protocol formatting).
   bool echo = true;
+  /// Apply and flush per request line (no lookahead, no coalescing) — the
+  /// pre-pipelining behavior, kept for golden-transcript runs and
+  /// interactive debugging.
+  bool flush_each = false;
+  /// Most events coalesced into one engine batch (≥ 1).
+  std::size_t max_batch = 512;
 };
 
 struct SessionStats {
@@ -47,10 +67,18 @@ struct SessionStats {
   std::size_t events = 0;   ///< reconfiguration events applied
   std::size_t queries = 0;  ///< read-side queries answered
   std::size_t errors = 0;   ///< err responses written
+  std::size_t batches = 0;  ///< engine batch applications (≥ 1 event each)
+  /// Events that went through a coalesced (single-repair) batch.
+  std::size_t coalesced_events = 0;
 };
 
 /// The receipt line for one applied event (the protocol's `ok` response).
 std::string format_receipt(const EventReceipt& receipt);
+
+/// The receipt line for outcome `index` of a batch.  Byte-identical to the
+/// single-event format when the outcome is exact; a coalesced outcome
+/// carries a trailing ` batch=<events>` marker.
+std::string format_receipt(const BatchReceipt& receipt, std::size_t index);
 
 /// Serves `transport` until end of input or `quit`.  Returns what happened.
 SessionStats serve_session(AssignmentEngine& engine, Transport& transport,

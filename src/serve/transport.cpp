@@ -22,14 +22,58 @@ StreamTransport::StreamTransport(std::istream& in, std::ostream& out,
                                  std::string name)
     : in_(&in), out_(&out), name_(std::move(name)) {}
 
+bool StreamTransport::take_pending_line(std::string& line) {
+  const std::size_t newline = pending_.find('\n');
+  if (newline == std::string::npos) return false;
+  line.assign(pending_, 0, newline);
+  pending_.erase(0, newline + 1);
+  return true;
+}
+
 bool StreamTransport::read_line(std::string& line) {
+  if (take_pending_line(line)) return true;
+  if (!pending_.empty()) {
+    // A partial tail slurped by read_available: complete it with a blocking
+    // read; at true EOF the tail itself is the final (unterminated) line.
+    std::string rest;
+    if (std::getline(*in_, rest)) {
+      line = pending_ + rest;
+      pending_.clear();
+      return true;
+    }
+    line = std::exchange(pending_, {});
+    return true;
+  }
   return static_cast<bool>(std::getline(*in_, line));
 }
 
-void StreamTransport::write_line(std::string_view line) {
-  *out_ << line << "\n";
-  out_->flush();  // a served client must never wait on a buffer
+std::size_t StreamTransport::read_available(std::vector<std::string>& lines,
+                                            std::size_t max) {
+  // Slurp only characters the stream already buffered (`in_avail`): a pipe
+  // with nothing pending returns 0 rather than blocking, which keeps an
+  // interactive stdin session line-at-a-time while a piped burst still
+  // coalesces.  A trailing partial line stays in `pending_` for the next
+  // blocking read_line — returning it now would split a request in two.
+  std::streambuf& buf = *in_->rdbuf();
+  while (buf.in_avail() > 0) {
+    const int ch = buf.sbumpc();
+    if (ch == std::char_traits<char>::eof()) break;
+    pending_.push_back(static_cast<char>(ch));
+  }
+  std::size_t count = 0;
+  std::string line;
+  while (count < max && take_pending_line(line)) {
+    lines.push_back(line);
+    ++count;
+  }
+  return count;
 }
+
+void StreamTransport::write_line(std::string_view line) {
+  *out_ << line << "\n";  // buffered; the session flushes once per burst
+}
+
+void StreamTransport::flush() { out_->flush(); }
 
 // -------------------------------------------------------- TraceFileTransport
 
@@ -43,9 +87,22 @@ bool TraceFileTransport::read_line(std::string& line) {
   return static_cast<bool>(std::getline(file_, line));
 }
 
+std::size_t TraceFileTransport::read_available(std::vector<std::string>& lines,
+                                               std::size_t max) {
+  std::size_t count = 0;
+  std::string line;
+  while (count < max && std::getline(file_, line)) {
+    lines.push_back(line);
+    ++count;
+  }
+  return count;
+}
+
 void TraceFileTransport::write_line(std::string_view line) {
   *out_ << line << "\n";
 }
+
+void TraceFileTransport::flush() { out_->flush(); }
 
 // -------------------------------------------------------- TcpServerTransport
 
@@ -97,6 +154,7 @@ TcpServerTransport::~TcpServerTransport() {
 }
 
 void TcpServerTransport::disconnect() {
+  flush();
   if (client_fd_ >= 0) {
     ::close(client_fd_);
     client_fd_ = -1;
@@ -112,23 +170,29 @@ bool TcpServerTransport::accept_client() {
   }
 }
 
+bool TcpServerTransport::pop_buffered_line(std::string& line) {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline != std::string::npos) {
+    line.assign(buffer_, 0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  }
+  if (eof_ && !buffer_.empty()) {
+    // Final unterminated line (a client that closed without a newline).
+    line = std::exchange(buffer_, {});
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  }
+  return false;
+}
+
 bool TcpServerTransport::read_line(std::string& line) {
   if (client_fd_ < 0 && (eof_ || !accept_client())) return false;
+  flush();  // never block for input while responses sit in the buffer
   while (true) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      line.assign(buffer_, 0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return true;
-    }
-    if (eof_) {
-      // Final unterminated line (a client that closed without a newline).
-      if (buffer_.empty()) return false;
-      line = std::exchange(buffer_, {});
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return true;
-    }
+    if (pop_buffered_line(line)) return true;
+    if (eof_) return false;
     char chunk[4096];
     const ssize_t got = ::recv(client_fd_, chunk, sizeof chunk, 0);
     if (got > 0) {
@@ -141,20 +205,60 @@ bool TcpServerTransport::read_line(std::string& line) {
   }
 }
 
-void TcpServerTransport::write_line(std::string_view line) {
-  if (client_fd_ < 0) return;  // nothing connected; response has no reader
-  std::string framed(line);
-  framed.push_back('\n');
+std::size_t TcpServerTransport::read_available(std::vector<std::string>& lines,
+                                               std::size_t max) {
+  if (client_fd_ < 0) return 0;
+  // Top the buffer up with whatever the kernel already received, without
+  // blocking: a client that pipelined a burst lands in one batch.
+  while (!eof_) {
+    char chunk[4096];
+    const ssize_t got = ::recv(client_fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      if (static_cast<std::size_t>(got) < sizeof chunk) break;
+    } else if (got == 0) {
+      eof_ = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno != EINTR) {
+      eof_ = true;
+    }
+  }
+  std::size_t count = 0;
+  std::string line;
+  while (count < max && pop_buffered_line(line)) {
+    lines.push_back(line);
+    ++count;
+  }
+  return count;
+}
+
+void TcpServerTransport::send_all(const char* data, std::size_t size) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t wrote = ::send(client_fd_, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
+  while (sent < size) {
+    const ssize_t wrote =
+        ::send(client_fd_, data + sent, size - sent, MSG_NOSIGNAL);
     if (wrote > 0) {
       sent += static_cast<std::size_t>(wrote);
     } else if (errno != EINTR) {
       return;  // client went away mid-response; the next read sees EOF
     }
   }
+}
+
+void TcpServerTransport::write_line(std::string_view line) {
+  if (client_fd_ < 0) return;  // nothing connected; response has no reader
+  out_buffer_.append(line);
+  out_buffer_.push_back('\n');
+}
+
+void TcpServerTransport::flush() {
+  if (client_fd_ < 0 || out_buffer_.empty()) {
+    out_buffer_.clear();
+    return;
+  }
+  send_all(out_buffer_.data(), out_buffer_.size());
+  out_buffer_.clear();
 }
 
 std::string TcpServerTransport::describe() const {

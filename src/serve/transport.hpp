@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 /// \file transport.hpp
 /// \brief Line transports for the serving session.
@@ -35,37 +36,71 @@ class Transport {
   /// end of input / client disconnect.
   virtual bool read_line(std::string& line) = 0;
 
-  /// Writes one response line (terminator appended).
+  /// Appends up to `max` request lines that are available WITHOUT blocking
+  /// (bytes the client already sent).  Pipelined sessions call it after a
+  /// blocking `read_line` to drain the rest of a request burst into one
+  /// batch.  The default — no lookahead — keeps a transport strictly
+  /// line-at-a-time.
+  virtual std::size_t read_available(std::vector<std::string>& lines,
+                                     std::size_t max) {
+    (void)lines;
+    (void)max;
+    return 0;
+  }
+
+  /// Writes one response line (terminator appended).  A transport may
+  /// buffer; `flush()` delivers.
   virtual void write_line(std::string_view line) = 0;
+
+  /// Delivers buffered response bytes to the peer.  Sessions flush once per
+  /// drained input burst — the amortization pipelining exists for.
+  virtual void flush() {}
 
   /// Human-readable endpoint ("stdin", "trace:<path>", "tcp:127.0.0.1:<p>").
   virtual std::string describe() const = 0;
 };
 
 /// Requests from `in`, responses to `out`.  Borrows both streams.
+/// `read_available` serves lines out of the istream's already-buffered
+/// characters (`in_avail`), so a piped burst batches without ever blocking
+/// past it.  Responses buffer until `flush()`.
 class StreamTransport final : public Transport {
  public:
   StreamTransport(std::istream& in, std::ostream& out,
                   std::string name = "stream");
 
   bool read_line(std::string& line) override;
+  std::size_t read_available(std::vector<std::string>& lines,
+                             std::size_t max) override;
   void write_line(std::string_view line) override;
+  void flush() override;
   std::string describe() const override { return name_; }
 
  private:
+  /// Extracts one complete line from `pending_`; false when none.
+  bool take_pending_line(std::string& line);
+
   std::istream* in_;
   std::ostream* out_;
   std::string name_;
+  /// Characters slurped ahead of the session by read_available; read_line
+  /// serves from here before touching the stream again.
+  std::string pending_;
 };
 
 /// Requests from a trace file, responses to `out` (borrowed).  Throws
-/// std::invalid_argument when the file cannot be opened.
+/// std::invalid_argument when the file cannot be opened.  A file never
+/// blocks, so `read_available` drains up to `max` lines of it — trace
+/// replay through a pipelined session ingests in engine-sized batches.
 class TraceFileTransport final : public Transport {
  public:
   TraceFileTransport(const std::string& path, std::ostream& out);
 
   bool read_line(std::string& line) override;
+  std::size_t read_available(std::vector<std::string>& lines,
+                             std::size_t max) override;
   void write_line(std::string_view line) override;
+  void flush() override;
   std::string describe() const override { return "trace:" + path_; }
 
  private:
@@ -96,16 +131,27 @@ class TcpServerTransport final : public Transport {
   void disconnect();
 
   bool read_line(std::string& line) override;
+  /// Serves lines from the receive buffer, topped up with whatever the
+  /// kernel already holds (non-blocking recv) — a client that pipelined a
+  /// burst of requests gets them coalesced into one batch.
+  std::size_t read_available(std::vector<std::string>& lines,
+                             std::size_t max) override;
   void write_line(std::string_view line) override;
+  void flush() override;
   std::string describe() const override;
 
  private:
   bool accept_client();
+  /// Extracts one buffered line; false when `buffer_` holds no complete
+  /// line (and, at EOF, no unterminated tail).
+  bool pop_buffered_line(std::string& line);
+  void send_all(const char* data, std::size_t size);
 
   int listen_fd_ = -1;
   int client_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::string buffer_;  ///< received bytes not yet returned as lines
+  std::string buffer_;      ///< received bytes not yet returned as lines
+  std::string out_buffer_;  ///< response bytes not yet flushed
   bool eof_ = false;
 };
 

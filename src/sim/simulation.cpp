@@ -1,8 +1,11 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "net/constraints.hpp"
+#include "sim/trace.hpp"
+#include "util/require.hpp"
 
 namespace minim::sim {
 
@@ -62,6 +65,152 @@ void Simulation::change_power(net::NodeId v, double new_range) {
   const double old_range = network_.config(v).range;
   network_.set_range(v, new_range);
   account(strategy_->on_power_change(network_, assignment_, v, old_range));
+}
+
+void Simulation::account_batch(std::span<const core::BatchedEvent> events,
+                               const core::RecodeReport& report) {
+  totals_.events += events.size();
+  for (const core::BatchedEvent& be : events)
+    ++totals_.events_by_type[static_cast<std::size_t>(be.event)];
+  totals_.recodings += report.recodings();
+  totals_.messages += report.messages;
+  totals_.recodings_by_type[static_cast<std::size_t>(report.event)] +=
+      report.recodings();
+  if (params_.keep_history) history_.push_back(report);
+  if (params_.validate_after_each) validate();
+}
+
+void Simulation::apply_batch(std::span<const TraceEvent> events,
+                             std::vector<net::NodeId>& by_join_order,
+                             BatchResult& result) {
+  result.events = events.size();
+  result.recoded = 0;
+  result.repairs = 0;
+  result.coalesced = false;
+  result.outcomes.clear();
+  if (events.empty()) return;
+
+  const auto resolve = [&](const TraceEvent& e) {
+    MINIM_REQUIRE(e.node < by_join_order.size(),
+                  std::string(to_string(e.kind)) + ": node has not joined yet");
+    const net::NodeId v = by_join_order[e.node];
+    MINIM_REQUIRE(network_.contains(v),
+                  std::string(to_string(e.kind)) + ": node already left");
+    return v;
+  };
+
+  const std::size_t recodings_before = totals_.recodings;
+
+  if (!strategy_->supports_batch() || events.size() == 1) {
+    // Per-event delivery: the strategy sees each event exactly as the
+    // sequential API would hand it over, so the outcomes are exact.
+    for (const TraceEvent& e : events) {
+      const std::size_t before = totals_.recodings;
+      BatchEventOutcome outcome;
+      outcome.exact = true;
+      switch (e.kind) {
+        case TraceEvent::Kind::kJoin:
+          outcome.subject = join(net::NodeConfig{e.position, e.range});
+          by_join_order.push_back(outcome.subject);
+          break;
+        case TraceEvent::Kind::kLeave:
+          outcome.subject = resolve(e);
+          leave(outcome.subject);
+          break;
+        case TraceEvent::Kind::kMove:
+          outcome.subject = resolve(e);
+          move(outcome.subject, e.position);
+          break;
+        case TraceEvent::Kind::kPower:
+          outcome.subject = resolve(e);
+          change_power(outcome.subject, e.range);
+          break;
+      }
+      outcome.recoded = totals_.recodings - before;
+      outcome.max_color = assignment_.max_color();
+      outcome.live_nodes = network_.node_count();
+      result.outcomes.push_back(outcome);
+      ++result.repairs;
+    }
+    result.recoded = totals_.recodings - recodings_before;
+    return;
+  }
+
+  // Coalesced path: apply every network mutation, then one repair over the
+  // final graph.  The strategy's `supports_batch` contract makes this
+  // equivalent to the sequential loop above.
+  batch_events_.clear();
+  for (const TraceEvent& e : events) {
+    core::BatchedEvent be;
+    switch (e.kind) {
+      case TraceEvent::Kind::kJoin:
+        be.event = core::EventType::kJoin;
+        be.subject = network_.add_node(net::NodeConfig{e.position, e.range});
+        by_join_order.push_back(be.subject);
+        break;
+      case TraceEvent::Kind::kLeave:
+        be.event = core::EventType::kLeave;
+        be.subject = resolve(e);
+        network_.remove_node(be.subject);
+        assignment_.clear(be.subject);
+        break;
+      case TraceEvent::Kind::kMove:
+        be.event = core::EventType::kMove;
+        be.subject = resolve(e);
+        network_.set_position(be.subject, e.position);
+        break;
+      case TraceEvent::Kind::kPower:
+        be.subject = resolve(e);
+        be.old_range = network_.config(be.subject).range;
+        be.event = e.range > be.old_range ? core::EventType::kPowerIncrease
+                                          : core::EventType::kPowerDecrease;
+        network_.set_range(be.subject, e.range);
+        break;
+    }
+    batch_events_.push_back(be);
+  }
+
+  // Joiners live at batch end, ordered by their LAST join event: the
+  // network reuses freed ids, so an id can be joined, freed, and joined
+  // again within one batch — only its final incarnation's order matters.
+  batch_joiners_.clear();
+  for (const core::BatchedEvent& be : batch_events_) {
+    if (be.event != core::EventType::kJoin) continue;
+    std::erase(batch_joiners_, be.subject);
+    batch_joiners_.push_back(be.subject);
+  }
+  std::erase_if(batch_joiners_,
+                [this](net::NodeId v) { return !network_.contains(v); });
+
+  // Reborn: ids that departed within the batch and are live again at its
+  // end — freed by the network and reassigned to a later joiner.
+  batch_reborn_.clear();
+  for (const core::BatchedEvent& be : batch_events_)
+    if (be.event == core::EventType::kLeave && network_.contains(be.subject))
+      batch_reborn_.push_back(be.subject);
+  std::sort(batch_reborn_.begin(), batch_reborn_.end());
+  batch_reborn_.erase(std::unique(batch_reborn_.begin(), batch_reborn_.end()),
+                      batch_reborn_.end());
+
+  const core::BatchRepairContext context{batch_events_, batch_joiners_,
+                                         batch_reborn_};
+  account_batch(batch_events_,
+                strategy_->on_batch(network_, assignment_, context));
+
+  result.repairs = 1;
+  result.coalesced = true;
+  result.recoded = totals_.recodings - recodings_before;
+  const net::Color max_color_after = assignment_.max_color();
+  const std::size_t live_after = network_.node_count();
+  for (const core::BatchedEvent& be : batch_events_) {
+    BatchEventOutcome outcome;
+    outcome.subject = be.subject;
+    outcome.recoded = result.recoded;
+    outcome.max_color = max_color_after;
+    outcome.live_nodes = live_after;
+    outcome.exact = false;
+    result.outcomes.push_back(outcome);
+  }
 }
 
 }  // namespace minim::sim

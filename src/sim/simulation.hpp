@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,37 @@
 /// time); the physical change happens first, then the strategy repairs the
 /// code assignment.  With `validate_after_each` the engine asserts CA1/CA2
 /// validity after every event — the correctness-theorem soak used in tests.
+///
+/// `apply_batch` is the amortized path: when the strategy declares batched
+/// repair equivalent to sequential repair (`supports_batch`), every network
+/// mutation of the batch is applied first and ONE repair call covers them
+/// all — one journal-coalesced dirty window, one rank-maintenance sync, one
+/// propagation.  For history-dependent strategies it degrades to the exact
+/// per-event loop, so callers batch unconditionally.
 
 namespace minim::sim {
+
+struct TraceEvent;  // sim/trace.hpp
+
+/// Where one batched event left the network.  On the per-event delivery
+/// path these are exact post-THIS-event facts; on the coalesced path every
+/// event reports the post-BATCH state (`exact` says which).
+struct BatchEventOutcome {
+  net::NodeId subject = net::kInvalidNode;  ///< engine id the event acted on
+  std::size_t recoded = 0;   ///< exact: this event's recolors; else batch net
+  net::Color max_color = net::kNoColor;
+  std::size_t live_nodes = 0;
+  bool exact = false;
+};
+
+/// What applying one batch did.
+struct BatchResult {
+  std::size_t events = 0;
+  std::size_t recoded = 0;   ///< net recolors across the whole batch
+  std::size_t repairs = 0;   ///< strategy repair invocations (1 if coalesced)
+  bool coalesced = false;    ///< one repair covered the whole batch
+  std::vector<BatchEventOutcome> outcomes;  ///< one per event, in order
+};
 
 /// Accumulated metric totals across all events applied so far.
 struct Totals {
@@ -62,6 +92,19 @@ class Simulation {
   void move(net::NodeId v, util::Vec2 new_position);
   void change_power(net::NodeId v, double new_range);
 
+  /// Applies a whole trace-event batch.  `by_join_order` is the caller's
+  /// join-index → engine-id table (the `sim/trace` node-naming convention):
+  /// non-join events resolve through it, joins append to it.  With a
+  /// batch-capable strategy all network mutations are applied first and one
+  /// `on_batch` repairs the final graph; otherwise events are delivered one
+  /// at a time, bit-identical to calling join/leave/move/change_power in
+  /// sequence.  References to out-of-range or departed entries throw
+  /// std::invalid_argument — callers wanting all-or-nothing semantics
+  /// validate before calling (serve::AssignmentEngine does).
+  void apply_batch(std::span<const TraceEvent> events,
+                   std::vector<net::NodeId>& by_join_order,
+                   BatchResult& result);
+
   const net::AdhocNetwork& network() const { return network_; }
   const net::CodeAssignment& assignment() const { return assignment_; }
   net::Color max_color() const { return assignment_.max_color(); }
@@ -72,6 +115,13 @@ class Simulation {
 
  private:
   void account(const core::RecodeReport& report);
+  /// Batch accounting: `events` each count toward events/events_by_type;
+  /// the single report's recodings count once (they are the batch's NET
+  /// color changes, attributed by type to the report's event — per-type
+  /// recoding attribution is inherently per-event information the
+  /// coalesced path does not have).
+  void account_batch(std::span<const core::BatchedEvent> events,
+                     const core::RecodeReport& report);
   void validate() const;
 
   core::RecodingStrategy* strategy_;  // borrowed, never null
@@ -80,6 +130,11 @@ class Simulation {
   net::CodeAssignment assignment_;
   Totals totals_;
   std::vector<core::RecodeReport> history_;
+
+  // apply_batch scratch (reused across batches).
+  std::vector<core::BatchedEvent> batch_events_;
+  std::vector<net::NodeId> batch_joiners_;
+  std::vector<net::NodeId> batch_reborn_;
 };
 
 }  // namespace minim::sim

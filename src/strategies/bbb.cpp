@@ -130,7 +130,10 @@ bool BbbStrategy::incremental_recolor(const net::AdhocNetwork& net,
 
 bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
                                   net::CodeAssignment& assignment,
-                                  core::RecodeReport& report) {
+                                  core::RecodeReport& report,
+                                  std::size_t batch_events,
+                                  std::span<const net::NodeId> joiners,
+                                  std::span<const net::NodeId> reborn) {
   const net::ConflictGraph& cg = net.conflict_graph();
   if (last_net_ != &net) return false;
   std::span<const net::NodeId> window;
@@ -153,11 +156,12 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
     if (net.contains(v) && snapshot_color(v) != assignment.color(v))
       return false;
 
-  // Absorb the event into the maintained rank order: departures tombstone,
-  // joiners append.  A refusal (drift over threshold, or no order yet)
-  // sends the event to the from-scratch path, which reseeds via
+  // Absorb the event(s) into the maintained rank order: departures
+  // tombstone, joiners append in the batch's join order, reborn ids
+  // tombstone-then-append.  A refusal (drift over threshold, or no order
+  // yet) sends the event to the from-scratch path, which reseeds via
   // rebuild_ranks.
-  if (!orderer_.try_maintain_ranks(net, dirty_)) return false;
+  if (!orderer_.try_maintain_ranks(net, dirty_, joiners, reborn)) return false;
 
   // Heap propagation.  Seeds are the live dirty nodes; pops come out in
   // globally non-decreasing rank (pushes only ever target ranks past the
@@ -191,9 +195,14 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
   }
   std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
-  const std::size_t budget = std::max<std::size_t>(
-      32, static_cast<std::size_t>(params_.propagation_slack *
-                                   static_cast<double>(live)));
+  // One batch coalesces `batch_events` events' worth of propagation, so it
+  // gets their combined budget — a bailout still costs one from-scratch
+  // pass either way, which is the amortization the batch path exists for.
+  const std::size_t budget =
+      batch_events *
+      std::max<std::size_t>(
+          32, static_cast<std::size_t>(params_.propagation_slack *
+                                       static_cast<double>(live)));
   std::size_t processed = 0;
   changed_list_.clear();
   while (!heap_.empty()) {
@@ -254,19 +263,23 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
 core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,
                                                net::CodeAssignment& assignment,
                                                core::EventType event,
-                                               net::NodeId subject) {
+                                               net::NodeId subject,
+                                               std::size_t batch_events,
+                                               std::span<const net::NodeId> joiners,
+                                               std::span<const net::NodeId> reborn) {
   core::RecodeReport report;
   report.event = event;
   report.subject = subject;
-  ++counters_.events;
+  counters_.events += batch_events;
 
   // Rank-bounded mode never materializes the live node set on the absorbed
   // path — that enumeration is the O(n) it exists to remove.
   const bool bounded_mode = params_.bounded_propagation &&
                             params_.incremental &&
                             order_ == ColoringOrder::kSmallestLast;
-  if (bounded_mode && bounded_recolor(net, assignment, report)) {
-    ++counters_.bounded_events;
+  if (bounded_mode &&
+      bounded_recolor(net, assignment, report, batch_events, joiners, reborn)) {
+    counters_.bounded_events += batch_events;
     finalize_report(net, assignment, report);
     return report;
   }
@@ -331,6 +344,23 @@ core::RecodeReport BbbStrategy::on_power_change(const net::AdhocNetwork& net,
   const core::EventType event = new_range > old_range ? core::EventType::kPowerIncrease
                                                       : core::EventType::kPowerDecrease;
   return global_recolor(net, assignment, event, n);
+}
+
+core::RecodeReport BbbStrategy::on_batch(const net::AdhocNetwork& net,
+                                         net::CodeAssignment& assignment,
+                                         const core::BatchRepairContext& ctx) {
+  MINIM_REQUIRE(!ctx.events.empty(), "BBB: on_batch requires at least one event");
+  // A reborn id is a departure of its previous occupant followed by a fresh
+  // join reusing the id.  Blank the per-id snapshot state exactly as the
+  // sequential leave would have, so the new occupant does not inherit the
+  // previous one's color or order position.
+  for (net::NodeId v : ctx.reborn) {
+    if (v < last_colors_.size()) last_colors_[v] = net::kNoColor;
+    if (v < last_pos_.size()) last_pos_[v] = kNoPos;
+  }
+  const core::BatchedEvent& last = ctx.events.back();
+  return global_recolor(net, assignment, last.event, last.subject,
+                        ctx.events.size(), ctx.joiners, ctx.reborn);
 }
 
 }  // namespace minim::strategies

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -122,6 +123,17 @@ class BbbStrategy final : public core::RecodingStrategy {
                                      net::CodeAssignment& assignment, net::NodeId n,
                                      double old_range) override;
 
+  /// Every BBB handler replays the from-scratch greedy over the *current*
+  /// network — the final assignment is a pure function of the final graph
+  /// (plus, in bounded mode, the maintained sequence, which the batch
+  /// absorption maintains exactly as a sequential replay would while all
+  /// events absorb).  So one repair over the post-batch network is
+  /// equivalent to repairing after every event.
+  bool supports_batch() const override { return true; }
+  core::RecodeReport on_batch(const net::AdhocNetwork& net,
+                              net::CodeAssignment& assignment,
+                              const core::BatchRepairContext& context) override;
+
   ColoringOrder order() const { return order_; }
   const Params& params() const { return params_; }
   const Counters& counters() const { return counters_; }
@@ -138,9 +150,17 @@ class BbbStrategy final : public core::RecodingStrategy {
   const std::vector<net::NodeId>& sequence_for(const net::AdhocNetwork& net,
                                                const std::vector<net::NodeId>& nodes);
 
+  /// Shared recolor driver.  `batch_events` > 1 and the joiner/reborn spans
+  /// are only set on the batched path (`on_batch`): the propagation budget
+  /// scales with the number of coalesced events, rank maintenance receives
+  /// the batch's join order, and the bounded path skips its rank
+  /// precondition for ids whose rank the maintenance itself creates.
   core::RecodeReport global_recolor(const net::AdhocNetwork& net,
                                     net::CodeAssignment& assignment,
-                                    core::EventType event, net::NodeId subject);
+                                    core::EventType event, net::NodeId subject,
+                                    std::size_t batch_events = 1,
+                                    std::span<const net::NodeId> joiners = {},
+                                    std::span<const net::NodeId> reborn = {});
 
   /// The dirty-region path.  Returns false — without touching `assignment`
   /// — when the cached state cannot prove equivalence (unknown network,
@@ -160,7 +180,9 @@ class BbbStrategy final : public core::RecodingStrategy {
   /// ranks · degree).
   bool bounded_recolor(const net::AdhocNetwork& net,
                        net::CodeAssignment& assignment,
-                       core::RecodeReport& report);
+                       core::RecodeReport& report, std::size_t batch_events,
+                       std::span<const net::NodeId> joiners,
+                       std::span<const net::NodeId> reborn);
 
   /// This event's working color of `v`: the propagation result when `v` was
   /// recomputed this event, the snapshot color otherwise.

@@ -108,8 +108,19 @@ class DegeneracyOrderer {
   /// the maintained state unmodified — when no order is maintained for this
   /// network yet or the accumulated drift demands a rebuild; the caller must
   /// then compute a fresh full sequence and hand it to `rebuild_ranks`.
+  ///
+  /// Batched absorption: when the dirty window covers several events, the
+  /// caller passes `join_order` (the batch's live joiners in join order) so
+  /// appends land in the order a sequential replay would have appended
+  /// them, and `reborn` (sorted ascending: ids freed and reused within the
+  /// window) so a reused id is tombstoned out of its previous occupant's
+  /// slot before being appended as the new one.  Both default empty — the
+  /// single-event behavior, where the (at most one) joiner's append order
+  /// is trivially its join order.
   bool try_maintain_ranks(const net::AdhocNetwork& net,
-                          std::span<const net::NodeId> dirty);
+                          std::span<const net::NodeId> dirty,
+                          std::span<const net::NodeId> join_order = {},
+                          std::span<const net::NodeId> reborn = {});
 
   /// Resets the maintained order to `sequence` (all live nodes, dense).
   void rebuild_ranks(const net::AdhocNetwork& net,
@@ -148,6 +159,9 @@ class DegeneracyOrderer {
   std::vector<std::uint32_t> rank_;     ///< id -> slot in rank_seq_
   std::size_t rank_drift_ = 0;          ///< appends + tombstones since rebuild
   std::vector<net::NodeId> appended_;   ///< per-update scratch (joiners)
+  /// Per-update scratch: (id, position in the caller's join order), sorted
+  /// by id for binary search while ordering appends.
+  std::vector<std::pair<net::NodeId, std::uint32_t>> join_pos_;
 };
 
 }  // namespace minim::strategies

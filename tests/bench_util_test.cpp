@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "../bench/bench_util.hpp"
@@ -73,6 +74,137 @@ TEST(BenchTrajectory, SingleCoreAnnotationRoundTripsThroughTheFile) {
   const auto* baseline = minim::bench::baseline_for(loaded, "bench.x@t4");
   ASSERT_NE(baseline, nullptr);
   EXPECT_EQ(baseline->label, "one-core");
+}
+
+using minim::bench::check_measurements;
+using minim::bench::CheckResult;
+using minim::bench::Measurement;
+using minim::bench::TrajectoryEntry;
+
+TrajectoryEntry entry_with(std::string label, std::string config,
+                           std::vector<Measurement> benchmarks) {
+  TrajectoryEntry entry;
+  entry.label = std::move(label);
+  entry.config_json = std::move(config);
+  entry.benchmarks = std::move(benchmarks);
+  return entry;
+}
+
+Measurement wall_of(const std::string& name, double wall_s) {
+  Measurement m;
+  m.name = name;
+  m.wall_s = wall_s;
+  return m;
+}
+
+Measurement rate_of(const std::string& name, double events_per_s) {
+  Measurement m;
+  m.name = name;
+  m.wall_s = 1.0;
+  m.events_per_s = events_per_s;
+  return m;
+}
+
+/// A config whose single-core annotation MATCHES this machine, so
+/// throughput comparisons against it are allowed to proceed.
+std::string matched_config() {
+  return std::thread::hardware_concurrency() <= 1 ? R"({"single_core": true})"
+                                                  : R"({"seed": 1})";
+}
+
+/// The opposite annotation: throughput gates must skip this baseline.
+std::string mismatched_config() {
+  return std::thread::hardware_concurrency() <= 1 ? R"({"seed": 1})"
+                                                  : R"({"single_core": true})";
+}
+
+TEST(BenchCheck, WallClockGateFlagsSlowdowns) {
+  const std::vector<TrajectoryEntry> trajectory{
+      entry_with("base", "{}", {wall_of("bench.a", 1.0)})};
+  std::ostringstream log;
+  const CheckResult slow =
+      check_measurements(trajectory, {wall_of("bench.a", 2.0)}, 1.5, log);
+  EXPECT_FALSE(slow.ok);
+  EXPECT_FALSE(slow.pass());
+  EXPECT_EQ(slow.compared, 1u);
+  EXPECT_NE(log.str().find("REGRESSION"), std::string::npos);
+
+  const CheckResult fine =
+      check_measurements(trajectory, {wall_of("bench.a", 1.4)}, 1.5, log);
+  EXPECT_TRUE(fine.pass());
+}
+
+TEST(BenchCheck, ThroughputGateFlagsCollapseNotWallClock) {
+  // The baseline annotation matches this machine, so the events/s
+  // comparison runs: 400 < 1000 / 2 regresses, 600 does not — and a
+  // throughput record's wall clock is never compared (it measures the same
+  // run from the other side).
+  const std::vector<TrajectoryEntry> trajectory{
+      entry_with("base", matched_config(), {rate_of("bench.rate", 1000.0)})};
+  std::ostringstream log;
+  const CheckResult collapsed =
+      check_measurements(trajectory, {rate_of("bench.rate", 400.0)}, 2.0, log);
+  EXPECT_FALSE(collapsed.ok);
+  EXPECT_EQ(collapsed.compared, 1u);
+
+  Measurement slower_but_fast_enough = rate_of("bench.rate", 600.0);
+  slower_but_fast_enough.wall_s = 100.0;  // would fail a wall gate
+  const CheckResult fine = check_measurements(
+      trajectory, {slower_but_fast_enough}, 2.0, log);
+  EXPECT_TRUE(fine.pass());
+}
+
+TEST(BenchCheck, ScalingNamesSkipSingleCoreBaselines) {
+  const std::vector<TrajectoryEntry> trajectory{entry_with(
+      "one-core", R"({"single_core": true})", {wall_of("bench.a@t8", 9.0)})};
+  std::ostringstream log;
+  const CheckResult outcome =
+      check_measurements(trajectory, {wall_of("bench.a@t8", 1000.0)}, 1.5, log);
+  EXPECT_EQ(outcome.compared, 0u);
+  EXPECT_EQ(outcome.skipped, 1u);
+  EXPECT_TRUE(outcome.pass()) << "a rule-based skip is not a failure";
+  EXPECT_NE(log.str().find("scaling comparison skipped"), std::string::npos);
+}
+
+TEST(BenchCheck, ThroughputSkipsHardwareMismatchedBaselines) {
+  // events/s across different core counts measures the machine, not the
+  // code: the mismatched baseline is skipped even though the measured rate
+  // collapsed.
+  const std::vector<TrajectoryEntry> trajectory{entry_with(
+      "elsewhere", mismatched_config(), {rate_of("bench.rate", 1000.0)})};
+  std::ostringstream log;
+  const CheckResult outcome =
+      check_measurements(trajectory, {rate_of("bench.rate", 1.0)}, 1.5, log);
+  EXPECT_EQ(outcome.compared, 0u);
+  EXPECT_EQ(outcome.skipped, 1u);
+  EXPECT_TRUE(outcome.pass());
+  EXPECT_NE(log.str().find("throughput comparison "), std::string::npos);
+}
+
+TEST(BenchCheck, AGateThatComparedNothingFails) {
+  std::ostringstream log;
+  const CheckResult outcome = check_measurements(
+      {entry_with("base", "{}", {wall_of("bench.other", 1.0)})},
+      {wall_of("bench.a", 1.0)}, 1.5, log);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.compared, 0u);
+  EXPECT_EQ(outcome.skipped, 0u);
+  EXPECT_FALSE(outcome.pass()) << "no baseline anywhere must not pass vacuously";
+  EXPECT_NE(log.str().find("no baseline (skipped)"), std::string::npos);
+}
+
+TEST(BenchCheck, TheMostRecentCoveringEntryIsTheBaseline) {
+  const std::vector<TrajectoryEntry> trajectory{
+      entry_with("old", "{}", {wall_of("bench.a", 100.0)}),
+      entry_with("new", "{}", {wall_of("bench.a", 1.0)}),
+      entry_with("unrelated", "{}", {wall_of("bench.b", 1.0)})};
+  std::ostringstream log;
+  // 2.0 s passes against the old baseline but regresses against the new
+  // one; the gate must pick "new".
+  const CheckResult outcome =
+      check_measurements(trajectory, {wall_of("bench.a", 2.0)}, 1.5, log);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(log.str().find("baseline \"new\""), std::string::npos);
 }
 
 TEST(BenchUtil, SplitListDropsEmptyFields) {

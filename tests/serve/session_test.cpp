@@ -133,6 +133,85 @@ TEST(ServeSession, QuietModeIngestsWithoutResponses) {
   EXPECT_EQ(script.stats.queries, 1u);
 }
 
+TEST(ServeSession, PipelinedAndFlushEachTranscriptsAreByteIdentical) {
+  // The pipelined session coalesces a piped burst into engine batches but
+  // must answer byte-for-byte like the line-at-a-time session for a
+  // strategy on the exact per-event path.
+  const std::string input =
+      "join 10 10 20\n"
+      "join 15 10 20\n"
+      "stats\n"
+      "leave 0\n"
+      "bogus\n"
+      "code 1\n"
+      "join 30 30 10\n";
+  const auto run = [&input](bool flush_each) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    StreamTransport transport(in, out, "test");
+    AssignmentEngine engine{std::string("minim")};
+    SessionOptions options;
+    options.flush_each = flush_each;
+    Script script;
+    script.stats = serve_session(engine, transport, options);
+    script.responses = out.str();
+    return script;
+  };
+  const Script pipelined = run(false);
+  const Script line_at_a_time = run(true);
+  EXPECT_EQ(pipelined.responses, line_at_a_time.responses);
+  EXPECT_EQ(pipelined.stats.events, line_at_a_time.stats.events);
+  EXPECT_EQ(pipelined.stats.queries, line_at_a_time.stats.queries);
+  EXPECT_EQ(pipelined.stats.errors, line_at_a_time.stats.errors);
+  // Queries and the error split the events into separate batches, but the
+  // pipelined run still needs fewer engine calls than one per event.
+  EXPECT_LE(pipelined.stats.batches, pipelined.stats.events);
+  EXPECT_EQ(line_at_a_time.stats.batches, line_at_a_time.stats.events);
+  EXPECT_EQ(line_at_a_time.stats.coalesced_events, 0u);
+}
+
+TEST(ServeSession, PipelinedBurstCoalescesForBatchCapableStrategies) {
+  std::istringstream in(
+      "join 10 10 20\n"
+      "join 15 10 20\n"
+      "join 20 10 20\n"
+      "join 80 80 5\n");
+  std::ostringstream out;
+  StreamTransport transport(in, out, "test");
+  AssignmentEngine engine{std::string("bbb")};
+  const SessionStats stats = serve_session(engine, transport, {});
+
+  EXPECT_EQ(stats.events, 4u);
+  EXPECT_EQ(stats.batches, 1u) << "a piped burst must land as one batch";
+  EXPECT_EQ(stats.coalesced_events, 4u);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // Coalesced receipts carry the batch marker and post-batch population.
+    EXPECT_NE(lines[i].find(" batch=4"), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(" live=4"), std::string::npos) << lines[i];
+    EXPECT_EQ(lines[i].substr(0, 5), "ok " + std::to_string(i + 1) + " ");
+  }
+}
+
+TEST(ServeSession, MaxBatchOneKeepsExactReceipts) {
+  std::istringstream in(
+      "join 10 10 20\n"
+      "join 15 10 20\n"
+      "join 20 10 20\n");
+  std::ostringstream out;
+  StreamTransport transport(in, out, "test");
+  AssignmentEngine engine{std::string("bbb")};
+  SessionOptions options;
+  options.max_batch = 1;
+  const SessionStats stats = serve_session(engine, transport, options);
+
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.coalesced_events, 0u);
+  for (const std::string& line : lines_of(out.str()))
+    EXPECT_EQ(line.find(" batch="), std::string::npos) << line;
+}
+
 TEST(ServeSession, QueriesLeaveEventNumberingAlone) {
   // Receipts number events, not lines: queries interleaved between events
   // must not advance seq, while error line numbers still track the stream.
