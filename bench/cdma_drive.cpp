@@ -35,6 +35,9 @@
 //   --trace=F           request file for --transport=trace
 //   --port=P            TCP port for --transport=tcp (default 0 = ephemeral)
 //   --strategy=NAME     recoding strategy (default minim)
+//   --recolor-threads=N component-parallel batched recoloring for
+//                       bbb-bounded (1 = serial, 0 = hardware cores);
+//                       bit-identical results at every setting
 //   --validate          CA1/CA2 check after every event (slow)
 //   --quiet             ingest without response lines
 //   --flush-each        apply + flush per request line (no pipelining)
@@ -260,6 +263,8 @@ int run_serve(const util::Options& options) {
   const std::string strategy = options.get("strategy", "minim");
   serve::AssignmentEngine::Params params;
   params.validate = options.has("validate");
+  params.recolor_threads = static_cast<std::size_t>(
+      std::max<long long>(0, options.get_int("recolor-threads", 1)));
   serve::AssignmentEngine engine(strategy, params);
 
   const std::string kind = options.get("transport", "stdin");
@@ -299,8 +304,10 @@ int run_serve(const util::Options& options) {
   const serve::SessionStats stats = serve::serve_session(engine, *transport,
                                                          session);
 
-  std::cerr << "[serve] " << transport->describe() << " strategy=" << strategy
-            << ": lines=" << stats.lines << " events=" << stats.events
+  std::cerr << "[serve] " << transport->describe() << " strategy=" << strategy;
+  if (params.recolor_threads != 1)
+    std::cerr << " recolor-threads=" << params.recolor_threads;
+  std::cerr << ": lines=" << stats.lines << " events=" << stats.events
             << " queries=" << stats.queries << " errors=" << stats.errors
             << " batches=" << stats.batches
             << " coalesced=" << stats.coalesced_events << "\n";

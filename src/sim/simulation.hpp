@@ -96,8 +96,11 @@ class Simulation {
   /// join-index → engine-id table (the `sim/trace` node-naming convention):
   /// non-join events resolve through it, joins append to it.  With a
   /// batch-capable strategy all network mutations are applied first and one
-  /// `on_batch` repairs the final graph; otherwise events are delivered one
-  /// at a time, bit-identical to calling join/leave/move/change_power in
+  /// `on_batch` repairs the final graph (this coalesced repair is where
+  /// `BbbStrategy::Params::recolor_threads` engages: the batch's independent
+  /// dirty components recolor concurrently, bit-identical to serial);
+  /// otherwise events are delivered one at a time, bit-identical to calling
+  /// join/leave/move/change_power in
   /// sequence.  References to out-of-range or departed entries throw
   /// std::invalid_argument — callers wanting all-or-nothing semantics
   /// validate before calling (serve::AssignmentEngine does).

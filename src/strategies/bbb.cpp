@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "net/conflict_graph.hpp"
@@ -163,10 +164,11 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
   // rebuild_ranks.
   if (!orderer_.try_maintain_ranks(net, dirty_, joiners, reborn)) return false;
 
-  // Heap propagation.  Seeds are the live dirty nodes; pops come out in
-  // globally non-decreasing rank (pushes only ever target ranks past the
-  // node being processed), so when a node recomputes its lowest-free color
-  // every earlier-ranked neighbor's color is already final for this event.
+  // Heap propagation (see propagate()).  Seeds are the live dirty nodes;
+  // with recolor_threads > 1 the seeds are first decomposed into independent
+  // closure components and propagated concurrently (parallel_propagate()),
+  // demoting to the single serial frontier when the closure is one region
+  // or outgrows the budget.  Either way the result is the same.
   if (++epoch_ == 0) {
     // Stamp wraparound: invalidate every slot once per 2^32 events.
     std::fill(seen_epoch_.begin(), seen_epoch_.end(), 0);
@@ -181,19 +183,13 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
   }
   if (last_colors_.size() < bound) last_colors_.resize(bound, net::kNoColor);
 
-  const auto heap_greater = [](const std::pair<std::uint32_t, net::NodeId>& a,
-                               const std::pair<std::uint32_t, net::NodeId>& b) {
-    return a > b;
-  };
-  heap_.clear();
+  live_dirty_.clear();
   for (net::NodeId v : dirty_) {
     if (!net.contains(v)) continue;
-    const std::uint32_t r = orderer_.rank(v);
-    MINIM_REQUIRE(r != DegeneracyOrderer::kNoRank,
+    MINIM_REQUIRE(orderer_.rank(v) != DegeneracyOrderer::kNoRank,
                   "bounded BBB: live dirty node missing from the rank order");
-    heap_.emplace_back(r, v);
+    live_dirty_.push_back(v);
   }
-  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
   // One batch coalesces `batch_events` events' worth of propagation, so it
   // gets their combined budget — a bailout still costs one from-scratch
@@ -205,40 +201,21 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
                                        static_cast<double>(live)));
   std::size_t processed = 0;
   changed_list_.clear();
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-    const auto [ru, u] = heap_.back();
-    heap_.pop_back();
-    if (seen_epoch_[u] == epoch_) continue;
-    seen_epoch_[u] = epoch_;
-    if (++processed > budget) {
+  bool absorbed = false;
+  if (resolved_recolor_threads() > 1 && live_dirty_.size() > 1)
+    absorbed = parallel_propagate(cg, budget, processed);
+  if (!absorbed) {
+    frontier_.heap.clear();
+    frontier_.changed.clear();
+    frontier_.processed = 0;
+    if (!propagate(cg, live_dirty_, budget, frontier_)) {
       // Clean bailout: nothing below mutated the assignment or snapshot.
       ++counters_.slack_bailouts;
-      counters_.processed_ranks += processed - 1;
+      counters_.processed_ranks += frontier_.processed;
       return false;
     }
-
-    const auto neighbors = cg.neighbors(u);
-    scratch_.reset();
-    for (net::NodeId w : neighbors) {
-      if (orderer_.rank(w) >= ru) continue;  // kNoRank sorts past every rank
-      const net::Color c = event_color(w);
-      if (c != net::kNoColor) scratch_.mark(c);
-    }
-    const net::Color fresh = scratch_.lowest_free();
-    event_colors_[u] = fresh;
-    event_color_epoch_[u] = epoch_;
-    if (fresh == snapshot_color(u)) continue;
-
-    changed_list_.push_back(u);
-    for (net::NodeId w : neighbors) {
-      const std::uint32_t rw = orderer_.rank(w);
-      if (rw != DegeneracyOrderer::kNoRank && rw > ru &&
-          seen_epoch_[w] != epoch_) {
-        heap_.emplace_back(rw, w);
-        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
-      }
-    }
+    processed = frontier_.processed;
+    changed_list_.swap(frontier_.changed);
   }
   counters_.processed_ranks += processed;
 
@@ -258,6 +235,106 @@ bool BbbStrategy::bounded_recolor(const net::AdhocNetwork& net,
       last_colors_[v] = net::kNoColor;
   last_revision_ = cg.revision();
   return true;
+}
+
+bool BbbStrategy::propagate(const net::ConflictGraph& cg,
+                            std::span<const net::NodeId> seeds,
+                            std::size_t budget, Frontier& frontier) {
+  const auto heap_greater = [](const std::pair<std::uint32_t, net::NodeId>& a,
+                               const std::pair<std::uint32_t, net::NodeId>& b) {
+    return a > b;
+  };
+  auto& heap = frontier.heap;
+  heap.clear();
+  for (net::NodeId v : seeds) heap.emplace_back(orderer_.rank(v), v);
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+  // Pops come out in non-decreasing rank (pushes only ever target ranks past
+  // the node being processed), so when a node recomputes its lowest-free
+  // color every earlier-ranked neighbor's color is already final.
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const auto [ru, u] = heap.back();
+    heap.pop_back();
+    if (seen_epoch_[u] == epoch_) continue;
+    if (frontier.processed == budget) return false;
+    ++frontier.processed;
+    seen_epoch_[u] = epoch_;
+
+    const auto neighbors = cg.neighbors(u);
+    frontier.scratch.reset();
+    for (net::NodeId w : neighbors) {
+      if (orderer_.rank(w) >= ru) continue;  // kNoRank sorts past every rank
+      const net::Color c = event_color(w);
+      if (c != net::kNoColor) frontier.scratch.mark(c);
+    }
+    const net::Color fresh = frontier.scratch.lowest_free();
+    event_colors_[u] = fresh;
+    event_color_epoch_[u] = epoch_;
+    if (fresh == snapshot_color(u)) continue;
+
+    frontier.changed.push_back(u);
+    for (net::NodeId w : neighbors) {
+      const std::uint32_t rw = orderer_.rank(w);
+      if (rw != DegeneracyOrderer::kNoRank && rw > ru &&
+          seen_epoch_[w] != epoch_) {
+        heap.emplace_back(rw, w);
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      }
+    }
+  }
+  return true;
+}
+
+bool BbbStrategy::parallel_propagate(const net::ConflictGraph& cg,
+                                     std::size_t budget,
+                                     std::size_t& processed) {
+  // The closure walk caps at the budget: within the cap, the serial pass
+  // could pop at most |closure| ≤ budget nodes, so it can never hit its
+  // slack bailout — parallel and serial take the same decisions everywhere.
+  if (!components_.decompose(cg, orderer_.rank_index(), live_dirty_, budget) ||
+      components_.count() < 2) {
+    ++counters_.parallel_demotions;
+    return false;
+  }
+  const std::size_t count = components_.count();
+  ensure_pool();
+  if (comp_frontiers_.size() < count) comp_frontiers_.resize(count);
+  // Shared state discipline inside the fan-out: the epoch arrays are
+  // pre-sized (above) and each component writes only its own members' id
+  // slots; ranks, conflict rows, and the snapshot are read-only.  The
+  // parallel_for join publishes every write before the merge below.
+  pool_->parallel_for(count, [&](std::size_t c) {
+    Frontier& frontier = comp_frontiers_[c];
+    frontier.heap.clear();
+    frontier.changed.clear();
+    frontier.processed = 0;
+    const bool within = propagate(cg, components_.seeds(c), budget, frontier);
+    MINIM_REQUIRE(within, "parallel recolor: component exceeded the batch budget");
+  });
+  processed = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const Frontier& frontier = comp_frontiers_[c];
+    processed += frontier.processed;
+    changed_list_.insert(changed_list_.end(), frontier.changed.begin(),
+                         frontier.changed.end());
+  }
+  ++counters_.parallel_events;
+  counters_.parallel_components += count;
+  return true;
+}
+
+std::size_t BbbStrategy::resolved_recolor_threads() const {
+  if (params_.recolor_threads != 0) return params_.recolor_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void BbbStrategy::ensure_pool() {
+  if (pool_) return;
+  const std::size_t threads = resolved_recolor_threads();
+  pool_ = std::make_unique<util::ThreadPool>(
+      std::max<std::size_t>(1, threads - 1));
 }
 
 core::RecodeReport BbbStrategy::global_recolor(const net::AdhocNetwork& net,

@@ -1,13 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/strategy.hpp"
 #include "strategies/coloring.hpp"
+#include "strategies/components.hpp"
 #include "strategies/ordering.hpp"
+#include "util/thread_pool.hpp"
 
 /// \file bbb.hpp
 /// \brief The BBB global baseline: recolor the whole network at every event.
@@ -55,6 +58,28 @@
 /// capped at `Params::propagation_slack` × live nodes; exceeding the cap —
 /// or any journal/drift fallback — runs the from-scratch path, which
 /// reseeds the rank index.
+///
+/// ## Parallel recoloring (`Params::recolor_threads`)
+///
+/// A batch's dirty set often spans spatially distant regions whose
+/// propagations cannot interact.  With `recolor_threads > 1` the bounded
+/// path first decomposes the forward closure of the dirty seeds under
+/// rank-increasing conflict edges into connected components
+/// (strategies/components.hpp) and recolors each component on its own
+/// thread.  Components share no conflict edge inside the closure and edges
+/// leaving the closure reach only *earlier-ranked* colors — final for this
+/// event, read-only everywhere — so per-component heap propagation writes
+/// disjoint id slots of the shared epoch arrays, and the merged, id-sorted
+/// change list is bit-identical to the serial pass regardless of thread
+/// schedule.  The closure walk is capped at the propagation budget: a
+/// closure within the budget proves the serial pass could not have hit its
+/// slack bailout either, so threads=N and threads=1 take the *same*
+/// absorb/fallback decisions on every event.  Demotion ladder: closure cap
+/// exceeded or a single component → the serial heap (this event stays
+/// bounded); serial budget/drift/journal refusals → the from-scratch path,
+/// exactly as before.  The fuzz harness in
+/// tests/strategies/bbb_parallel_fuzz_test.cpp holds parallel ≡ serial to
+/// bit-identical colors *and* maintained ranks across batched streams.
 
 namespace minim::strategies {
 
@@ -89,6 +114,11 @@ class BbbStrategy final : public core::RecodingStrategy {
     /// The orderer's maintained-rank drift bound
     /// (`DegeneracyOrderer::Params::rank_rebuild_fraction`).
     double rank_rebuild_fraction = 0.25;
+    /// Component-parallel bounded recoloring: decompose the batch's dirty
+    /// closure into independent components and recolor them concurrently
+    /// (see the file comment).  1 = serial (default), 0 = one thread per
+    /// hardware core.  Results are bit-identical at every setting.
+    std::size_t recolor_threads = 1;
   };
 
   /// Where bounded-mode events went (all zero unless `bounded_propagation`).
@@ -99,6 +129,10 @@ class BbbStrategy final : public core::RecodingStrategy {
     std::uint64_t processed_ranks = 0; ///< heap pops across bounded events
     std::uint64_t full_ranks = 0;      ///< live nodes walked by full events
     std::uint64_t slack_bailouts = 0;  ///< budget exceeded mid-propagation
+    // Component-parallel mode (zero unless `recolor_threads` resolves > 1).
+    std::uint64_t parallel_events = 0;      ///< repairs absorbed component-parallel
+    std::uint64_t parallel_components = 0;  ///< components recolored across them
+    std::uint64_t parallel_demotions = 0;   ///< attempts demoted to the serial heap
   };
 
   explicit BbbStrategy(ColoringOrder order = ColoringOrder::kSmallestLast)
@@ -141,6 +175,14 @@ class BbbStrategy final : public core::RecodingStrategy {
   /// maintained rank sequence for the bounded-mode fuzz oracle).
   const DegeneracyOrderer& orderer() const { return orderer_; }
 
+  /// Re-targets `Params::recolor_threads` on a live strategy (the serving
+  /// layer's tuning hook).  Takes effect from the next event; the worker
+  /// pool is rebuilt lazily at the new size.
+  void set_recolor_threads(std::size_t threads) {
+    params_.recolor_threads = threads;
+    pool_.reset();
+  }
+
  private:
   static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
 
@@ -170,6 +212,41 @@ class BbbStrategy final : public core::RecodingStrategy {
                            net::CodeAssignment& assignment,
                            const std::vector<net::NodeId>& nodes,
                            core::RecodeReport& report);
+
+  /// One propagation frontier's working state: the min-rank heap, the nodes
+  /// whose color changed, the free-color scratch, and the pop count.  The
+  /// serial path owns one (`frontier_`); the parallel path one per
+  /// component (`comp_frontiers_`) so threads never share heap state.
+  struct Frontier {
+    std::vector<std::pair<std::uint32_t, net::NodeId>> heap;  ///< (rank, id)
+    std::vector<net::NodeId> changed;
+    ColorScratch scratch;
+    std::size_t processed = 0;
+  };
+
+  /// Heap propagation from `seeds` over the maintained ranks, writing event
+  /// colors into the shared epoch-stamped overlays.  Returns false when the
+  /// pop count would exceed `budget` (frontier state then reflects exactly
+  /// `budget` completed pops; the overlays carry partial writes the caller
+  /// must treat as abandoned).  Thread-safe across *disjoint components*:
+  /// all shared writes land at the frontier's own member ids.
+  bool propagate(const net::ConflictGraph& cg, std::span<const net::NodeId> seeds,
+                 std::size_t budget, Frontier& frontier);
+
+  /// The component-parallel bounded pass: decompose `live_dirty_`'s forward
+  /// closure (cap = `budget`), recolor each component on the pool, merge
+  /// change lists into `changed_list_` and pop counts into `processed`.
+  /// Returns false — demoting to the serial heap — when the closure exceeds
+  /// the budget or yields fewer than two components.
+  bool parallel_propagate(const net::ConflictGraph& cg, std::size_t budget,
+                          std::size_t& processed);
+
+  /// `Params::recolor_threads` with 0 resolved to the hardware core count.
+  std::size_t resolved_recolor_threads() const;
+  /// Lazily builds the worker pool sized for `resolved_recolor_threads()`
+  /// (the caller participates in `parallel_for`, so N-way concurrency needs
+  /// N-1 workers).
+  void ensure_pool();
 
   /// The rank-bounded path (`Params::bounded_propagation`).  Returns false
   /// — without touching `assignment` — when the event can't be absorbed
@@ -228,12 +305,21 @@ class BbbStrategy final : public core::RecodingStrategy {
 
   // Rank-bounded propagation scratch.  The epoch stamp makes per-event
   // resets O(1): a slot belongs to this event iff its stamp equals epoch_.
+  // During a parallel pass the epoch arrays are shared across component
+  // threads, but each thread writes only its own component's id slots (the
+  // vectors are pre-sized before the fan-out, so no reallocation races).
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> seen_epoch_;         ///< node processed this event
   std::vector<std::uint32_t> event_color_epoch_;  ///< event_colors_[v] valid
   std::vector<net::Color> event_colors_;
-  std::vector<std::pair<std::uint32_t, net::NodeId>> heap_;  ///< (rank, id) min-heap
-  std::vector<net::NodeId> changed_list_;
+  std::vector<net::NodeId> live_dirty_;   ///< this event's live, ranked seeds
+  std::vector<net::NodeId> changed_list_; ///< merged changes, sorted for apply
+  Frontier frontier_;                     ///< the serial propagation frontier
+
+  // Component-parallel machinery (idle unless recolor_threads resolves > 1).
+  DirtyComponents components_;
+  std::vector<Frontier> comp_frontiers_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace minim::strategies

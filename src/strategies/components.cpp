@@ -1,0 +1,126 @@
+#include "strategies/components.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace minim::strategies {
+
+std::uint32_t DirtyComponents::visit(net::NodeId v) {
+  if (visit_epoch_[v] == epoch_) return local_of_[v];
+  visit_epoch_[v] = epoch_;
+  const auto idx = static_cast<std::uint32_t>(members_.size());
+  local_of_[v] = idx;
+  members_.push_back(v);
+  parent_.push_back(idx);
+  uf_size_.push_back(1);
+  stack_.push_back(v);
+  return idx;
+}
+
+std::uint32_t DirtyComponents::find(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DirtyComponents::decompose(const net::ConflictGraph& cg,
+                                std::span<const std::uint32_t> rank,
+                                std::span<const net::NodeId> seeds,
+                                std::size_t node_cap) {
+  component_count_ = 0;
+  members_.clear();
+  parent_.clear();
+  uf_size_.clear();
+  stack_.clear();
+
+  const auto rank_of = [&rank](net::NodeId v) {
+    return v < rank.size() ? rank[v] : kUnranked;
+  };
+
+  // Visit arrays cover every id a conflict row can name, plus any seed id
+  // past the graph's bound (a seed with no row simply has no edges to walk).
+  std::size_t bound = cg.id_bound();
+  for (net::NodeId s : seeds)
+    bound = std::max<std::size_t>(bound, static_cast<std::size_t>(s) + 1);
+  if (visit_epoch_.size() < bound) {
+    visit_epoch_.resize(bound, 0);
+    local_of_.resize(bound, 0);
+  }
+  if (++epoch_ == 0) {  // stamp wraparound: invalidate all slots
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  for (net::NodeId s : seeds) {
+    if (rank_of(s) == kUnranked) continue;  // departed/unranked: no frontier
+    visit(s);
+    if (members_.size() > node_cap) return false;
+  }
+
+  // Fused BFS closure + union-find.  Every intra-closure conflict edge is
+  // crossed from its lower-rank endpoint (the closure is forward-closed), so
+  // uniting along walked edges unites along *all* edges of G[R]: the
+  // components are exactly the connected components of the restricted graph.
+  while (!stack_.empty()) {
+    const net::NodeId u = stack_.back();
+    stack_.pop_back();
+    const std::uint32_t lu = local_of_[u];
+    const std::uint32_t ru = rank_of(u);
+    if (u >= cg.id_bound()) continue;
+    for (net::NodeId w : cg.neighbors(u)) {
+      const std::uint32_t rw = rank_of(w);
+      if (rw == kUnranked || rw <= ru) continue;  // earlier rank: read-only
+      const std::uint32_t lw = visit(w);
+      if (members_.size() > node_cap) return false;
+      // Union by size.
+      std::uint32_t a = find(lu);
+      std::uint32_t b = find(lw);
+      if (a != b) {
+        if (uf_size_[a] < uf_size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        uf_size_[a] += uf_size_[b];
+      }
+    }
+  }
+
+  // Group the closure by union-find root into dense component ids, numbered
+  // by first appearance in discovery order (deterministic).
+  const auto n = static_cast<std::uint32_t>(members_.size());
+  comp_of_local_.resize(n);
+  root_comp_.assign(n, kUnranked);
+  member_offsets_.assign(1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find(i);
+    if (root_comp_[root] == kUnranked) {
+      root_comp_[root] = static_cast<std::uint32_t>(component_count_++);
+      member_offsets_.push_back(0);
+    }
+    const std::uint32_t c = root_comp_[root];
+    comp_of_local_[i] = c;
+    ++member_offsets_[c + 1];
+  }
+  for (std::size_t c = 0; c < component_count_; ++c)
+    member_offsets_[c + 1] += member_offsets_[c];
+
+  members_flat_.resize(n);
+  cursor_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i)
+    members_flat_[cursor_[comp_of_local_[i]]++] = members_[i];
+
+  // Scatter the seeds per component, preserving the caller's seed order.
+  seed_offsets_.assign(component_count_ + 1, 0);
+  for (net::NodeId s : seeds)
+    if (rank_of(s) != kUnranked) ++seed_offsets_[comp_of_local_[local_of_[s]] + 1];
+  for (std::size_t c = 0; c < component_count_; ++c)
+    seed_offsets_[c + 1] += seed_offsets_[c];
+  seeds_flat_.resize(seed_offsets_[component_count_]);
+  cursor_.assign(seed_offsets_.begin(), seed_offsets_.end() - 1);
+  for (net::NodeId s : seeds)
+    if (rank_of(s) != kUnranked)
+      seeds_flat_[cursor_[comp_of_local_[local_of_[s]]]++] = s;
+  return true;
+}
+
+}  // namespace minim::strategies

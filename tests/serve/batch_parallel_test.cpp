@@ -1,0 +1,179 @@
+// Engine-level plumbing for component-parallel batched recoloring: the
+// `AssignmentEngine::Params::recolor_threads` knob must reach the strategy
+// (owned-by-name and borrowed constructions), engage on clustered batches,
+// and produce receipts and codes identical to a serial twin.  This suite is
+// also the serving-side TSan target for the parallel recolor fan-out (the
+// CI thread-sanitizer leg filters it in by name).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "sim/trace.hpp"
+#include "strategies/bbb.hpp"
+#include "util/rng.hpp"
+
+namespace minim::serve {
+namespace {
+
+using Kind = sim::TraceEvent::Kind;
+
+/// A 4-cluster churn workload: clusters sit at distant corners, so a batch
+/// touching several clusters dirties disjoint regions — the decomposable
+/// regime the parallel pass exists for.
+sim::Trace clustered_workload(std::size_t per_cluster, std::size_t churn,
+                              std::uint64_t seed) {
+  const double cx[] = {10.0, 90.0, 10.0, 90.0};
+  const double cy[] = {10.0, 10.0, 90.0, 90.0};
+  util::Rng rng(seed);
+  sim::Trace trace;
+  std::size_t joined = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      sim::TraceEvent e;
+      e.kind = Kind::kJoin;
+      e.position = {cx[c] + rng.uniform(-4.0, 4.0),
+                    cy[c] + rng.uniform(-4.0, 4.0)};
+      e.range = rng.uniform(4.0, 9.0);
+      trace.push_back(e);
+      ++joined;
+    }
+  }
+  for (std::size_t i = 0; i < churn; ++i) {
+    sim::TraceEvent e;
+    e.node = rng.below(joined);  // all joins stay live in this workload
+    if (rng.chance(0.5)) {
+      e.kind = Kind::kPower;
+      e.range = rng.uniform(4.0, 9.0);
+    } else {
+      e.kind = Kind::kMove;
+      const std::size_t c = rng.below(4);
+      e.position = {cx[c] + rng.uniform(-4.0, 4.0),
+                    cy[c] + rng.uniform(-4.0, 4.0)};
+    }
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+/// Applies `trace` in fixed-size batches; returns the receipts.
+std::vector<BatchReceipt> drive(AssignmentEngine& engine,
+                                const sim::Trace& trace, std::size_t batch) {
+  std::vector<BatchReceipt> receipts;
+  for (std::size_t at = 0; at < trace.size(); at += batch) {
+    const std::size_t take = std::min(batch, trace.size() - at);
+    receipts.push_back(engine.apply_batch(
+        std::span<const sim::TraceEvent>(trace.data() + at, take)));
+  }
+  return receipts;
+}
+
+strategies::BbbStrategy::Params bounded_params(std::size_t threads) {
+  strategies::BbbStrategy::Params p;
+  p.bounded_propagation = true;
+  // The tight clusters mean one batch dirties whole clusters at once;
+  // disarm the dirty-fraction gate and widen the budget so every batch
+  // stays on the bounded path (where the parallel pass lives).
+  p.full_recolor_fraction = 1.1;
+  p.propagation_slack = 1.0;
+  p.recolor_threads = threads;
+  return p;
+}
+
+TEST(BatchParallelServe, EngineParamsReachBorrowedStrategy) {
+  strategies::BbbStrategy bbb(strategies::ColoringOrder::kSmallestLast,
+                              bounded_params(1));
+  AssignmentEngine::Params params;
+  params.recolor_threads = 4;
+  AssignmentEngine engine(bbb, params);
+  EXPECT_EQ(bbb.params().recolor_threads, 4u);
+}
+
+TEST(BatchParallelServe, ParallelEngagesAndMatchesSerialExactly) {
+  const sim::Trace trace = clustered_workload(12, 512, 7401);
+
+  strategies::BbbStrategy serial_bbb(strategies::ColoringOrder::kSmallestLast,
+                                     bounded_params(1));
+  strategies::BbbStrategy parallel_bbb(
+      strategies::ColoringOrder::kSmallestLast, bounded_params(4));
+  AssignmentEngine serial(serial_bbb);
+  AssignmentEngine parallel(parallel_bbb);
+
+  const std::vector<BatchReceipt> serial_receipts = drive(serial, trace, 64);
+  const std::vector<BatchReceipt> parallel_receipts =
+      drive(parallel, trace, 64);
+
+  EXPECT_GT(parallel_bbb.counters().parallel_events, 0u)
+      << "clustered batches never decomposed into parallel components";
+  EXPECT_EQ(serial_bbb.counters().parallel_events, 0u);
+
+  // Receipts must agree on everything but wall clocks.
+  ASSERT_EQ(serial_receipts.size(), parallel_receipts.size());
+  for (std::size_t i = 0; i < serial_receipts.size(); ++i) {
+    const BatchReceipt& s = serial_receipts[i];
+    const BatchReceipt& p = parallel_receipts[i];
+    EXPECT_EQ(s.events, p.events) << "batch " << i;
+    EXPECT_EQ(s.recoded, p.recoded) << "batch " << i;
+    EXPECT_EQ(s.repairs, p.repairs) << "batch " << i;
+    EXPECT_EQ(s.coalesced, p.coalesced) << "batch " << i;
+    EXPECT_EQ(s.fallback, p.fallback) << "batch " << i;
+    EXPECT_EQ(s.max_color, p.max_color) << "batch " << i;
+    EXPECT_EQ(s.live_nodes, p.live_nodes) << "batch " << i;
+  }
+  for (std::size_t node = 0; node < serial.joined(); ++node) {
+    ASSERT_EQ(serial.is_live(node), parallel.is_live(node));
+    if (serial.is_live(node)) {
+      EXPECT_EQ(serial.code_of(node), parallel.code_of(node))
+          << "join index " << node;
+    }
+  }
+}
+
+TEST(BatchParallelServe, OwnedStrategyByNameMatchesSerial) {
+  // The owned-by-name path (cdma_drive --serve --recolor-threads=N): same
+  // workload, engine-constructed strategies, identical final codes.
+  const sim::Trace trace = clustered_workload(10, 256, 7402);
+
+  AssignmentEngine serial{std::string("bbb-bounded")};
+  AssignmentEngine::Params params;
+  params.recolor_threads = 2;
+  AssignmentEngine parallel("bbb-bounded", params);
+
+  drive(serial, trace, 128);
+  drive(parallel, trace, 128);
+
+  ASSERT_EQ(serial.joined(), parallel.joined());
+  EXPECT_EQ(serial.summary().max_color, parallel.summary().max_color);
+  for (std::size_t node = 0; node < serial.joined(); ++node) {
+    if (serial.is_live(node)) {
+      EXPECT_EQ(serial.code_of(node), parallel.code_of(node))
+          << "join index " << node;
+    }
+  }
+}
+
+TEST(BatchParallelServe, ThreadsZeroResolvesToHardware) {
+  // recolor_threads=0 (auto) must construct and serve correctly whatever
+  // the machine's core count — including 1, where it degrades to serial.
+  strategies::BbbStrategy bbb(strategies::ColoringOrder::kSmallestLast,
+                              bounded_params(0));
+  AssignmentEngine engine(bbb);
+  strategies::BbbStrategy reference_bbb(
+      strategies::ColoringOrder::kSmallestLast, bounded_params(1));
+  AssignmentEngine reference(reference_bbb);
+  const sim::Trace trace = clustered_workload(8, 128, 7403);
+  drive(engine, trace, 64);
+  drive(reference, trace, 64);
+  for (std::size_t node = 0; node < reference.joined(); ++node) {
+    if (reference.is_live(node)) {
+      EXPECT_EQ(engine.code_of(node), reference.code_of(node))
+          << "join index " << node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minim::serve

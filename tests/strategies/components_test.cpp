@@ -1,0 +1,263 @@
+// DirtyComponents: the rank-bounded closure decomposer behind BbbStrategy's
+// component-parallel recoloring.  Crafted topologies pin the independence
+// contract — one giant component, all singletons, two regions sharing a
+// boundary-rank node (earlier rank: stays split; later rank: must merge),
+// departed/reborn ids — plus the budget-cap refusal and scratch reuse, and
+// an integration case over a real clustered network with orderer-maintained
+// ranks.
+
+#include "strategies/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/conflict_graph.hpp"
+#include "net/network.hpp"
+#include "strategies/coloring.hpp"
+#include "strategies/ordering.hpp"
+
+namespace {
+
+using minim::graph::Digraph;
+using minim::net::AdhocNetwork;
+using minim::net::ConflictGraph;
+using minim::net::NodeId;
+using minim::strategies::DirtyComponents;
+
+constexpr std::uint32_t kUnranked = DirtyComponents::kUnranked;
+
+/// A directed chain 0 -> 1 -> ... -> n-1; its conflict graph is the
+/// undirected path over the same ids (every CA1 pair, no CA2 pairs).
+ConflictGraph chain(std::size_t n) {
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node();
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  return ConflictGraph::build_from(g);
+}
+
+/// Identity ranks over ids [0, n): rank(v) == v.
+std::vector<std::uint32_t> identity_ranks(std::size_t n) {
+  std::vector<std::uint32_t> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<std::uint32_t>(i);
+  return ranks;
+}
+
+std::vector<NodeId> sorted_members(const DirtyComponents& dc, std::size_t c) {
+  const auto span = dc.members(c);
+  std::vector<NodeId> out(span.begin(), span.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The component index owning `v`, or count() when no component does.
+std::size_t component_of(const DirtyComponents& dc, NodeId v) {
+  for (std::size_t c = 0; c < dc.count(); ++c) {
+    const auto span = dc.members(c);
+    if (std::find(span.begin(), span.end(), v) != span.end()) return c;
+  }
+  return dc.count();
+}
+
+TEST(DirtyComponents, OneGiantComponentFromSingleSeed) {
+  const ConflictGraph cg = chain(10);
+  const auto ranks = identity_ranks(10);
+  const std::vector<NodeId> seeds = {0};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 10));
+  EXPECT_EQ(dc.count(), 1u);
+  EXPECT_EQ(dc.closure_size(), 10u);
+  const auto members = sorted_members(dc, 0);
+  EXPECT_EQ(members.size(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(members[v], v);
+  ASSERT_EQ(dc.seeds(0).size(), 1u);
+  EXPECT_EQ(dc.seeds(0)[0], 0u);
+}
+
+TEST(DirtyComponents, AllSingletonsWhenNoEdges) {
+  // Ten isolated ids: every seed is its own closure and its own component.
+  Digraph g;
+  for (int i = 0; i < 10; ++i) g.add_node();
+  const ConflictGraph cg = ConflictGraph::build_from(g);
+  const auto ranks = identity_ranks(10);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 10; ++v) seeds.push_back(v);
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 10));
+  EXPECT_EQ(dc.count(), 10u);
+  EXPECT_EQ(dc.closure_size(), 10u);
+  for (std::size_t c = 0; c < dc.count(); ++c) {
+    ASSERT_EQ(dc.members(c).size(), 1u);
+    ASSERT_EQ(dc.seeds(c).size(), 1u);
+    EXPECT_EQ(dc.members(c)[0], dc.seeds(c)[0]);
+  }
+}
+
+TEST(DirtyComponents, SharedEarlierRankBoundaryNodeStaysTwoComponents) {
+  // b(rank 0) touches both regions, but propagation only ever *reads* an
+  // earlier-ranked neighbor's color — b is not entered, and the regions
+  // x={1,2} and y={3,4} remain independent.
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  g.add_edge(0, 1);  // b - x1
+  g.add_edge(0, 3);  // b - y1
+  g.add_edge(1, 2);  // x1 - x2
+  g.add_edge(3, 4);  // y1 - y2
+  const ConflictGraph cg = ConflictGraph::build_from(g);
+  const auto ranks = identity_ranks(5);
+  const std::vector<NodeId> seeds = {1, 3};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 5));
+  ASSERT_EQ(dc.count(), 2u);
+  EXPECT_EQ(dc.closure_size(), 4u);
+  EXPECT_EQ(component_of(dc, 0), dc.count()) << "boundary node must stay out";
+  const std::size_t cx = component_of(dc, 1);
+  const std::size_t cy = component_of(dc, 3);
+  ASSERT_NE(cx, dc.count());
+  ASSERT_NE(cy, dc.count());
+  EXPECT_NE(cx, cy);
+  EXPECT_EQ(sorted_members(dc, cx), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(sorted_members(dc, cy), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(DirtyComponents, SharedLaterRankBoundaryNodeMergesComponents) {
+  // The shared node ranks *after* both seeds, so both frontiers can write
+  // it — the decomposition must fuse the regions into one component.
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const ConflictGraph cg = ConflictGraph::build_from(g);
+  const auto ranks = identity_ranks(3);
+  const std::vector<NodeId> seeds = {0, 1};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 3));
+  ASSERT_EQ(dc.count(), 1u);
+  EXPECT_EQ(sorted_members(dc, 0), (std::vector<NodeId>{0, 1, 2}));
+  const auto s = dc.seeds(0);
+  ASSERT_EQ(s.size(), 2u);  // caller's seed order preserved
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 1u);
+}
+
+TEST(DirtyComponents, DepartedIdsBlockAndAreSkipped) {
+  // Mid-chain id 1 is tombstoned (departed): as a seed it is skipped, as a
+  // neighbor it is never entered — the closure stops at the tombstone.
+  const ConflictGraph cg = chain(3);
+  std::vector<std::uint32_t> ranks = identity_ranks(3);
+  ranks[1] = kUnranked;
+  const std::vector<NodeId> seeds = {0, 1};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 3));
+  ASSERT_EQ(dc.count(), 1u);
+  EXPECT_EQ(sorted_members(dc, 0), (std::vector<NodeId>{0}));
+  ASSERT_EQ(dc.seeds(0).size(), 1u);
+  EXPECT_EQ(dc.seeds(0)[0], 0u);
+}
+
+TEST(DirtyComponents, RebornIdRanksAtTheTail) {
+  // A reborn id re-enters the order appended at the tail (the orderer's
+  // contract), so it is reachable from every neighbor but propagates to
+  // none of its earlier-ranked ones.
+  const ConflictGraph cg = chain(3);
+  std::vector<std::uint32_t> ranks = identity_ranks(3);
+  ranks[1] = 7;  // reborn: later than everything else
+  const std::vector<NodeId> seeds = {0};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 3));
+  ASSERT_EQ(dc.count(), 1u);
+  // 2 stays out: its only path in runs through rank-decreasing edge 1 -> 2.
+  EXPECT_EQ(sorted_members(dc, 0), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DirtyComponents, RefusesWhenClosureExceedsCap) {
+  const ConflictGraph cg = chain(10);
+  const auto ranks = identity_ranks(10);
+  const std::vector<NodeId> seeds = {0};
+
+  DirtyComponents dc;
+  EXPECT_FALSE(dc.decompose(cg, ranks, seeds, 9));
+  EXPECT_FALSE(dc.decompose(cg, ranks, seeds, 5));
+  EXPECT_TRUE(dc.decompose(cg, ranks, seeds, 10));
+  EXPECT_EQ(dc.closure_size(), 10u);
+}
+
+TEST(DirtyComponents, SeedPastGraphBoundIsItsOwnSingleton) {
+  // A live, ranked id with no conflict row (beyond the graph's id bound)
+  // must decompose as an isolated singleton, not crash the row walk.
+  const ConflictGraph cg = chain(2);
+  const auto ranks = identity_ranks(20);
+  const std::vector<NodeId> seeds = {15, 0};
+
+  DirtyComponents dc;
+  ASSERT_TRUE(dc.decompose(cg, ranks, seeds, 20));
+  ASSERT_EQ(dc.count(), 2u);
+  EXPECT_EQ(sorted_members(dc, component_of(dc, 15)),
+            (std::vector<NodeId>{15}));
+  EXPECT_EQ(sorted_members(dc, component_of(dc, 0)),
+            (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DirtyComponents, ScratchReusesCleanlyAcrossGraphs) {
+  DirtyComponents dc;
+  const ConflictGraph a = chain(6);
+  ASSERT_TRUE(dc.decompose(a, identity_ranks(6), std::vector<NodeId>{0}, 6));
+  EXPECT_EQ(dc.count(), 1u);
+
+  Digraph g;  // two disjoint edges: 0-1, 2-3
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const ConflictGraph b = ConflictGraph::build_from(g);
+  ASSERT_TRUE(
+      dc.decompose(b, identity_ranks(4), std::vector<NodeId>{0, 2}, 4));
+  EXPECT_EQ(dc.count(), 2u);
+  EXPECT_EQ(dc.closure_size(), 4u);
+
+  // And a refusal in between must not poison the next decompose.
+  EXPECT_FALSE(dc.decompose(a, identity_ranks(6), std::vector<NodeId>{0}, 2));
+  ASSERT_TRUE(dc.decompose(a, identity_ranks(6), std::vector<NodeId>{0}, 6));
+  EXPECT_EQ(dc.count(), 1u);
+  EXPECT_EQ(dc.closure_size(), 6u);
+}
+
+TEST(DirtyComponents, ClusteredNetworkWithMaintainedRanksSplitsByCluster) {
+  // Integration: two spatially distant clusters of a real AdhocNetwork,
+  // ranks maintained by the orderer exactly as bounded BBB maintains them.
+  AdhocNetwork net;
+  std::vector<NodeId> cluster_a, cluster_b;
+  for (int i = 0; i < 3; ++i)
+    cluster_a.push_back(net.add_node({{static_cast<double>(i), 0.0}, 2.0}));
+  for (int i = 0; i < 3; ++i)
+    cluster_b.push_back(
+        net.add_node({{50.0 + static_cast<double>(i), 50.0}, 2.0}));
+
+  minim::strategies::DegeneracyOrderer orderer;
+  const std::vector<NodeId> sequence = minim::strategies::coloring_sequence(
+      net, net.nodes(), minim::strategies::ColoringOrder::kSmallestLast);
+  orderer.rebuild_ranks(net, sequence);
+
+  std::vector<NodeId> seeds = net.nodes();
+  DirtyComponents dc;
+  ASSERT_TRUE(
+      dc.decompose(net.conflict_graph(), orderer.rank_index(), seeds, 6));
+  ASSERT_EQ(dc.count(), 2u);
+  EXPECT_EQ(dc.closure_size(), 6u);
+  for (NodeId a : cluster_a)
+    EXPECT_EQ(component_of(dc, a), component_of(dc, cluster_a[0]));
+  for (NodeId b : cluster_b)
+    EXPECT_EQ(component_of(dc, b), component_of(dc, cluster_b[0]));
+  EXPECT_NE(component_of(dc, cluster_a[0]), component_of(dc, cluster_b[0]));
+}
+
+}  // namespace

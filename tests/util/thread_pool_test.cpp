@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -70,6 +71,56 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   std::atomic<int> counter{0};
   pool.parallel_for(257, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 257);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  // The recolor fan-out's common case: a handful of dirty components on a
+  // wider pool.  Exactly `count` helpers are enlisted; every index runs once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.parallel_for(3, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForReusableAfterException) {
+  // A throwing batch must not poison the pool: the same pool serves a clean
+  // parallel_for afterwards (the strategy keeps one pool across events).
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   64, [&](std::size_t i) {
+                     if (i % 7 == 3) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForRunsOnCallerWhenWorkersBusy) {
+  // The caller participates in its own loop, so a pool whose workers are
+  // wedged on other work still completes (the no-deadlock guarantee the
+  // recolor fan-out leans on).
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto wedged = pool.submit([gate] { gate.wait(); });
+  std::atomic<int> counter{0};
+  // The lone worker stays wedged until every iteration has run, so the
+  // caller must execute all ten itself; the final iteration unwedges the
+  // worker so parallel_for's helper task (queued behind it) can retire.
+  pool.parallel_for(10, [&](std::size_t) {
+    if (counter.fetch_add(1) + 1 == 10) release.set_value();
+  });
+  EXPECT_EQ(counter.load(), 10);
+  wedged.get();
+}
+
+TEST(ThreadPool, BackToBackParallelForsReuseThePool) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (std::size_t round = 1; round <= 20; ++round)
+    pool.parallel_for(round, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 20L * 21L / 2L);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue) {
