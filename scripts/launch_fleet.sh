@@ -1,0 +1,49 @@
+#!/bin/sh
+# Launch a fleet of worker agents against a running driver.
+#
+# The driver side is any fleet-aware harness started with --fleet=PORT, e.g.:
+#
+#   ./build/bench/cdma_drive --trials=200 --axes=n:100:200:300 --fleet=5001 --units=24
+#
+# Then, on each worker machine (or in a second terminal for loopback):
+#
+#   scripts/launch_fleet.sh HOST:PORT [AGENTS] [CAPACITY] [BINARY]
+#
+#   HOST:PORT  the driver's address (e.g. 127.0.0.1:5001)
+#   AGENTS     how many agent processes to start here (default 1)
+#   CAPACITY   per-agent concurrent units (default: agent decides = cores)
+#   BINARY     the harness binary (default ./build/bench/cdma_drive); must be
+#              the same build as the driver — agents re-invoke it per unit
+#
+# Agents exit on the driver's SHUTDOWN, so this script waits for all of them.
+
+set -eu
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 HOST:PORT [AGENTS] [CAPACITY] [BINARY]" >&2
+  exit 2
+fi
+
+TARGET="$1"
+AGENTS="${2:-1}"
+CAPACITY="${3:-0}"
+BINARY="${4:-./build/bench/cdma_drive}"
+
+if [ ! -x "$BINARY" ]; then
+  echo "launch_fleet: '$BINARY' is not an executable (build the bench harnesses first)" >&2
+  exit 2
+fi
+
+i=0
+while [ "$i" -lt "$AGENTS" ]; do
+  SCRATCH="fleet-agent-$i-scratch"
+  if [ "$CAPACITY" -gt 0 ]; then
+    "$BINARY" --worker-agent="$TARGET" --capacity="$CAPACITY" \
+      --agent-scratch="$SCRATCH" &
+  else
+    "$BINARY" --worker-agent="$TARGET" --agent-scratch="$SCRATCH" &
+  fi
+  i=$((i + 1))
+done
+
+wait

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/fd_io.hpp"
 #include "util/require.hpp"
 
 namespace minim::serve {
@@ -234,16 +235,9 @@ std::size_t TcpServerTransport::read_available(std::vector<std::string>& lines,
 }
 
 void TcpServerTransport::send_all(const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t wrote =
-        ::send(client_fd_, data + sent, size - sent, MSG_NOSIGNAL);
-    if (wrote > 0) {
-      sent += static_cast<std::size_t>(wrote);
-    } else if (errno != EINTR) {
-      return;  // client went away mid-response; the next read sees EOF
-    }
-  }
+  // Short-write/EINTR handling lives in util::write_all; a false return
+  // means the client went away mid-response — the next read sees EOF.
+  util::write_all(client_fd_, data, size);
 }
 
 void TcpServerTransport::write_line(std::string_view line) {

@@ -32,6 +32,10 @@
 /// migrated harness gains `--orchestrate k`), and `bench/cdma_drive.cpp` is
 /// the standalone front-end.
 
+namespace minim::util {
+class WorkerPool;
+}
+
 namespace minim::sim {
 
 struct OrchestratorOptions {
@@ -52,6 +56,13 @@ struct OrchestratorOptions {
   std::string scratch_dir = "orchestrate-scratch";
   bool resume = false;        ///< reuse `done` units from a prior manifest
   bool keep_scratch = false;  ///< keep shard CSVs/logs after a full merge
+  /// Where the units execute.  Null = an internal `util::ProcessPool` of
+  /// `workers` local processes (the classic `--orchestrate` path).  A
+  /// borrowed pool — e.g. `util::RemotePool` driving a TCP worker fleet —
+  /// swaps the execution substrate without the orchestrator noticing:
+  /// manifest, retry accounting, shard validation, and the merge are
+  /// identical either way.  Not owned.
+  util::WorkerPool* pool = nullptr;
   /// Live progress sink (one human-readable line per lifecycle event);
   /// empty = silent.
   std::function<void(const std::string&)> progress;

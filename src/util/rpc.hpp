@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// \file rpc.hpp
+/// \brief The fleet wire protocol: length-prefixed frames between the
+/// driver (`util::RemotePool`) and worker agents.
+///
+/// A frame is `u32 type | u32 payload_length | payload` (little-endian on
+/// every platform we build for; the codec writes bytes explicitly so the
+/// format is fixed regardless).  Four frame types carry the whole protocol:
+///
+///     agent -> driver   HELLO   {capacity, name}        once, on connect
+///     driver -> agent   JOB     {job id, argv tail}     one per dispatch
+///     agent -> driver   RESULT  {job id, ok, exit code, log, result bytes}
+///     driver -> agent   SHUTDOWN (empty)                end of batch
+///
+/// The agent is this same binary re-invoked with `--worker-agent=host:port`:
+/// for each JOB it re-invokes itself *again* as a subprocess (crash
+/// isolation — a worker that dies produces a failed RESULT, not a dead
+/// agent), rewrites the job's `--unit-out=` argument to an agent-local
+/// scratch path, and streams the produced file's bytes back in the RESULT.
+/// Jobs run concurrently on agent-side threads; the driver never dispatches
+/// more than the advertised capacity, so the agent needs no queue.
+///
+/// Framing sits on util::read_exact / util::write_all, so short reads,
+/// short writes, EINTR and SIGPIPE are already handled one layer down.
+
+namespace minim::util {
+
+enum class RpcType : std::uint32_t {
+  kHello = 1,
+  kJob = 2,
+  kResult = 3,
+  kShutdown = 4,
+};
+
+struct RpcFrame {
+  RpcType type = RpcType::kShutdown;
+  std::string payload;
+};
+
+enum class RecvStatus {
+  kFrame,   ///< a complete frame was read
+  kClosed,  ///< clean EOF between frames (peer finished the session)
+  kError,   ///< truncated frame, I/O error, or oversized payload
+};
+
+/// Writes one frame; false when the peer is gone.
+bool send_frame(int fd, RpcType type, const std::string& payload);
+
+/// Reads one frame.  `max_payload` bounds the allocation a malformed or
+/// hostile length prefix could demand.
+RecvStatus recv_frame(int fd, RpcFrame& frame,
+                      std::size_t max_payload = std::size_t{1} << 30);
+
+// ------------------------------------------------------------------ payloads
+
+/// Agent self-description, sent once after connecting.
+struct AgentHello {
+  std::uint32_t capacity = 1;  ///< concurrent jobs the agent will accept
+  std::string name;            ///< for logs/stats ("host:pid")
+};
+
+/// One dispatched job.  `args` is the argv *tail* (program path excluded —
+/// the agent substitutes its own binary, which is the same build).
+struct JobRequest {
+  std::uint64_t job = 0;  ///< driver-side job index
+  std::vector<std::string> args;
+};
+
+/// The agent's answer.  `bytes` is the produced artifact (shard CSV) when
+/// ok; `log` is the tail of the worker's captured stdout+stderr (failure
+/// diagnosis travels with the failure).
+struct JobResult {
+  std::uint64_t job = 0;
+  bool ok = false;
+  std::int32_t exit_code = -1;
+  std::string log;
+  std::string bytes;
+};
+
+std::string encode_hello(const AgentHello& hello);
+bool decode_hello(const std::string& payload, AgentHello& hello);
+
+std::string encode_job(const JobRequest& request);
+bool decode_job(const std::string& payload, JobRequest& request);
+
+std::string encode_result(const JobResult& result);
+bool decode_result(const std::string& payload, JobResult& result);
+
+// -------------------------------------------------------------- agent side
+
+/// Connects to `host:port`; -1 on failure (caller decides whether to retry).
+int connect_tcp(const std::string& host, std::uint16_t port);
+
+struct AgentOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t capacity = 0;  ///< 0 = hardware concurrency
+  std::string name;            ///< advertised identity; empty = "host:pid"
+  /// Failure injection: after sending this many results, drop the
+  /// connection and return (a simulated agent crash).  0 = never.
+  std::size_t die_after = 0;
+  double delay_s = 0.0;  ///< artificial per-job slowdown (straggler injection)
+  /// Progress sink (agent stdout normally); null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// Executes one JobRequest, blocking; called on an agent worker thread.
+using JobRunner = std::function<JobResult(const JobRequest&)>;
+
+/// The agent main loop: connect, HELLO, then serve JOB frames until
+/// SHUTDOWN or disconnect.  Jobs run on detached-joinable threads, at most
+/// `capacity` live by protocol (the driver never over-dispatches).
+/// Returns the process exit code (0 = clean shutdown).
+int run_worker_agent(const AgentOptions& options, const JobRunner& runner);
+
+/// The production JobRunner: re-invokes `self_exe_path()` with the job's
+/// argv tail, rewriting any `--unit-out=` argument to a file under
+/// `scratch_dir`, captures the worker's output, and reads the produced
+/// file's bytes into the result.
+JobRunner subprocess_job_runner(const std::string& scratch_dir);
+
+}  // namespace minim::util

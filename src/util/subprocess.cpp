@@ -86,8 +86,9 @@ std::vector<ProcessOutcome> ProcessPool::run_all(
   std::unordered_map<pid_t, Running> running;
 
   auto notify = [&observer](ProcessEvent::Kind kind, std::size_t index,
-                            std::size_t attempt, const ProcessOutcome* outcome) {
-    if (observer) observer(ProcessEvent{kind, index, attempt, outcome});
+                            std::size_t attempt, double wall_s,
+                            const ProcessOutcome* outcome) {
+    if (observer) observer(ProcessEvent{kind, index, attempt, wall_s, outcome});
   };
 
   // One attempt ended (or could not start): record it, then either requeue
@@ -101,10 +102,10 @@ std::vector<ProcessOutcome> ProcessPool::run_all(
     outcome.attempts = attempt;
     outcome.wall_s = wall_s;
     if (!outcome.ok() && attempt < specs[index].max_attempts) {
-      notify(ProcessEvent::Kind::kRetry, index, attempt, &outcome);
+      notify(ProcessEvent::Kind::kRetry, index, attempt, wall_s, &outcome);
       pending.push_back(index);
     } else {
-      notify(ProcessEvent::Kind::kFinish, index, attempt, &outcome);
+      notify(ProcessEvent::Kind::kFinish, index, attempt, wall_s, &outcome);
     }
   };
 
@@ -114,7 +115,7 @@ std::vector<ProcessOutcome> ProcessPool::run_all(
       const std::size_t index = pending.front();
       pending.pop_front();
       const std::size_t attempt = outcomes[index].attempts + 1;
-      notify(ProcessEvent::Kind::kStart, index, attempt, nullptr);
+      notify(ProcessEvent::Kind::kStart, index, attempt, 0.0, nullptr);
       const pid_t pid = spawn(specs[index]);
       if (pid < 0) {
         settle(index, attempt, -1, 0, false, 0.0);
@@ -175,5 +176,61 @@ std::vector<ProcessOutcome> ProcessPool::run_all(
 }
 
 #endif
+
+std::vector<WorkerOutcome> ProcessPool::run_jobs(
+    const std::vector<WorkerJob>& jobs, const WorkerPool::Observer& observer) {
+  std::vector<ProcessSpec> specs;
+  specs.reserve(jobs.size());
+  for (const WorkerJob& job : jobs) {
+    ProcessSpec spec;
+    spec.args = job.args;
+    spec.stdout_path = job.log_path;
+    spec.timeout_s = job.timeout_s;
+    spec.max_attempts = job.max_attempts;
+    specs.push_back(std::move(spec));
+  }
+
+  // Translated per-event so ledger updates (shard manifests) stay live; the
+  // WorkerOutcome view is rebuilt from the ProcessOutcome each time because
+  // run_all only hands out pointers into its own outcome array.
+  std::vector<WorkerOutcome> outcomes(jobs.size());
+  auto translate = [&](const ProcessEvent& event) {
+    WorkerPoolEvent out;
+    switch (event.kind) {
+      case ProcessEvent::Kind::kStart:
+        out.kind = WorkerPoolEvent::Kind::kStart;
+        break;
+      case ProcessEvent::Kind::kRetry:
+        out.kind = WorkerPoolEvent::Kind::kRetry;
+        break;
+      case ProcessEvent::Kind::kFinish:
+        out.kind = WorkerPoolEvent::Kind::kFinish;
+        break;
+    }
+    out.index = event.index;
+    out.attempt = event.attempt;
+    out.wall_s = event.wall_s;
+    if (event.outcome != nullptr) {
+      WorkerOutcome& worker = outcomes[event.index];
+      worker.ok = event.outcome->ok();
+      worker.attempts = event.outcome->attempts;
+      worker.wall_s = event.outcome->wall_s;
+      worker.timed_out = event.outcome->timed_out;
+      worker.exit_code = event.outcome->exit_code;
+      out.outcome = &worker;
+    }
+    observer(out);
+  };
+  const std::vector<ProcessOutcome> raw =
+      run_all(specs, observer ? Observer(translate) : Observer{});
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    outcomes[i].ok = raw[i].ok();
+    outcomes[i].attempts = raw[i].attempts;
+    outcomes[i].wall_s = raw[i].wall_s;
+    outcomes[i].timed_out = raw[i].timed_out;
+    outcomes[i].exit_code = raw[i].exit_code;
+  }
+  return outcomes;
+}
 
 }  // namespace minim::util

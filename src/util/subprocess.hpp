@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/worker_pool.hpp"
+
 /// \file subprocess.hpp
 /// \brief Self-spawning worker processes for multi-process scale-out.
 ///
@@ -66,11 +68,15 @@ struct ProcessEvent {
   Kind kind = Kind::kStart;
   std::size_t index = 0;    ///< spec index in the batch
   std::size_t attempt = 0;  ///< 1-based attempt number
+  /// Per-attempt wall clock (kRetry/kFinish; 0 for kStart) — the signal a
+  /// straggler policy (util::StragglerTracker) consumes, reported here so
+  /// local and remote pools feed the same threshold logic.
+  double wall_s = 0.0;
   /// Set for kFinish/kRetry: the outcome of the attempt that just ended.
   const ProcessOutcome* outcome = nullptr;
 };
 
-class ProcessPool {
+class ProcessPool final : public WorkerPool {
  public:
   using Observer = std::function<void(const ProcessEvent&)>;
 
@@ -82,6 +88,13 @@ class ProcessPool {
   /// on worker failure — inspect `ProcessOutcome::ok()`.
   std::vector<ProcessOutcome> run_all(const std::vector<ProcessSpec>& specs,
                                       const Observer& observer = {});
+
+  /// WorkerPool face of the same machinery: each job's argv runs as a
+  /// local child process (the argv writes `out_path` itself, so an ok
+  /// outcome implies the file exists).
+  std::vector<WorkerOutcome> run_jobs(
+      const std::vector<WorkerJob>& jobs,
+      const WorkerPool::Observer& observer = {}) override;
 
   std::size_t max_parallel() const { return max_parallel_; }
 

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// \file worker_pool.hpp
+/// \brief The pool abstraction the experiment orchestrator schedules over.
+///
+/// `sim::Orchestrator` plans work units and merges shards; it does not care
+/// *where* a unit runs.  `WorkerPool` is that seam: a batch of `WorkerJob`s
+/// — each a worker argv plus the result file it must produce — runs to
+/// completion under bounded retry, and the pool reports outcomes indexed
+/// like the jobs.  Two implementations exist:
+///
+///   * `util::ProcessPool` (subprocess.hpp) — fork/exec workers on this
+///     machine; the worker argv writes the result file directly;
+///   * `util::RemotePool` (remote_pool.hpp) — a TCP driver dispatching the
+///     same argv to remote worker agents (util/rpc.hpp), which re-invoke
+///     their own binary and stream the result bytes back; the pool then
+///     writes the file.
+///
+/// Either way the contract is: `outcome.ok()` implies `job.out_path` holds
+/// the job's complete result.  Shard results are byte-identical by
+/// construction (deterministic per-unit streams), which is what makes the
+/// remote pool's speculative straggler re-dispatch safe: whichever copy
+/// finishes first wins, and a late duplicate is discarded unread.
+
+namespace minim::util {
+
+/// One unit of work: a worker argv (args[0] is the program path) that must
+/// produce `out_path` and exit 0.  Remote pools replace args[0] with the
+/// agent's own binary and rewrite any `--unit-out=` argument to an
+/// agent-local path, so the same job description works on both pools.
+struct WorkerJob {
+  std::vector<std::string> args;
+  std::string out_path;  ///< the result artifact the job must produce
+  std::string log_path;  ///< worker stdout+stderr capture; empty = inherit
+  double timeout_s = 0.0;        ///< per-attempt deadline; 0 = none
+  std::size_t max_attempts = 1;  ///< total tries (1 = no retry)
+};
+
+/// Final state of one job after its last attempt.
+struct WorkerOutcome {
+  bool ok = false;
+  std::size_t attempts = 0;  ///< charged tries (speculative copies are free)
+  double wall_s = 0.0;       ///< wall clock of the deciding attempt
+  bool timed_out = false;    ///< the last attempt hit its deadline
+  int exit_code = -1;        ///< worker exit status when known (-1 otherwise)
+  std::string executor;      ///< who ran the deciding attempt (agent name; empty = local process)
+};
+
+/// Lifecycle notification for live progress and ledger updates.
+struct WorkerPoolEvent {
+  enum class Kind {
+    kStart,       ///< an attempt was dispatched
+    kRetry,       ///< an attempt failed; another will run
+    kFinish,      ///< the job is done (see outcome->ok)
+    kRedispatch,  ///< a speculative straggler copy was dispatched
+    kAgentJoin,   ///< a remote agent connected (remote pools only)
+    kAgentLost,   ///< a remote agent disconnected; its jobs were requeued
+  };
+  Kind kind = Kind::kStart;
+  std::size_t index = 0;    ///< job index; 0 for agent-level events
+  std::size_t attempt = 0;  ///< 1-based attempt number
+  /// Per-attempt wall clock, set on kRetry/kFinish — both pools report it,
+  /// so one straggler-threshold policy (StragglerTracker) serves both.
+  double wall_s = 0.0;
+  const WorkerOutcome* outcome = nullptr;  ///< set on kRetry/kFinish
+  std::string detail;  ///< agent name / human-readable context
+};
+
+class WorkerPool {
+ public:
+  using Observer = std::function<void(const WorkerPoolEvent&)>;
+
+  virtual ~WorkerPool() = default;
+
+  /// Runs every job to completion under its retry budget; never throws on
+  /// job failure (inspect outcomes).  May throw when the pool itself is
+  /// unusable (no platform support, every agent gone).
+  virtual std::vector<WorkerOutcome> run_jobs(
+      const std::vector<WorkerJob>& jobs, const Observer& observer = {}) = 0;
+};
+
+/// The shared straggler policy: a unit is a straggler when its elapsed wall
+/// clock exceeds `factor` x the running median of completed-unit durations
+/// (never less than `min_seconds`, and only once `min_samples` completions
+/// exist — early units must not re-dispatch off a noise median).  Both
+/// pools feed it from their per-attempt durations.
+class StragglerTracker {
+ public:
+  StragglerTracker(double factor, double min_seconds, std::size_t min_samples)
+      : factor_(factor), min_seconds_(min_seconds), min_samples_(min_samples) {}
+
+  void record(double wall_s) {
+    durations_.insert(
+        std::upper_bound(durations_.begin(), durations_.end(), wall_s),
+        wall_s);
+  }
+
+  std::size_t samples() const { return durations_.size(); }
+
+  /// Median of the recorded durations; 0 when none.
+  double median() const {
+    if (durations_.empty()) return 0.0;
+    const std::size_t mid = durations_.size() / 2;
+    return durations_.size() % 2 == 1
+               ? durations_[mid]
+               : 0.5 * (durations_[mid - 1] + durations_[mid]);
+  }
+
+  /// The current re-dispatch threshold; 0 while below `min_samples`
+  /// (meaning: no unit is a straggler yet).
+  double threshold() const {
+    if (durations_.size() < min_samples_) return 0.0;
+    return std::max(min_seconds_, factor_ * median());
+  }
+
+  bool is_straggler(double elapsed_s) const {
+    const double limit = threshold();
+    return limit > 0.0 && elapsed_s > limit;
+  }
+
+ private:
+  double factor_;
+  double min_seconds_;
+  std::size_t min_samples_;
+  std::vector<double> durations_;  ///< kept sorted
+};
+
+}  // namespace minim::util

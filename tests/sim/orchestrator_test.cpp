@@ -9,15 +9,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hpp"
 #include "sim/experiment_io.hpp"
 #include "sim/work_plan.hpp"
+#include "util/remote_pool.hpp"
+#include "util/rpc.hpp"
 
 namespace {
 
@@ -265,6 +270,121 @@ TEST(Orchestrator, ResumeRefusesAnotherExperimentsManifest) {
                            options);
   EXPECT_THROW(second.run(workers.command(experiment, run)),
                std::runtime_error);
+  fs::remove_all(root);
+}
+
+TEST(Orchestrator, ResumeMixesLocalShardsWithAFleetAndSurvivesAgentLoss) {
+  // Mixed provenance: pass 1 computes some units with local worker
+  // processes and dies; pass 2 resumes the same manifest over a TCP fleet,
+  // loses an agent mid-run (its unit is requeued onto the survivor), and
+  // the merged CSV must still be byte-identical to the unsharded run.
+  const fs::path root = scratch_root() / "mixed";
+  fs::remove_all(root);
+  const sim::Experiment experiment(small_grid());
+  const sim::ExperimentOptions run = small_run();
+  const std::string full = csv_text(experiment.run(run));
+
+  sim::OrchestratorOptions options;
+  options.experiment = "mixed-study#1234";
+  options.workers = 2;
+  options.units = 4;
+  options.split = sim::WorkSplit::kAuto;
+  options.max_attempts = 1;
+  options.scratch_dir = (root / "scratch").string();
+  options.keep_scratch = true;
+
+  // Pass 1, local processes: units 2 and 3 fail permanently (one attempt),
+  // so the run throws with units 0 and 1 done on disk.
+  StagedWorkers workers(root / "staged");
+  sim::Orchestrator first(experiment.points().size(), run.trials, run.seed,
+                          options);
+  EXPECT_THROW(
+      first.run(workers.command(experiment, run, /*fail_units=*/{2, 3})),
+      std::runtime_error);
+  {
+    const sim::ShardManifest manifest =
+        sim::read_shard_manifest_file(first.manifest_path());
+    EXPECT_EQ(manifest.entries[0].status, "done");
+    EXPECT_EQ(manifest.entries[1].status, "done");
+  }
+
+  // Pass 2, remote fleet: a synthetic agent-side runner computes the
+  // unit's rectangle from the argv the driver would hand a real worker.
+  std::atomic<std::size_t> fleet_units{0};
+  const util::JobRunner runner = [&](const util::JobRequest& request) {
+    util::JobResult result;
+    result.job = request.job;
+    for (const std::string& arg : request.args) {
+      if (arg.rfind("--run-unit=", 0) != 0) continue;
+      std::string rect = arg.substr(std::string("--run-unit=").size());
+      std::replace(rect.begin(), rect.end(), '/', ' ');
+      std::istringstream fields(rect);
+      sim::ExperimentOptions slice = run;
+      fields >> slice.point_begin >> slice.point_count >> slice.trial_begin >>
+          slice.trial_count;
+      result.bytes = csv_text(experiment.run(slice));
+      result.ok = true;
+      result.exit_code = 0;
+      ++fleet_units;
+    }
+    return result;
+  };
+
+  util::RemotePoolOptions pool_options;
+  pool_options.scratch_dir = (root / "fleet").string();
+  util::RemotePool pool(pool_options);
+  options.resume = true;
+  options.max_attempts = 3;  // the agent-loss requeue needs attempt budget
+  options.pool = &pool;
+
+  // "mayfly" joins first (capacity 2 takes both remaining units) and drops
+  // its connection after one result; "steady" joins late and picks up the
+  // requeued unit.
+  std::thread mayfly([&pool, &runner] {
+    util::AgentOptions agent;
+    agent.port = pool.port();
+    agent.name = "mayfly";
+    agent.capacity = 2;
+    agent.die_after = 1;
+    util::run_worker_agent(agent, runner);
+  });
+  std::thread steady([&pool, &runner] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    util::AgentOptions agent;
+    agent.port = pool.port();
+    agent.name = "steady";
+    agent.capacity = 1;
+    util::run_worker_agent(agent, runner);
+  });
+
+  // The driver-format argv a real fleet worker would receive (the pool
+  // strips the program name before shipping the tail to the agent).
+  const auto fleet_command = [](const sim::WorkUnit& unit,
+                                const std::string& out_path) {
+    return std::vector<std::string>{
+        "driver-binary",
+        "--run-unit=" + std::to_string(unit.point_begin) + "/" +
+            std::to_string(unit.point_count) + "/" +
+            std::to_string(unit.trial_begin) + "/" +
+            std::to_string(unit.trial_count),
+        "--unit-out=" + out_path};
+  };
+  sim::Orchestrator second(experiment.points().size(), run.trials, run.seed,
+                           options);
+  const sim::ExperimentResult merged = second.run(fleet_command);
+  mayfly.join();
+  steady.join();
+
+  EXPECT_EQ(csv_text(merged), full);
+  EXPECT_EQ(pool.stats().agents_seen, 2u);
+  EXPECT_EQ(pool.stats().agents_lost, 1u);
+  // The two locally-computed units were resumed, never re-run remotely.
+  EXPECT_GE(fleet_units.load(), 2u);
+  EXPECT_LE(fleet_units.load(), 3u);  // at most the lost unit ran twice
+  const sim::ShardManifest manifest =
+      sim::read_shard_manifest_file(second.manifest_path());
+  for (const sim::ShardManifestEntry& entry : manifest.entries)
+    EXPECT_EQ(entry.status, "done");
   fs::remove_all(root);
 }
 

@@ -1,0 +1,181 @@
+// util/rpc.hpp: the fleet wire format.  Frames and codecs are exercised
+// over real socketpairs (so the partial-I/O path underneath is live), and
+// the decoders are fed truncations and hostile length prefixes — every
+// byte of a frame comes off a network in production, so "garbage in,
+// false out" is the contract, never a throw or an over-read.
+
+#include "util/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fd_io.hpp"
+
+namespace {
+
+using namespace minim::util;
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    for (int fd : fds)
+      if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST(Rpc, FramesRoundTripInOrder) {
+  SocketPair pair;
+  const std::string big(1 << 20, 'x');  // bigger than any socket buffer
+  std::thread sender([&] {
+    EXPECT_TRUE(send_frame(pair.fds[0], RpcType::kHello, "hi"));
+    EXPECT_TRUE(send_frame(pair.fds[0], RpcType::kJob, big));
+    EXPECT_TRUE(send_frame(pair.fds[0], RpcType::kShutdown, ""));
+  });
+
+  RpcFrame frame;
+  ASSERT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kFrame);
+  EXPECT_EQ(frame.type, RpcType::kHello);
+  EXPECT_EQ(frame.payload, "hi");
+  ASSERT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kFrame);
+  EXPECT_EQ(frame.type, RpcType::kJob);
+  EXPECT_EQ(frame.payload, big);
+  ASSERT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kFrame);
+  EXPECT_EQ(frame.type, RpcType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+  sender.join();
+}
+
+TEST(Rpc, CleanCloseBetweenFramesIsClosed) {
+  SocketPair pair;
+  ASSERT_TRUE(send_frame(pair.fds[0], RpcType::kHello, "x"));
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  RpcFrame frame;
+  ASSERT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kFrame);
+  EXPECT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kClosed);
+}
+
+TEST(Rpc, TruncatedFrameIsErrorNotClosed) {
+  // A peer that dies mid-frame must not look like a clean goodbye.
+  SocketPair pair;
+  std::string frame_bytes;
+  {
+    // Hand-build a JOB header claiming 100 payload bytes, send only 3.
+    const unsigned char header[8] = {2, 0, 0, 0, 100, 0, 0, 0};
+    frame_bytes.assign(reinterpret_cast<const char*>(header), 8);
+    frame_bytes += "abc";
+  }
+  ASSERT_TRUE(write_all(pair.fds[0], frame_bytes.data(), frame_bytes.size()));
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  RpcFrame frame;
+  EXPECT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kError);
+}
+
+TEST(Rpc, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  SocketPair pair;
+  // Type HELLO, length 0xffffffff: recv_frame must refuse, not try to
+  // allocate 4 GiB and read forever.
+  const unsigned char header[8] = {1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff};
+  ASSERT_TRUE(write_all(pair.fds[0], header, sizeof header));
+  RpcFrame frame;
+  EXPECT_EQ(recv_frame(pair.fds[1], frame, /*max_payload=*/1 << 20),
+            RecvStatus::kError);
+}
+
+TEST(Rpc, UnknownFrameTypeIsError) {
+  SocketPair pair;
+  const unsigned char header[8] = {99, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_TRUE(write_all(pair.fds[0], header, sizeof header));
+  RpcFrame frame;
+  EXPECT_EQ(recv_frame(pair.fds[1], frame), RecvStatus::kError);
+}
+
+TEST(Rpc, HelloCodecRoundTrips) {
+  AgentHello hello;
+  hello.capacity = 16;
+  hello.name = "box-a:12345";
+  AgentHello back;
+  ASSERT_TRUE(decode_hello(encode_hello(hello), back));
+  EXPECT_EQ(back.capacity, 16u);
+  EXPECT_EQ(back.name, "box-a:12345");
+}
+
+TEST(Rpc, JobCodecRoundTripsArbitraryArgs) {
+  JobRequest request;
+  request.job = (std::uint64_t{7} << 40) + 42;  // exercises the high word
+  request.args = {"--run-unit=0/3/0/5", "--unit-out=/tmp/shard_0.csv",
+                  "--trials=5", "", "spaces and = signs"};
+  JobRequest back;
+  ASSERT_TRUE(decode_job(encode_job(request), back));
+  EXPECT_EQ(back.job, request.job);
+  EXPECT_EQ(back.args, request.args);
+}
+
+TEST(Rpc, ResultCodecRoundTripsBinaryBytes) {
+  JobResult result;
+  result.job = 3;
+  result.ok = true;
+  result.exit_code = 0;
+  result.log = "worker said things\n";
+  result.bytes = std::string("csv,with\nnul\0bytes", 18);
+  JobResult back;
+  ASSERT_TRUE(decode_result(encode_result(result), back));
+  EXPECT_EQ(back.job, 3u);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.exit_code, 0);
+  EXPECT_EQ(back.log, result.log);
+  EXPECT_EQ(back.bytes, result.bytes);
+}
+
+TEST(Rpc, ResultCodecPreservesNegativeExitCode) {
+  JobResult result;
+  result.job = 1;
+  result.ok = false;
+  result.exit_code = -1;  // "killed / never ran" must survive the trip
+  JobResult back;
+  ASSERT_TRUE(decode_result(encode_result(result), back));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.exit_code, -1);
+}
+
+TEST(Rpc, DecodersRejectTruncationAtEveryByte) {
+  JobRequest request;
+  request.job = 9;
+  request.args = {"--run-unit=1/2/3/4", "--unit-out=x.csv"};
+  const std::string whole = encode_job(request);
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    JobRequest back;
+    EXPECT_FALSE(decode_job(whole.substr(0, cut), back))
+        << "accepted a " << cut << "-byte prefix of a " << whole.size()
+        << "-byte payload";
+  }
+  JobRequest back;
+  EXPECT_TRUE(decode_job(whole, back));
+  // Trailing junk is also a malformed payload, not something to ignore.
+  EXPECT_FALSE(decode_job(whole + "z", back));
+}
+
+TEST(Rpc, DecodersRejectLyingStringLengths) {
+  // A string length prefix pointing past the payload end must fail cleanly.
+  std::string payload;
+  payload.append({4, 0, 0, 0});                      // capacity = 4
+  payload.append({(char)0xff, (char)0xff, 0, 0});    // name length = 65535
+  payload.append("ab");                              // ...but 2 bytes follow
+  AgentHello hello;
+  EXPECT_FALSE(decode_hello(payload, hello));
+}
+
+TEST(Rpc, ConnectTcpToNothingFails) {
+  // Port 1 on loopback: nothing listens there in any sane environment.
+  EXPECT_LT(connect_tcp("127.0.0.1", 1), 0);
+}
+
+}  // namespace

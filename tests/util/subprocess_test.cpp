@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -130,6 +131,90 @@ TEST(ProcessPool, MissingExecutableIsAFailureNotACrash) {
   const ProcessOutcome outcome = pool.run_all({ghost})[0];
   EXPECT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.exit_code, 127);  // exec failed
+}
+
+TEST(ProcessPool, EventsCarryPerAttemptWallClock) {
+  // A deliberately slow worker: the kFinish event's wall_s must reflect the
+  // real attempt duration, because that duration is what feeds the shared
+  // straggler-threshold logic (StragglerTracker) for local and remote
+  // pools alike.
+  ProcessSpec slow = shell("sleep 0.3");
+  double finish_wall_s = -1.0;
+  double start_wall_s = -1.0;
+  ProcessPool pool(1);
+  pool.run_all({slow}, [&](const ProcessEvent& event) {
+    if (event.kind == ProcessEvent::Kind::kStart) start_wall_s = event.wall_s;
+    if (event.kind == ProcessEvent::Kind::kFinish) finish_wall_s = event.wall_s;
+  });
+  EXPECT_EQ(start_wall_s, 0.0);  // nothing has run at start time
+  EXPECT_GE(finish_wall_s, 0.25);
+  EXPECT_LT(finish_wall_s, 30.0);
+}
+
+TEST(ProcessPool, RunJobsAdaptsTheWorkerPoolInterface) {
+  // The WorkerPool face: same machinery, WorkerJob/WorkerOutcome types, so
+  // sim::Orchestrator can swap in a RemotePool without caring which.
+  const fs::path out = temp_dir() / "adapter.txt";
+  fs::remove(out);
+  minim::util::WorkerJob good;
+  good.args = {"/bin/sh", "-c", "echo shard > " + out.string()};
+  good.out_path = out.string();
+  minim::util::WorkerJob bad;
+  bad.args = {"/bin/sh", "-c", "exit 5"};
+  bad.max_attempts = 2;
+
+  std::vector<minim::util::WorkerPoolEvent::Kind> kinds;
+  ProcessPool pool(1);
+  minim::util::WorkerPool& face = pool;
+  const std::vector<minim::util::WorkerOutcome> outcomes = face.run_jobs(
+      {good, bad}, [&kinds](const minim::util::WorkerPoolEvent& event) {
+        kinds.push_back(event.kind);
+      });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_TRUE(fs::exists(out));
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].exit_code, 5);
+  EXPECT_EQ(outcomes[1].attempts, 2u);
+  EXPECT_TRUE(outcomes[1].executor.empty());  // local process, no agent name
+  using Kind = minim::util::WorkerPoolEvent::Kind;
+  EXPECT_EQ(std::count(kinds.begin(), kinds.end(), Kind::kRetry), 1);
+  EXPECT_EQ(std::count(kinds.begin(), kinds.end(), Kind::kFinish), 2);
+  fs::remove(out);
+}
+
+TEST(StragglerTracker, NoThresholdBelowMinSamples) {
+  minim::util::StragglerTracker tracker(3.0, 0.5, 3);
+  tracker.record(1.0);
+  tracker.record(1.0);
+  EXPECT_EQ(tracker.threshold(), 0.0);
+  EXPECT_FALSE(tracker.is_straggler(1000.0));  // too little evidence yet
+  tracker.record(1.0);
+  EXPECT_GT(tracker.threshold(), 0.0);
+}
+
+TEST(StragglerTracker, ThresholdIsFactorTimesRunningMedian) {
+  minim::util::StragglerTracker tracker(3.0, 0.1, 3);
+  tracker.record(2.0);
+  tracker.record(4.0);
+  tracker.record(100.0);  // one outlier must not drag the threshold up
+  EXPECT_DOUBLE_EQ(tracker.median(), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 12.0);
+  EXPECT_FALSE(tracker.is_straggler(11.9));
+  EXPECT_TRUE(tracker.is_straggler(12.1));
+  // Even-count median averages the middle pair, out-of-order inserts fine.
+  tracker.record(1.0);
+  EXPECT_DOUBLE_EQ(tracker.median(), 3.0);
+}
+
+TEST(StragglerTracker, MinSecondsFloorsTheThreshold) {
+  // Sub-millisecond medians (tiny smoke units) must not cause re-dispatch
+  // storms: the floor wins when factor x median is small.
+  minim::util::StragglerTracker tracker(3.0, 0.5, 1);
+  tracker.record(0.001);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 0.5);
+  EXPECT_FALSE(tracker.is_straggler(0.4));
+  EXPECT_TRUE(tracker.is_straggler(0.6));
 }
 
 }  // namespace
